@@ -1,0 +1,23 @@
+"""Shared helpers for the experiment benchmarks.
+
+Every benchmark regenerates one experiment table from EXPERIMENTS.md
+(printed to stdout; run with ``-s`` to see them) and times a
+representative computation via pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+
+def print_table(title: str, header: list[str], rows: list[list]) -> None:
+    """Render an experiment table the way EXPERIMENTS.md records it."""
+    widths = [
+        max(len(str(header[i])), *(len(str(row[i])) for row in rows))
+        for i in range(len(header))
+    ]
+    print()
+    print(f"### {title}")
+    line = "  ".join(str(h).ljust(w) for h, w in zip(header, widths))
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(str(cell).ljust(w) for cell, w in zip(row, widths)))

@@ -1,0 +1,53 @@
+"""E11 — Appendix B: the Hilbert-10 → Lemma 11 pipeline, instance by instance.
+
+Regenerates the normal-form table (dimensions, c, grid consistency with
+known solvability — Lemmas 25/29 at grid scale).  The benchmark times one
+full pipeline run plus grid check on the Markov instance.
+"""
+
+from repro.polynomials import hilbert_to_lemma11, markov, standard_suite
+
+from benchmarks.conftest import print_table
+
+GRID = 3
+
+
+def _row(instance) -> list:
+    reduction = hilbert_to_lemma11(instance.polynomial)
+    lemma11 = reduction.instance
+    violation = lemma11.find_counterexample(GRID)
+    witness_small = instance.witness is not None and all(
+        value <= GRID for value in instance.witness.values()
+    )
+    consistent = True
+    if not instance.solvable and violation is not None:
+        consistent = False
+    if witness_small and violation is None:
+        consistent = False
+    return [
+        instance.name,
+        instance.solvable,
+        lemma11.c,
+        lemma11.n,
+        lemma11.m,
+        lemma11.d,
+        violation is not None,
+        consistent,
+    ]
+
+
+def _markov_pipeline() -> bool:
+    reduction = hilbert_to_lemma11(markov().polynomial)
+    return reduction.instance.find_counterexample(1) is not None
+
+
+def test_e11_hilbert_pipeline(benchmark):
+    rows = [_row(instance) for instance in standard_suite()]
+    print_table(
+        f"E11 / Appendix B — Lemma 11 instances (grid ≤ {GRID})",
+        ["instance", "solvable", "c", "n", "m", "d", "grid violation", "consistent"],
+        rows,
+    )
+    assert all(row[-1] for row in rows)
+
+    assert benchmark(_markov_pipeline)

@@ -1,0 +1,132 @@
+"""E14 — ablations of the counting engine's design choices.
+
+DESIGN.md calls out three optimizations in the backtracking counter plus
+the engine-level inclusion–exclusion over inequalities.  This bench
+regenerates the ablation table (same exact counts, different costs) on the
+paper's two hard shapes:
+
+* a CYCLIQ gadget (high arity, rotation symmetry) — needs the subtree memo;
+* a π_b-style coefficient ray (long thin path) — needs component splitting;
+* a star with large X-fanout — needs private-atom counting.
+
+Each variant is timed once (the slow variants are orders of magnitude
+slower; we cap shapes so the worst case stays in seconds).
+"""
+
+import time
+
+from repro.core import beta_gadget, build_arena, build_pi_b
+from repro.homomorphism import count
+from repro.homomorphism.backtracking import count_homomorphisms
+from repro.polynomials import Lemma11Instance, Monomial
+
+from benchmarks.conftest import print_table
+
+
+def _cycliq_case():
+    gadget = beta_gadget(13)
+    query = gadget.query_s
+    structure = gadget.witness
+    return "CYCLIQ p=13 (β_s on witness)", query, structure
+
+
+def _ray_case():
+    instance = Lemma11Instance(
+        c=2,
+        monomials=(Monomial.of(1),),
+        s_coefficients=(1,),
+        b_coefficients=(120,),
+    )
+    arena = build_arena(instance)
+    return (
+        "ray length 119 (π_b, coefficient 120)",
+        build_pi_b(instance),
+        arena.correct_database({1: 2}),
+    )
+
+
+def _star_case():
+    instance = Lemma11Instance(
+        c=2,
+        monomials=(Monomial.of(1, 2, 3),),
+        s_coefficients=(2,),
+        b_coefficients=(3,),
+    )
+    arena = build_arena(instance)
+    return (
+        "star d=3 with X-fanout 6 (π_b)",
+        build_pi_b(instance),
+        arena.correct_database({1: 6, 2: 6, 3: 6}),
+    )
+
+
+VARIANTS = [
+    ("full engine", dict()),
+    ("no subtree memo", dict(subtree_memo=False)),
+    ("no component split", dict(component_split=False)),
+    ("no private counting", dict(private_counting=False)),
+    ("no memo, no private", dict(subtree_memo=False, private_counting=False)),
+]
+
+
+def _run_case(name, query, structure) -> list[list]:
+    rows = []
+    reference = None
+    for label, flags in VARIANTS:
+        start = time.perf_counter()
+        value = count_homomorphisms(query, structure, **flags)
+        elapsed_ms = (time.perf_counter() - start) * 1000
+        if reference is None:
+            reference = value
+        rows.append([name, label, value, f"{elapsed_ms:.1f}", value == reference])
+    return rows
+
+
+def _inclusion_exclusion_rows() -> list[list]:
+    """Engine-level ablation: inclusion–exclusion over inequalities.
+
+    ``β_b``'s single inequality welds two CYCLIQ blocks into one huge
+    component; the engine's IE transform restores factorization.  The
+    direct backtracking path must chew through the welded problem.
+    """
+    gadget = beta_gadget(41)
+    rows = []
+    start = time.perf_counter()
+    direct = count_homomorphisms(gadget.query_b, gadget.witness)
+    direct_ms = (time.perf_counter() - start) * 1000
+    rows.append(
+        ["β_b p=41 (one ≠)", "direct (default)", direct, f"{direct_ms:.1f}", True]
+    )
+    start = time.perf_counter()
+    via_ie = count(gadget.query_b, gadget.witness, use_inclusion_exclusion=True)
+    ie_ms = (time.perf_counter() - start) * 1000
+    rows.append(
+        [
+            "β_b p=41 (one ≠)",
+            "inclusion-exclusion",
+            via_ie,
+            f"{ie_ms:.1f}",
+            direct == via_ie,
+        ]
+    )
+    return rows
+
+
+def test_e14_ablations(benchmark):
+    rows = []
+    for case in (_cycliq_case(), _ray_case(), _star_case()):
+        rows.extend(_run_case(*case))
+    rows.extend(_inclusion_exclusion_rows())
+    print_table(
+        "E14 — engine ablations (identical counts, different costs)",
+        ["case", "variant", "count", "ms", "agrees"],
+        rows,
+    )
+    assert all(row[-1] for row in rows)
+
+    name, query, structure = _star_case()
+
+    def full_engine():
+        return count(query, structure)
+
+    assert benchmark(full_engine) > 0

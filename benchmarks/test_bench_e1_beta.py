@@ -1,0 +1,59 @@
+"""E1 — Lemma 5: the β gadget multiplies by (p+1)²/2p.
+
+Regenerates the table of witness counts across arities and checks the (≤)
+condition exhaustively (p = 3, all 2-element structures) and by random
+sweep (larger p).  The benchmark times the exhaustive (≤) verification —
+the gadget's "proof obligation" workload.
+"""
+
+from repro.core import beta_gadget
+from repro.decision import enumerate_structures, random_structures
+
+from benchmarks.conftest import print_table
+
+
+def _equality_rows() -> list[list]:
+    rows = []
+    for p in (3, 4, 5, 6, 7):
+        gadget = beta_gadget(p)
+        value_s, value_b = gadget.witness_counts()
+        rows.append(
+            [
+                p,
+                str(gadget.ratio),
+                value_s,
+                value_b,
+                (p + 1) ** 2,
+                2 * p,
+                gadget.verify_equality(),
+            ]
+        )
+    return rows
+
+
+def _exhaustive_check() -> bool:
+    gadget = beta_gadget(3)
+    stream = enumerate_structures(
+        gadget.query_s.schema, 2, nontrivial_constants=True
+    )
+    return gadget.upper_bound_violation(stream) is None
+
+
+def test_e1_beta_gadget(benchmark):
+    rows = _equality_rows()
+    print_table(
+        "E1 / Lemma 5 — β multiplies by (p+1)²/2p",
+        ["p", "ratio", "β_s(D)", "β_b(D)", "(p+1)²", "2p", "(=) verified"],
+        rows,
+    )
+    assert all(row[-1] for row in rows)
+    assert all(row[2] == row[4] and row[3] == row[5] for row in rows)
+
+    holds = benchmark(_exhaustive_check)
+    assert holds, "Lemma 5 (≤) violated on a 2-element structure!"
+
+    gadget = beta_gadget(4)
+    stream = random_structures(
+        gadget.query_s.schema, 3, count=80, nontrivial_constants=True, seed=1
+    )
+    assert gadget.upper_bound_violation(stream) is None

@@ -1,0 +1,53 @@
+"""E2 — Lemma 10: the γ gadget multiplies by (m−1)/m without inequalities.
+
+Regenerates the witness-count table across arities and sweeps random
+non-trivial structures for (≤) violations.  The benchmark times the
+randomized (≤) sweep at m = 3.
+"""
+
+from repro.core import gamma_gadget
+from repro.decision import random_structures
+
+from benchmarks.conftest import print_table
+
+
+def _rows() -> list[list]:
+    rows = []
+    for m in (3, 4, 5, 6, 7):
+        gadget = gamma_gadget(m)
+        value_s, value_b = gadget.witness_counts()
+        rows.append(
+            [
+                m,
+                str(gadget.ratio),
+                value_s,
+                value_b,
+                gadget.inequality_counts,
+                gadget.verify_equality(),
+            ]
+        )
+    return rows
+
+
+def _random_sweep() -> bool:
+    gadget = gamma_gadget(3)
+    schema = gadget.query_s.schema.union(gadget.query_b.schema)
+    stream = random_structures(
+        schema, domain_size=3, count=120, nontrivial_constants=True, seed=2
+    )
+    return gadget.upper_bound_violation(stream) is None
+
+
+def test_e2_gamma_gadget(benchmark):
+    rows = _rows()
+    print_table(
+        "E2 / Lemma 10 — γ multiplies by (m−1)/m, zero inequalities",
+        ["m", "ratio", "γ_s(D)", "γ_b(D)", "(≠ in s, ≠ in b)", "(=) verified"],
+        rows,
+    )
+    assert all(row[-1] for row in rows)
+    assert all(row[4] == (0, 0) for row in rows)
+    assert all(row[2] == row[0] - 1 and row[3] == row[0] for row in rows)
+
+    holds = benchmark(_random_sweep)
+    assert holds, "Lemma 10 (≤) violated on a sampled structure!"

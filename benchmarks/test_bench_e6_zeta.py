@@ -1,0 +1,63 @@
+"""E6 — Lemmas 17–18: ζ_b detects slight incorrectness.
+
+Regenerates the table: ζ_b(D) = C₁ on correct databases; adding any single
+extra Σ_RS atom pushes ζ_b(D) ≥ c·C₁.  The benchmark times the full
+perturbation sweep (one extra atom per Σ_RS relation).
+"""
+
+from repro.core import build_arena, build_zeta
+from repro.homomorphism import count
+from repro.polynomials import Lemma11Instance, Monomial
+
+from benchmarks.conftest import print_table
+
+INSTANCE = Lemma11Instance(
+    c=3,
+    monomials=(Monomial.of(1, 2), Monomial.of(1, 1)),
+    s_coefficients=(2, 1),
+    b_coefficients=(3, 4),
+)
+
+
+def _rows() -> list[list]:
+    arena = build_arena(INSTANCE)
+    zeta = build_zeta(arena, INSTANCE.c)
+    rows = [
+        [
+            "correct (D_Arena)",
+            count(zeta.zeta_b, arena.d_arena),
+            zeta.c1,
+            "= C₁",
+            count(zeta.zeta_b, arena.d_arena) == zeta.c1,
+        ]
+    ]
+    for relation in arena.rs_relations:
+        cheating = arena.d_arena.with_fact(relation, (("junk",), ("junk2",)))
+        value = count(zeta.zeta_b, cheating)
+        rows.append(
+            [
+                f"+1 atom of {relation}",
+                value,
+                INSTANCE.c * zeta.c1,
+                "≥ c·C₁",
+                value >= INSTANCE.c * zeta.c1,
+            ]
+        )
+    return rows
+
+
+def _sweep() -> bool:
+    return all(row[-1] for row in _rows())
+
+
+def test_e6_zeta(benchmark):
+    arena = build_arena(INSTANCE)
+    zeta = build_zeta(arena, INSTANCE.c)
+    rows = _rows()
+    print_table(
+        f"E6 / Lemmas 17–18 — ζ_b punishment (j = {zeta.j}, k = {zeta.k}, "
+        f"C₁ = {zeta.c1})",
+        ["database", "ζ_b(D)", "bound", "relation", "holds"],
+        rows,
+    )
+    assert benchmark(_sweep)

@@ -1,0 +1,69 @@
+"""E7 — Lemmas 19–21: δ_b detects serious incorrectness.
+
+Regenerates the table: δ_b(D) = 1 on correct databases (the label set
+omits exactly the arena cycle length); identifying any two Arena constants
+creates a short or a loop-extended cycle, driving δ_b(D) ≥ 2^C.  The
+benchmark times the constant-identification sweep (with a demonstration
+exponent C = 20 so the values stay printable).
+"""
+
+import itertools
+
+from repro.core import build_arena, build_delta
+from repro.homomorphism import count, count_at_least
+from repro.polynomials import Lemma11Instance, Monomial
+
+from benchmarks.conftest import print_table
+
+INSTANCE = Lemma11Instance(
+    c=3,
+    monomials=(Monomial.of(1, 2), Monomial.of(1, 1)),
+    s_coefficients=(2, 1),
+    b_coefficients=(3, 4),
+)
+
+DEMO_EXPONENT = 20
+
+
+def _rows() -> list[list]:
+    arena = build_arena(INSTANCE)
+    delta = build_delta(arena, DEMO_EXPONENT)
+    d = arena.d_arena
+    rows = [
+        [
+            "correct (D_Arena)",
+            count(delta.delta_b, d),
+            "= 1",
+            count(delta.delta_b, d) == 1,
+        ]
+    ]
+    names = [c.name for c in arena.constants]
+    for left, right in itertools.combinations(names, 2):
+        merged = d.relabel({d.interpret(left): d.interpret(right)})
+        hits_bound = count_at_least(delta.delta_b, merged, 2**DEMO_EXPONENT)
+        rows.append(
+            [
+                f"identify {left} = {right}",
+                "≥ 2^C" if hits_bound else count(delta.delta_b, merged),
+                "≥ 2^C",
+                hits_bound,
+            ]
+        )
+    return rows
+
+
+def _sweep() -> bool:
+    return all(row[-1] for row in _rows())
+
+
+def test_e7_delta(benchmark):
+    arena = build_arena(INSTANCE)
+    rows = _rows()
+    print_table(
+        f"E7 / Lemmas 19–21 — δ_b punishment (𝕝 = {arena.cycle_length}, "
+        f"labels L = 1..{arena.cycle_length + 1} minus {arena.cycle_length}, "
+        f"demo C = {DEMO_EXPONENT})",
+        ["database", "δ_b(D)", "bound", "holds"],
+        rows,
+    )
+    assert benchmark(_sweep)

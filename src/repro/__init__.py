@@ -1,0 +1,93 @@
+"""bagcq — Bag-semantics conjunctive query containment.
+
+A faithful, executable reproduction of *"Bag Semantics Conjunctive Query
+Containment. Four Small Steps Towards Undecidability"* (Marcinkowski &
+Orda, PODS 2024): conjunctive queries under multiset semantics, the
+homomorphism-counting machinery, the multiplication gadgets of Section 3,
+the Hilbert-10th-problem reductions of Section 4 and Appendix B, and the
+structure operations and equivalences of Section 5.
+"""
+
+from repro.core import (
+    alpha_gadget,
+    beta_gadget,
+    gamma_gadget,
+    reduce_polynomial,
+    theorem1_reduction,
+    theorem3_reduction,
+    transfer_witness,
+)
+from repro.decision import decide_bag_containment, verify_bounded
+from repro.homomorphism import (
+    count,
+    count_ucq,
+    evaluate,
+    set_contained,
+)
+from repro.polynomials import (
+    Lemma11Instance,
+    Monomial,
+    Polynomial,
+    hilbert_to_lemma11,
+    standard_suite,
+)
+from repro.queries import (
+    Atom,
+    OpenQuery,
+    ConjunctiveQuery,
+    Constant,
+    Inequality,
+    QueryProduct,
+    UnionOfConjunctiveQueries,
+    Variable,
+    parse_query,
+)
+from repro.relational import (
+    Schema,
+    Structure,
+    StructureBuilder,
+    blowup,
+    disjoint_union,
+    power,
+    product,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Atom",
+    "ConjunctiveQuery",
+    "Constant",
+    "Inequality",
+    "Lemma11Instance",
+    "Monomial",
+    "OpenQuery",
+    "Polynomial",
+    "QueryProduct",
+    "Schema",
+    "Structure",
+    "StructureBuilder",
+    "UnionOfConjunctiveQueries",
+    "Variable",
+    "alpha_gadget",
+    "beta_gadget",
+    "blowup",
+    "count",
+    "count_ucq",
+    "decide_bag_containment",
+    "disjoint_union",
+    "evaluate",
+    "gamma_gadget",
+    "hilbert_to_lemma11",
+    "parse_query",
+    "power",
+    "product",
+    "reduce_polynomial",
+    "set_contained",
+    "standard_suite",
+    "theorem1_reduction",
+    "theorem3_reduction",
+    "transfer_witness",
+    "verify_bounded",
+    "__version__",
+]

@@ -1,0 +1,27 @@
+"""Baselines the paper positions itself against: [14] UCQs and [15] JKV."""
+
+from repro.baselines.jkv import (
+    JKV_INEQUALITY_COUNT,
+    ComparisonRow,
+    comparison_row,
+    format_comparison_table,
+)
+from repro.baselines.ucq_encoding import (
+    UCQContainmentInstance,
+    monomial_to_cq,
+    polynomial_to_ucq,
+    ucq_containment_instance,
+    valuation_structure,
+)
+
+__all__ = [
+    "ComparisonRow",
+    "JKV_INEQUALITY_COUNT",
+    "UCQContainmentInstance",
+    "comparison_row",
+    "format_comparison_table",
+    "monomial_to_cq",
+    "polynomial_to_ucq",
+    "ucq_containment_instance",
+    "valuation_structure",
+]

@@ -1,0 +1,67 @@
+"""Accounting against the Jayram–Kolaitis–Vee construction [15].
+
+The previous state of the art for ``QCP^bag_{CQ,≠}`` undecidability (PODS
+2006) needed "no less than 59¹⁰ inequalities" for its anti-cheating
+mechanism (Section 1.1).  The paper's Theorem 3 brings this to **one**
+inequality in the b-query and none in the s-query.  This module produces
+the quantitative comparison rows used by experiment E9 — the reproduction's
+stand-in for the paper's headline table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.theorem3 import Theorem3Reduction
+
+__all__ = [
+    "JKV_INEQUALITY_COUNT",
+    "ComparisonRow",
+    "comparison_row",
+    "format_comparison_table",
+]
+
+#: The inequality count the paper attributes to [15]: 59^10.
+JKV_INEQUALITY_COUNT = 59**10
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """One row of the inequality-budget comparison."""
+
+    instance_name: str
+    psi_s_inequalities: int
+    psi_b_inequalities: int
+    jkv_inequalities: int = JKV_INEQUALITY_COUNT
+
+    @property
+    def improvement_factor(self) -> int:
+        """How many times fewer inequalities than [15] (total over both queries)."""
+        ours = self.psi_s_inequalities + self.psi_b_inequalities
+        return self.jkv_inequalities // max(1, ours)
+
+
+def comparison_row(name: str, reduction: Theorem3Reduction) -> ComparisonRow:
+    """Measure a Theorem 3 output against the [15] budget."""
+    s_count, b_count = reduction.inequality_counts
+    return ComparisonRow(
+        instance_name=name,
+        psi_s_inequalities=s_count,
+        psi_b_inequalities=b_count,
+    )
+
+
+def format_comparison_table(rows: list[ComparisonRow]) -> str:
+    """Render the comparison as an aligned text table."""
+    header = (
+        f"{'instance':<28} {'ψ_s ≠':>6} {'ψ_b ≠':>6} "
+        f"{'JKV 2006 ≠':>22} {'improvement':>14}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row.instance_name:<28} {row.psi_s_inequalities:>6} "
+            f"{row.psi_b_inequalities:>6} {row.jkv_inequalities:>22} "
+            f"{row.improvement_factor:>14}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,114 @@
+"""The Ioannidis–Ramakrishnan baseline [14]: UCQ encoding of polynomials.
+
+The paper's Section 1.1 recalls that ``QCP^bag_UCQ`` was the first bag
+generalization proven undecidable, "a straightforward encoding of
+Hilbert's 10th problem": a monomial translates naturally into a CQ and a
+sum of monomials into a disjunction.  This module implements that
+encoding so the experiments can contrast it with the paper's far subtler
+single-CQ trick (Section 4.3).
+
+The schema is the valuation relation ``X`` alone, with constants ``b_n``
+for the numerical variables: a monomial ``x_{i₁}·…·x_{i_d}`` becomes
+``X(b_{i₁}, z₁) ∧ … ∧ X(b_{i_d}, z_d)`` with *distinct* fresh ``z``'s, so
+under bag semantics its count on a valuation database is exactly
+``Ξ(x_{i₁})·…·Ξ(x_{i_d})``; coefficients become disjunct multiplicities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.arena import b_constant
+from repro.core.pi import X_RELATION
+from repro.errors import PolynomialError
+from repro.polynomials.hilbert import hilbert_to_lemma11
+from repro.polynomials.monomial import Monomial
+from repro.polynomials.polynomial import Polynomial
+from repro.queries.atoms import Atom
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.terms import Variable
+from repro.queries.ucq import UnionOfConjunctiveQueries
+from repro.relational.schema import RelationSymbol, Schema
+from repro.relational.structure import Structure
+
+__all__ = [
+    "monomial_to_cq",
+    "polynomial_to_ucq",
+    "valuation_structure",
+    "UCQContainmentInstance",
+    "ucq_containment_instance",
+]
+
+
+def monomial_to_cq(monomial: Monomial) -> ConjunctiveQuery:
+    """``x_{i₁}·…·x_{i_d} ↦ ⋀_j X(b_{i_j}, z_j)``.
+
+    The degree-0 monomial maps to the empty query TRUE (count 1), matching
+    its constant value 1.
+    """
+    atoms = [
+        Atom(X_RELATION, (b_constant(index), Variable(f"z_{position}")))
+        for position, index in enumerate(monomial.indices, start=1)
+    ]
+    return ConjunctiveQuery(atoms)
+
+
+def polynomial_to_ucq(polynomial: Polynomial) -> UnionOfConjunctiveQueries:
+    """``Σ c_i·t_i ↦ ⋁ c_i copies of the t_i-CQ`` (natural coefficients only)."""
+    if not polynomial.has_natural_coefficients() and not polynomial.is_zero():
+        raise PolynomialError(
+            "the UCQ encoding requires natural coefficients; "
+            "split signs first (Appendix B.2)"
+        )
+    return UnionOfConjunctiveQueries(
+        (monomial_to_cq(monomial), coefficient)
+        for monomial, coefficient in polynomial
+    )
+
+
+def valuation_structure(valuation: dict[int, int]) -> Structure:
+    """The database encoding a valuation ``Ξ`` through ``X`` out-degrees."""
+    schema = Schema([RelationSymbol(X_RELATION, 2)])
+    facts = {
+        X_RELATION: {
+            (b_constant(index), ("val", index, i))
+            for index, value in valuation.items()
+            for i in range(1, value + 1)
+        }
+    }
+    constants = {
+        b_constant(index).name: b_constant(index) for index in valuation
+    }
+    return Structure(schema, facts, constants)
+
+
+@dataclass(frozen=True)
+class UCQContainmentInstance:
+    """A ``QCP^bag_UCQ`` instance equivalent to ``Q`` having no root in ℕ.
+
+    ``ucq_s ⊑_bag ucq_b`` (i.e. ``P₁(Ξ) ≤ P₂(Ξ)`` everywhere) iff ``Q`` is
+    unsolvable, via Lemma 25.
+    """
+
+    q: Polynomial
+    p1: Polynomial
+    p2: Polynomial
+    ucq_s: UnionOfConjunctiveQueries
+    ucq_b: UnionOfConjunctiveQueries
+
+
+def ucq_containment_instance(q: Polynomial) -> UCQContainmentInstance:
+    """Encode a Hilbert-10 polynomial as a UCQ bag-containment question.
+
+    Reuses the Appendix B.2 sign split: ``P₁ = Q'_- + 1``, ``P₂ = Q'_+``
+    with ``Q' = Q²``; then ``Q`` has a root iff ``P₁ > P₂`` somewhere iff
+    the containment **fails**.
+    """
+    pipeline = hilbert_to_lemma11(q)
+    return UCQContainmentInstance(
+        q=q,
+        p1=pipeline.p1,
+        p2=pipeline.p2,
+        ucq_s=polynomial_to_ucq(pipeline.p1),
+        ucq_b=polynomial_to_ucq(pipeline.p2),
+    )

@@ -1,0 +1,309 @@
+"""Command-line interface: ``bagcq``.
+
+Subcommands::
+
+    bagcq reduce --instance pell_nontrivial:2 [--grid 3]
+        Run the full Hilbert-10 → Lemma 11 → Theorem 1 pipeline on a named
+        Diophantine instance and search a valuation grid for a verified
+        counterexample database.
+
+    bagcq gadget --c 3 [--check-structures 200]
+        Build the α multiplication gadget for c, verify its (=) witness and
+        probe the (≤) condition on random structures.
+
+    bagcq evaluate --query "E(x,y) & E(y,x)" --facts "E(1,2) E(2,1)"
+        Count homomorphisms of a query over an inline database.
+
+    bagcq compare --instance linear:2:3:7
+        Print the inequality-budget comparison against Jayram-Kolaitis-Vee.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.errors import BagCQError
+from repro.queries.parser import parse_query, parse_term
+from repro.queries.terms import Constant
+from repro.relational.schema import RelationSymbol, Schema
+from repro.relational.structure import Structure
+
+__all__ = ["main"]
+
+
+def _load_instance(spec: str):
+    """Resolve ``name`` or ``name:arg1:arg2…`` to a Diophantine instance."""
+    from repro.polynomials import diophantine
+
+    name, _, argument_text = spec.partition(":")
+    factories = {
+        "linear": diophantine.linear,
+        "pell": diophantine.pell,
+        "pell_nontrivial": diophantine.pell_nontrivial,
+        "sum_of_squares": diophantine.sum_of_squares,
+        "markov": diophantine.markov,
+        "fermat_cubes": diophantine.fermat_cubes,
+        "always_positive": diophantine.always_positive,
+        "parity_obstruction": diophantine.parity_obstruction,
+    }
+    if name not in factories:
+        raise SystemExit(
+            f"unknown instance {name!r}; choose from {sorted(factories)}"
+        )
+    arguments = [int(piece) for piece in argument_text.split(":") if piece]
+    return factories[name](*arguments)
+
+
+def _parse_facts(text: str) -> Structure:
+    """Parse an inline database: whitespace-separated ground atoms.
+
+    Terms are parsed with the query syntax (``#name`` for constants, other
+    identifiers are treated as element names).
+    """
+    facts: dict[str, set[tuple]] = {}
+    arities: dict[str, int] = {}
+    constants: dict[str, object] = {}
+    for chunk in text.replace(";", " ").split():
+        if not chunk:
+            continue
+        query = parse_query(chunk)
+        for atom in query.atoms:
+            values = []
+            for term in atom.terms:
+                if isinstance(term, Constant):
+                    constants[term.name] = term.name
+                    values.append(term.name)
+                else:
+                    values.append(term.name)
+            arities[atom.relation] = len(values)
+            facts.setdefault(atom.relation, set()).add(tuple(values))
+    schema = Schema(RelationSymbol(n, a) for n, a in arities.items())
+    return Structure(schema, facts, constants)
+
+
+def _command_reduce(args: argparse.Namespace) -> int:
+    from repro.core.theorem1 import reduce_polynomial
+
+    instance = _load_instance(args.instance)
+    print(instance)
+    hilbert, reduction = reduce_polynomial(instance.polynomial)
+    print()
+    print(hilbert.describe())
+    print()
+    report = reduction.size_report()
+    print(f"Theorem 1 output: C = {report['C']}")
+    print(
+        f"  phi_s: {report['phi_s_atoms']} atoms, "
+        f"{report['phi_s_variables']} variables"
+    )
+    print(
+        f"  phi_b: {report['phi_b_atoms']} atoms, "
+        f"{report['phi_b_variables']} variables"
+    )
+    if args.grid >= 0:
+        witness = reduction.find_counterexample(args.grid)
+        if witness is None:
+            print(f"no counterexample on the {args.grid}-grid")
+        else:
+            print(
+                f"verified counterexample database found "
+                f"(|domain| = {len(witness.domain)}, "
+                f"{witness.fact_count()} facts)"
+            )
+    return 0
+
+
+def _command_gadget(args: argparse.Namespace) -> int:
+    from repro.core.alpha import alpha_gadget
+    from repro.decision.search import random_structures
+
+    gadget = alpha_gadget(args.c)
+    print(gadget)
+    counts = gadget.witness_counts()
+    print(f"witness counts: alpha_s = {counts[0]}, alpha_b = {counts[1]}")
+    print(f"equality (=) verified: {gadget.verify_equality()}")
+    if args.check_structures > 0:
+        schema = gadget.query_s.schema.union(gadget.query_b.schema)
+        stream = random_structures(
+            schema,
+            domain_size=3,
+            count=args.check_structures,
+            nontrivial_constants=True,
+        )
+        violator = gadget.upper_bound_violation(stream)
+        print(
+            f"upper bound (<=) violated on sample: "
+            f"{'yes' if violator is not None else 'no'}"
+        )
+    return 0
+
+
+def _command_evaluate(args: argparse.Namespace) -> int:
+    from repro.homomorphism.engine import count
+
+    query = parse_query(args.query)
+    structure = _parse_facts(args.facts)
+    missing = [
+        constant.name
+        for constant in query.constants
+        if not structure.interprets(constant.name)
+    ]
+    for name in missing:
+        structure = structure.with_constant(name, name)
+    print(count(query, structure, engine=args.engine))
+    return 0
+
+
+def _command_core(args: argparse.Namespace) -> int:
+    from repro.decision import core
+
+    query = parse_query(args.query)
+    minimized = core(query)
+    print(minimized)
+    if minimized.atom_count < query.atom_count:
+        print(
+            f"# dropped {query.atom_count - minimized.atom_count} redundant "
+            "atom(s) — set-equivalent, NOT bag-equivalent (Chaudhuri-Vardi)",
+        )
+    else:
+        print("# already a core")
+    return 0
+
+
+def _command_equivalent(args: argparse.Namespace) -> int:
+    from repro.decision import bag_equivalent, set_equivalent
+
+    left = parse_query(args.left)
+    right = parse_query(args.right)
+    bag = bag_equivalent(left, right)
+    print(f"bag-equivalent (iff isomorphic): {bag}")
+    if not left.has_inequalities() and not right.has_inequalities():
+        print(f"set-equivalent (Chandra-Merlin): {set_equivalent(left, right)}")
+    return 0
+
+
+def _command_answers(args: argparse.Namespace) -> int:
+    from repro.queries import OpenQuery
+
+    body = parse_query(args.query)
+    head = tuple(name.strip() for name in args.head.split(",") if name.strip())
+    open_query = OpenQuery(body, head)
+    structure = _parse_facts(args.facts)
+    for name in (c.name for c in body.constants):
+        if not structure.interprets(name):
+            structure = structure.with_constant(name, name)
+    for answer, multiplicity in sorted(
+        open_query.answers(structure).items(), key=lambda kv: repr(kv[0])
+    ):
+        rendered = ", ".join(str(value) for value in answer)
+        print(f"({rendered}) x{multiplicity}")
+    return 0
+
+
+def _command_verify_paper(args: argparse.Namespace) -> int:
+    from repro.paper import verify_all
+
+    failures = 0
+    for claim, passed in verify_all():
+        status = "ok " if passed else "FAIL"
+        print(f"[{status}] {claim.claim_id:<22} {claim.statement}")
+        if not passed:
+            failures += 1
+    print()
+    if failures:
+        print(f"{failures} claim(s) FAILED")
+        return 1
+    print("every registered claim of the paper verifies")
+    return 0
+
+
+def _command_compare(args: argparse.Namespace) -> int:
+    from repro.baselines.jkv import comparison_row, format_comparison_table
+    from repro.core.theorem3 import theorem3_reduction
+    from repro.polynomials import Lemma11Instance, Monomial
+
+    minimal = Lemma11Instance(
+        c=2,
+        monomials=(Monomial.of(1),),
+        s_coefficients=(1,),
+        b_coefficients=(1,),
+    )
+    rows = [comparison_row("minimal (materialized)", theorem3_reduction(minimal))]
+    print(format_comparison_table(rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="bagcq",
+        description="Bag-semantics CQ containment: gadgets and reductions "
+        "from Marcinkowski & Orda, PODS 2024.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    reduce_parser = sub.add_parser("reduce", help="run the full reduction pipeline")
+    reduce_parser.add_argument("--instance", required=True, help="e.g. pell_nontrivial:2")
+    reduce_parser.add_argument("--grid", type=int, default=2, help="valuation grid bound")
+    reduce_parser.set_defaults(handler=_command_reduce)
+
+    gadget_parser = sub.add_parser("gadget", help="build and verify an alpha gadget")
+    gadget_parser.add_argument("--c", type=int, required=True)
+    gadget_parser.add_argument("--check-structures", type=int, default=0)
+    gadget_parser.set_defaults(handler=_command_gadget)
+
+    evaluate_parser = sub.add_parser("evaluate", help="count homomorphisms")
+    evaluate_parser.add_argument("--query", required=True)
+    evaluate_parser.add_argument("--facts", required=True)
+    evaluate_parser.add_argument(
+        "--engine", choices=("backtracking", "treewidth"), default="backtracking"
+    )
+    evaluate_parser.set_defaults(handler=_command_evaluate)
+
+    compare_parser = sub.add_parser(
+        "compare", help="inequality budget vs Jayram-Kolaitis-Vee"
+    )
+    compare_parser.set_defaults(handler=_command_compare)
+
+    verify_parser = sub.add_parser(
+        "verify-paper",
+        help="run the executable registry of the paper's claims",
+    )
+    verify_parser.set_defaults(handler=_command_verify_paper)
+
+    core_parser = sub.add_parser(
+        "core", help="set-semantics core of a conjunctive query"
+    )
+    core_parser.add_argument("--query", required=True)
+    core_parser.set_defaults(handler=_command_core)
+
+    equivalent_parser = sub.add_parser(
+        "equivalent", help="bag/set equivalence of two queries"
+    )
+    equivalent_parser.add_argument("--left", required=True)
+    equivalent_parser.add_argument("--right", required=True)
+    equivalent_parser.set_defaults(handler=_command_equivalent)
+
+    answers_parser = sub.add_parser(
+        "answers", help="answer multiset of an open query on an inline database"
+    )
+    answers_parser.add_argument("--query", required=True)
+    answers_parser.add_argument("--head", required=True, help="e.g. 'x,y'")
+    answers_parser.add_argument("--facts", required=True)
+    answers_parser.set_defaults(handler=_command_answers)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except BagCQError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,90 @@
+"""The paper's contribution: gadgets (Section 3) and reductions (Sections 4–5)."""
+
+from repro.core.alpha import alpha_gadget
+from repro.core.arena import Arena, DatabaseKind, build_arena
+from repro.core.beta import BetaGadget, beta_gadget
+from repro.core.cycliq import (
+    CycliqueKind,
+    all_cycliques,
+    classify_cyclique,
+    cyclass,
+    cyclic_shift,
+    cycliq,
+    cycliq_u,
+    is_cyclique,
+    partition_cyclasses,
+    rotations,
+)
+from repro.core.delta import DeltaComponents, build_delta, cycle_query
+from repro.core.gamma import GammaGadget, gamma_gadget
+from repro.core.multiplication import MultiplicationGadget, compose
+from repro.core.pi import (
+    build_pi_b,
+    build_pi_s,
+    lemma12_homomorphism,
+    r_relation,
+    s_relation,
+)
+from repro.core.theorem1 import (
+    Theorem1Reduction,
+    reduce_polynomial,
+    theorem1_reduction,
+)
+from repro.core.theorem3 import Theorem3Reduction, theorem3_reduction
+from repro.core.theorem5 import Theorem5Transfer, lemma24_holds, transfer_witness
+from repro.core.constants_ban import free_constants, hard_ban, soft_ban
+from repro.core.theorems2_4 import (
+    Theorem2Instance,
+    Theorem4Instance,
+    verify_instance_bounded,
+    well_of_positivity,
+)
+from repro.core.zeta import ZetaComponents, build_zeta
+
+__all__ = [
+    "Arena",
+    "BetaGadget",
+    "CycliqueKind",
+    "DatabaseKind",
+    "DeltaComponents",
+    "GammaGadget",
+    "MultiplicationGadget",
+    "Theorem1Reduction",
+    "Theorem2Instance",
+    "Theorem3Reduction",
+    "Theorem4Instance",
+    "Theorem5Transfer",
+    "ZetaComponents",
+    "all_cycliques",
+    "alpha_gadget",
+    "beta_gadget",
+    "build_arena",
+    "build_delta",
+    "build_pi_b",
+    "build_pi_s",
+    "build_zeta",
+    "classify_cyclique",
+    "compose",
+    "cyclass",
+    "cycle_query",
+    "cyclic_shift",
+    "free_constants",
+    "hard_ban",
+    "cycliq",
+    "cycliq_u",
+    "gamma_gadget",
+    "is_cyclique",
+    "lemma12_homomorphism",
+    "lemma24_holds",
+    "partition_cyclasses",
+    "r_relation",
+    "reduce_polynomial",
+    "rotations",
+    "s_relation",
+    "soft_ban",
+    "theorem1_reduction",
+    "theorem3_reduction",
+    "transfer_witness",
+    "verify_instance_bounded",
+    "well_of_positivity",
+]

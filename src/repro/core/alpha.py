@@ -1,0 +1,56 @@
+"""Exact multiplication by a natural number ``c`` (end of Section 3.2).
+
+Take ``p = 2c − 1`` and ``m = p + 1``; then
+
+``(p+1)²/2p · (m−1)/m  =  (p+1)²/2p · p/(p+1)  =  (p+1)/2  =  c``
+
+so composing :func:`repro.core.beta.beta_gadget` with
+:func:`repro.core.gamma.gamma_gadget` via Lemma 4 yields queries
+``α_s`` (no inequalities) and ``α_b`` (exactly one inequality) that
+multiply by exactly ``c`` — the missing piece that turns Theorem 1 into
+Theorem 3.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.core.beta import beta_gadget
+from repro.core.gamma import gamma_gadget
+from repro.core.multiplication import MultiplicationGadget, compose
+from repro.errors import ReductionError
+
+__all__ = ["alpha_gadget"]
+
+
+def alpha_gadget(c: int, name_suffix: str = "") -> MultiplicationGadget:
+    """Queries ``α_s, α_b`` multiplying by the natural number ``c ≥ 2``.
+
+    ``α_s`` has no inequalities and ``α_b`` exactly one.  ``name_suffix``
+    disambiguates relation names when several gadgets share a reduction.
+
+    >>> gadget = alpha_gadget(2)
+    >>> gadget.ratio
+    Fraction(2, 1)
+    >>> gadget.inequality_counts
+    (0, 1)
+    >>> gadget.verify_equality()
+    True
+    """
+    if c < 2:
+        raise ReductionError(f"alpha_gadget requires c >= 2, got {c}")
+    p = 2 * c - 1
+    m = p + 1
+    beta = beta_gadget(p, relation=f"R_beta{name_suffix}")
+    gamma = gamma_gadget(
+        m,
+        relation=f"P_gamma{name_suffix}",
+        unary_a=f"A_gamma{name_suffix}",
+        unary_b=f"B_gamma{name_suffix}",
+    )
+    gadget = compose(beta, gamma)
+    if gadget.ratio != Fraction(c):
+        raise ReductionError(
+            f"internal error: composed ratio {gadget.ratio} != {c}"
+        )
+    return gadget

@@ -1,0 +1,219 @@
+"""The Arena: ground queries pinning the shape of honest databases.
+
+Section 4.4 defines ``Arena = Arena_π ∧ Arena_δ``, a conjunction of
+*facts* over constants only, so ``Arena(D) ∈ {0, 1}``:
+
+* ``Arena_π`` carries one constant ``a_m`` per monomial and one ``b_n`` per
+  numerical variable, the ``R_d``-edges prescribed by the position relation
+  ``𝒫``, the ``S_{m'}``-loops at every ``a_m``, and the tails
+  ``S_m(a_m, a) ∧ S_m(a, a)``.
+* ``Arena_δ`` (Section 4.6) adds the heart self-loop ``E(♥,♥)`` and an
+  ``E``-cycle of length ``𝕝 = 𝗆 + 𝗇 + 2`` through ``♠`` and every
+  ``Arena_π`` constant.
+
+A database satisfying ``Arena`` is **correct** when its ``Σ₀``-part is
+exactly the canonical structure ``D_Arena``, **slightly incorrect** when it
+has extra ``Σ₀``-atoms (constants still distinct), and **seriously
+incorrect** when it identifies constants (Definition 13).  The relation
+``X`` encodes a valuation ``Ξ_D`` via out-degrees at the ``b_n``
+(Definition 14).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.core.pi import X_RELATION, r_relation, s_relation
+from repro.errors import ReductionError
+from repro.naming import HEART, SPADE
+from repro.polynomials.lemma11 import Lemma11Instance
+from repro.queries.atoms import Atom
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.terms import Constant
+from repro.relational.schema import RelationSymbol, Schema
+from repro.relational.structure import Structure
+
+__all__ = [
+    "Arena",
+    "build_arena",
+    "DatabaseKind",
+    "E_RELATION",
+]
+
+#: Name of the cycle relation of ``Arena_δ``.
+E_RELATION = "E"
+
+
+class DatabaseKind(Enum):
+    """Definition 13's classification (plus the trivial failure mode)."""
+
+    NOT_ARENA = "not-arena"
+    CORRECT = "correct"
+    SLIGHTLY_INCORRECT = "slightly-incorrect"
+    SERIOUSLY_INCORRECT = "seriously-incorrect"
+
+
+def a_constant(m: int | None = None) -> Constant:
+    """``a`` (no argument) or ``a_m`` — the per-monomial constants."""
+    return Constant("a" if m is None else f"a_{m}")
+
+
+def b_constant(n: int) -> Constant:
+    """``b_n`` — the per-numerical-variable constants."""
+    return Constant(f"b_{n}")
+
+
+@dataclass(frozen=True)
+class Arena:
+    """All Arena components for one Lemma 11 instance."""
+
+    instance: Lemma11Instance
+    arena_pi: ConjunctiveQuery
+    arena_delta: ConjunctiveQuery
+    d_arena: Structure
+
+    @property
+    def arena(self) -> ConjunctiveQuery:
+        """``Arena = Arena_π ∧ Arena_δ`` (ground, hence 0/1-valued)."""
+        return self.arena_pi & self.arena_delta
+
+    @property
+    def cycle_length(self) -> int:
+        """``𝕝 = 𝗆 + 𝗇 + 2``: the length of the ``Arena_δ`` cycle."""
+        return self.instance.m + self.instance.n + 2
+
+    @property
+    def sigma0(self) -> Schema:
+        """``Σ₀``: everything except the valuation relation ``X``."""
+        return self.d_arena.schema.restrict(
+            name
+            for name in self.d_arena.schema.relation_names
+            if name != X_RELATION
+        )
+
+    @property
+    def rs_relations(self) -> tuple[str, ...]:
+        """``Σ_RS = {S_1..S_m, R_1..R_d}`` (Section 4.5)."""
+        instance = self.instance
+        return tuple(
+            [s_relation(m) for m in range(1, instance.m + 1)]
+            + [r_relation(d) for d in range(1, instance.d + 1)]
+        )
+
+    @property
+    def constants(self) -> tuple[Constant, ...]:
+        """Every constant mentioned by ``Arena`` (including ♠ and ♥)."""
+        instance = self.instance
+        result = [Constant(SPADE), Constant(HEART), a_constant()]
+        result.extend(a_constant(m) for m in range(1, instance.m + 1))
+        result.extend(b_constant(n) for n in range(1, instance.n + 1))
+        return tuple(result)
+
+    # -- valuations (Definition 14) -----------------------------------------
+
+    def valuation_of(self, structure: Structure) -> dict[int, int]:
+        """``Ξ_D``: the number of ``X``-edges leaving each ``b_n``."""
+        valuation: dict[int, int] = {}
+        for n in range(1, self.instance.n + 1):
+            source = structure.interpret(b_constant(n).name)
+            valuation[n] = sum(
+                1 for values in structure.facts(X_RELATION) if values[0] == source
+            )
+        return valuation
+
+    def correct_database(self, valuation: dict[int, int]) -> Structure:
+        """The correct database realizing a valuation ``Ξ``.
+
+        ``D_Arena`` plus ``Ξ(x_n)`` fresh ``X``-successors of each ``b_n``.
+        Every correct database with out-degree targets outside the arena
+        arises this way up to isomorphism, which is all Lemma 16 needs.
+        """
+        structure = self.d_arena
+        for n in range(1, self.instance.n + 1):
+            value = valuation.get(n, 0)
+            if value < 0:
+                raise ReductionError(
+                    f"valuations range over the naturals; x{n} = {value}"
+                )
+            source = structure.interpret(b_constant(n).name)
+            for i in range(1, value + 1):
+                structure = structure.with_fact(
+                    X_RELATION, (source, ("xval", n, i))
+                )
+        return structure
+
+    # -- Definition 13 classification ---------------------------------------------
+
+    def classify(self, structure: Structure) -> DatabaseKind:
+        """Correct / slightly incorrect / seriously incorrect / not-arena."""
+        for constant in self.constants:
+            if not structure.interprets(constant.name):
+                return DatabaseKind.NOT_ARENA
+        interpreted_facts: dict[str, set[tuple]] = {}
+        for atom in self.arena.atoms:
+            values = tuple(
+                structure.interpret(term.name)  # type: ignore[union-attr]
+                for term in atom.terms
+            )
+            if not structure.has_fact(atom.relation, values):
+                return DatabaseKind.NOT_ARENA
+            interpreted_facts.setdefault(atom.relation, set()).add(values)
+
+        images = [structure.interpret(c.name) for c in self.constants]
+        if len(set(images)) != len(images):
+            return DatabaseKind.SERIOUSLY_INCORRECT
+
+        for name in self.sigma0.relation_names:
+            actual = structure.facts(name) if name in structure.schema else frozenset()
+            if actual != frozenset(interpreted_facts.get(name, set())):
+                return DatabaseKind.SLIGHTLY_INCORRECT
+        return DatabaseKind.CORRECT
+
+
+def build_arena(instance: Lemma11Instance) -> Arena:
+    """Construct ``Arena_π``, ``Arena_δ`` and ``D_Arena`` (Sections 4.4/4.6)."""
+    m_count, n_count, d_count = instance.m, instance.n, instance.d
+
+    pi_atoms: list[Atom] = []
+    for n, d, m in sorted(instance.position_relation()):
+        pi_atoms.append(Atom(r_relation(d), (a_constant(m), b_constant(n))))
+    for m in range(1, m_count + 1):
+        for m_prime in range(1, m_count + 1):
+            pi_atoms.append(
+                Atom(s_relation(m_prime), (a_constant(m), a_constant(m)))
+            )
+    for m in range(1, m_count + 1):
+        pi_atoms.append(Atom(s_relation(m), (a_constant(m), a_constant())))
+        pi_atoms.append(Atom(s_relation(m), (a_constant(), a_constant())))
+    arena_pi = ConjunctiveQuery(pi_atoms)
+
+    spade, heart = Constant(SPADE), Constant(HEART)
+    cycle: list[Constant] = [spade, a_constant()]
+    cycle.extend(a_constant(m) for m in range(1, m_count + 1))
+    cycle.extend(b_constant(n) for n in range(1, n_count + 1))
+    delta_atoms = [Atom(E_RELATION, (heart, heart))]
+    for source, target in zip(cycle, cycle[1:] + [cycle[0]]):
+        delta_atoms.append(Atom(E_RELATION, (source, target)))
+    arena_delta = ConjunctiveQuery(delta_atoms)
+
+    schema = Schema(
+        [RelationSymbol(E_RELATION, 2), RelationSymbol(X_RELATION, 2)]
+        + [RelationSymbol(s_relation(m), 2) for m in range(1, m_count + 1)]
+        + [RelationSymbol(r_relation(d), 2) for d in range(1, d_count + 1)]
+    )
+    canonical = (arena_pi & arena_delta).canonical_structure().with_schema(schema)
+
+    arena = Arena(
+        instance=instance,
+        arena_pi=arena_pi,
+        arena_delta=arena_delta,
+        d_arena=canonical,
+    )
+    expected_length = len(cycle)
+    if arena.cycle_length != expected_length:
+        raise ReductionError(
+            f"internal error: cycle length {expected_length} != "
+            f"m + n + 2 = {arena.cycle_length}"
+        )
+    return arena

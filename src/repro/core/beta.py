@@ -1,0 +1,77 @@
+"""The workhorse gadget ``β_s, β_b`` of Section 3.1 (Lemma 5).
+
+For a relation ``R`` of arity ``p ≥ 3``:
+
+* ``β_s = CYCLIQ(x₁,x⃗) ∧ CYCLIQ(y₁,y⃗) ∧ CYCLIQ(♥,♥̄) ∧ CYCLIQ(♠,♥̄)``
+* ``β_b = CYCLIQ(x₁,x⃗) ∧ CYCLIQ(y₁,y⃗) ∧ x₁ ≠ y₁``
+
+(``♥̄`` is a tuple of ``p−1`` hearts; the two constant conjuncts force any
+database with ``β_s(D) > 0`` to contain the homogeneous cyclique
+``[♥,♥̄]`` and the normal cyclique ``[♠,♥̄]`` — the sets ``H`` and ``G`` of
+the Lemma 9 case analysis.)
+
+Lemma 5: the pair multiplies by ``(p+1)²/2p``.  Condition (=) is attained
+on the canonical structure of the constant part: it carries ``p+1``
+cycliques (the heart loop plus the ``p`` rotations of ``[♠,♥̄]``), of which
+exactly one starts with ``♠``, giving ``β_s = (p+1)²`` and ``β_b = 2p``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.core.cycliq import cycliq
+from repro.core.multiplication import MultiplicationGadget
+from repro.errors import ReductionError
+from repro.queries.atoms import Inequality
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.terms import HEART_C, SPADE_C, Variable
+
+__all__ = ["BetaGadget", "beta_gadget"]
+
+
+@dataclass(frozen=True)
+class BetaGadget(MultiplicationGadget):
+    """The Lemma 5 gadget for a specific arity ``p``."""
+
+    p: int = 0
+    relation: str = "R"
+
+
+def beta_gadget(p: int, relation: str = "R_beta") -> BetaGadget:
+    """Build ``β_s, β_b`` over a fresh relation of arity ``p ≥ 3``.
+
+    >>> gadget = beta_gadget(3)
+    >>> gadget.ratio
+    Fraction(8, 3)
+    >>> gadget.verify_equality()
+    True
+    """
+    if p < 3:
+        raise ReductionError(f"Lemma 5 requires arity p >= 3, got {p}")
+
+    x_tuple = tuple(Variable(f"bx_{i}") for i in range(1, p + 1))
+    y_tuple = tuple(Variable(f"by_{i}") for i in range(1, p + 1))
+    heart_tuple = (HEART_C,) * p
+    spade_heart_tuple = (SPADE_C,) + (HEART_C,) * (p - 1)
+
+    constant_part = cycliq(relation, heart_tuple) & cycliq(
+        relation, spade_heart_tuple
+    )
+    beta_s = cycliq(relation, x_tuple) & cycliq(relation, y_tuple) & constant_part
+    beta_b = ConjunctiveQuery(
+        (cycliq(relation, x_tuple) & cycliq(relation, y_tuple)).atoms,
+        [Inequality(x_tuple[0], y_tuple[0])],
+    )
+
+    witness = constant_part.canonical_structure()
+
+    return BetaGadget(
+        query_s=beta_s,
+        query_b=beta_b,
+        ratio=Fraction((p + 1) ** 2, 2 * p),
+        witness=witness,
+        p=p,
+        relation=relation,
+    )

@@ -1,0 +1,116 @@
+"""Section 2.3: trading constants for free variables.
+
+The paper's queries use constants (``♠``, ``♥``, the arena's ``a_m``,
+``b_n``).  Section 2.3 observes that constants are inessential: reading a
+tuple ``a`` of constants as a tuple of **free variables** instead, boolean
+containment with constants coincides with answer-multiset containment of
+the resulting open queries —
+
+    ``φ_b`` contains ``φ_s``  iff  ``φ'_b`` contains ``φ'_s``
+
+for any (sub)set of the shared constants, under either semantics.
+
+This module implements the translation in both directions and the two
+"ban" regimes the paper discusses:
+
+* **soft ban** — every constant except ``♠``/``♥`` is freed (Theorems 1
+  and 3 "survive almost intact");
+* **hard ban** — ``♠``/``♥`` are freed too, and the s-query gains the
+  inequality ``♠ ≠ ♥`` to re-express non-triviality (Theorem 3 survives
+  with that one extra inequality).
+"""
+
+from __future__ import annotations
+
+from repro.naming import HEART, NameSupply, SPADE
+from repro.queries.atoms import Inequality
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.open_query import OpenQuery
+from repro.queries.terms import Constant, Term, Variable
+
+__all__ = [
+    "free_constants",
+    "soft_ban",
+    "hard_ban",
+]
+
+
+def free_constants(
+    query: ConjunctiveQuery,
+    names: tuple[str, ...] | None = None,
+) -> OpenQuery:
+    """Turn (some) constants into free variables (Section 2.3).
+
+    ``names`` selects which constants to free (default: all of them, in
+    sorted order).  The freed variables form the head of the resulting
+    open query, one per distinct constant, ordered by constant name — so
+    two queries freed with the same ``names`` stay comparable as answer
+    multisets.
+    """
+    present = sorted(constant.name for constant in query.constants)
+    to_free = list(names) if names is not None else present
+    supply = NameSupply({v.name for v in query.variables})
+    mapping: dict[Constant, Variable] = {}
+    head: list[Variable] = []
+    for name in to_free:
+        variable = Variable(supply.fresh(f"free_{name}"))
+        mapping[Constant(name)] = variable
+        head.append(variable)
+
+    def image(term: Term) -> Term:
+        if isinstance(term, Constant) and term in mapping:
+            return mapping[term]
+        return term
+
+    atoms = [
+        atom.__class__(
+            atom.relation, tuple(image(term) for term in atom.terms)
+        )
+        for atom in query.atoms
+    ]
+    inequalities = [
+        Inequality(image(ineq.left), image(ineq.right))
+        for ineq in query.inequalities
+    ]
+    body = ConjunctiveQuery(atoms, inequalities)
+    head_present = [v for c, v in sorted(mapping.items(), key=lambda kv: kv[0].name) if v in body.variables]
+    return OpenQuery(body, head_present)
+
+
+def soft_ban(query: ConjunctiveQuery) -> OpenQuery:
+    """Free every constant except the non-triviality pair ``♠``/``♥``."""
+    names = tuple(
+        sorted(
+            constant.name
+            for constant in query.constants
+            if constant.name not in (SPADE, HEART)
+        )
+    )
+    return free_constants(query, names)
+
+
+def hard_ban(
+    query: ConjunctiveQuery, add_nontriviality_inequality: bool = False
+) -> OpenQuery:
+    """Free every constant; optionally add ``♠ ≠ ♥`` (the s-query fix).
+
+    Per Section 2.3, under the hard ban Theorem 3 survives "with the
+    additional inequality ``♠ ≠ ♥`` in the s-query": with the constants
+    gone, non-triviality must be demanded by the query itself.
+    """
+    freed = free_constants(query)
+    if not add_nontriviality_inequality:
+        return freed
+    head_by_origin = dict(zip(
+        sorted(constant.name for constant in query.constants),
+        freed.head,
+    ))
+    spade = head_by_origin.get(SPADE)
+    heart = head_by_origin.get(HEART)
+    if spade is None or heart is None:
+        return freed
+    body = ConjunctiveQuery(
+        freed.body.atoms,
+        tuple(freed.body.inequalities) + (Inequality(spade, heart),),
+    )
+    return OpenQuery(body, freed.head)

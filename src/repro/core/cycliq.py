@@ -1,0 +1,168 @@
+"""CYCLIQ queries and the combinatorics of cycliques (Section 3.1).
+
+For a relation symbol ``R`` of arity ``p ≥ 3`` the query
+``CYCLIQ(x₁,…,x_p)`` is the conjunction of all ``p`` cyclic rotations of
+``R(x₁,…,x_p)``.  A tuple of elements satisfying it is a *cyclique*
+(Definition 6); cycliques are grouped into *cyclasses* by the cyclic-shift
+equivalence ``≈`` and classified (Definition 7) as
+
+* **homogeneous** — the cyclass is a singleton (e.g. constant tuples),
+* **degenerate** — non-homogeneous with ``|cyclass| < p`` (Lemma 8 then
+  forces ``|cyclass| ≤ p/2``),
+* **normal** — a full orbit of size ``p``.
+
+The ``CYCLIQ_U`` variant (Section 3.2) additionally demands a unary
+predicate ``U`` on every member of the tuple.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Hashable, Iterable, Sequence
+
+from repro.errors import QueryError
+from repro.queries.atoms import Atom
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.terms import Term
+from repro.relational.structure import Structure
+
+__all__ = [
+    "cycliq",
+    "cycliq_u",
+    "CycliqueKind",
+    "rotations",
+    "cyclic_shift",
+    "cyclass",
+    "is_cyclique",
+    "all_cycliques",
+    "classify_cyclique",
+]
+
+Element = Hashable
+
+
+def _check_terms(terms: Sequence[Term], minimum: int) -> tuple[Term, ...]:
+    terms = tuple(terms)
+    if len(terms) < minimum:
+        raise QueryError(
+            f"CYCLIQ needs arity >= {minimum}, got {len(terms)} terms"
+        )
+    return terms
+
+
+def cycliq(relation: str, terms: Sequence[Term]) -> ConjunctiveQuery:
+    """``CYCLIQ(t₁,…,t_p)``: all ``p`` cyclic rotations of ``R(t₁,…,t_p)``.
+
+    The paper requires arity ``p ≥ 3``; we allow ``p ≥ 1`` (the degenerate
+    sizes are occasionally convenient in tests) and leave the ``≥ 3``
+    requirement to the gadget constructors.
+    """
+    terms = _check_terms(terms, 1)
+    return ConjunctiveQuery(
+        Atom(relation, rotation) for rotation in rotations(terms)
+    )
+
+
+def cycliq_u(
+    relation: str, unary: str, terms: Sequence[Term]
+) -> ConjunctiveQuery:
+    """``CYCLIQ_U(t₁,…,t_m)``: the rotations of ``P`` plus ``U(tᵢ)`` for all i.
+
+    Section 3.2's building block for the ``γ`` gadget.
+    """
+    terms = _check_terms(terms, 1)
+    atoms = [Atom(relation, rotation) for rotation in rotations(terms)]
+    atoms.extend(Atom(unary, (term,)) for term in terms)
+    return ConjunctiveQuery(atoms)
+
+
+def rotations(values: Sequence) -> list[tuple]:
+    """All cyclic rotations of a tuple, starting with the tuple itself."""
+    values = tuple(values)
+    return [values[k:] + values[:k] for k in range(len(values))]
+
+
+def cyclic_shift(values: Sequence, k: int) -> tuple:
+    """The cyclic ``k``-shift of a tuple (Definition 6)."""
+    values = tuple(values)
+    if not values:
+        return values
+    k %= len(values)
+    return values[k:] + values[:k]
+
+
+def cyclass(values: Sequence) -> frozenset[tuple]:
+    """The ``≈``-equivalence class of a tuple: the set of its rotations."""
+    return frozenset(rotations(values))
+
+
+def is_cyclique(
+    structure: Structure,
+    relation: str,
+    values: Sequence[Element],
+    unary: str | None = None,
+) -> bool:
+    """Is the tuple a cyclique of ``R`` in ``D`` (Definition 6)?
+
+    With ``unary`` given, checks the ``CYCLIQ_U`` variant (every member of
+    the tuple must additionally satisfy the unary predicate).
+    """
+    values = tuple(values)
+    if not all(
+        structure.has_fact(relation, rotation) for rotation in rotations(values)
+    ):
+        return False
+    if unary is not None:
+        return all(structure.has_fact(unary, (value,)) for value in values)
+    return True
+
+
+def all_cycliques(
+    structure: Structure, relation: str, unary: str | None = None
+) -> set[tuple]:
+    """Every cyclique of ``R`` (optionally ``CYCLIQ_U``) in the structure.
+
+    A tuple is a cyclique iff all its rotations are facts, so it suffices
+    to filter the facts of ``R`` themselves.
+    """
+    return {
+        values
+        for values in structure.facts(relation)
+        if is_cyclique(structure, relation, values, unary=unary)
+    }
+
+
+class CycliqueKind(Enum):
+    """Definition 7's trichotomy of cycliques."""
+
+    HOMOGENEOUS = "homogeneous"
+    DEGENERATE = "degenerate"
+    NORMAL = "normal"
+
+
+def classify_cyclique(values: Sequence) -> CycliqueKind:
+    """Classify a cyclique by the size of its cyclass (Definition 7).
+
+    The classification is purely combinatorial (it does not look at the
+    structure): homogeneous iff the orbit is a singleton, normal iff the
+    orbit has full size ``p``, degenerate otherwise.
+    """
+    values = tuple(values)
+    orbit_size = len(cyclass(values))
+    if orbit_size == 1:
+        return CycliqueKind.HOMOGENEOUS
+    if orbit_size < len(values):
+        return CycliqueKind.DEGENERATE
+    return CycliqueKind.NORMAL
+
+
+def partition_cyclasses(cycliques: Iterable[tuple]) -> list[frozenset[tuple]]:
+    """Partition a set of cycliques into cyclasses."""
+    remaining = set(cycliques)
+    classes: list[frozenset[tuple]] = []
+    while remaining:
+        representative = next(iter(remaining))
+        orbit = cyclass(representative) & remaining
+        classes.append(frozenset(orbit))
+        remaining -= orbit
+    return sorted(classes, key=lambda cls: sorted(map(repr, cls)))

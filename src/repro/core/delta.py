@@ -1,0 +1,78 @@
+"""The cycle-counting query ``δ_b`` (Section 4.6): punishing serious incorrectness.
+
+``δ_{b,l}`` is the homomorphic ``l``-cycle query
+``E(z₁,z₂) ∧ … ∧ E(z_l, z₁)``.  With ``𝕝 = 𝗆 + 𝗇 + 2`` the cycle length
+of ``Arena_δ`` and ``L = {1, …, 𝕝−1} ∪ {𝕝+1}``,
+
+``δ_b = (∧̄_{l∈L} δ_{b,l}) ↑ C``.
+
+On a correct database the only ``E``-cycles are the heart self-loop and
+the length-``𝕝`` arena cycle; since ``L`` omits exactly ``𝕝``, every
+factor counts one homomorphic image (everything winds around the loop) and
+``δ_b = 1`` (Lemma 20).  A seriously incorrect database identifies
+constants and thereby creates either a short cycle (``l < 𝕝``) or a
+loop-on-the-cycle configuration supporting length ``𝕝+1``, giving some
+factor ≥ 2 and hence ``δ_b ≥ 2^C ≥ C`` (Lemma 21).  The outer exponent
+``C`` is huge, so ``δ_b`` is kept factorized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.arena import E_RELATION, Arena
+from repro.errors import ReductionError
+from repro.queries.atoms import Atom
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.product import QueryProduct
+from repro.queries.terms import Variable
+
+__all__ = ["DeltaComponents", "build_delta", "cycle_query"]
+
+
+def cycle_query(length: int, relation: str = E_RELATION, prefix: str = "z") -> ConjunctiveQuery:
+    """``δ_{b,l}``: the directed ``l``-cycle as a CQ (``l = 1`` is a loop).
+
+    Counts *homomorphic images* of the cycle — walks of length ``l`` that
+    return to their start — not just simple cycles.
+    """
+    if length < 1:
+        raise ReductionError(f"cycle length must be >= 1, got {length}")
+    variables = [Variable(f"{prefix}{length}_{i}") for i in range(1, length + 1)]
+    atoms = [
+        Atom(relation, (variables[i], variables[(i + 1) % length]))
+        for i in range(length)
+    ]
+    return ConjunctiveQuery(atoms)
+
+
+@dataclass(frozen=True)
+class DeltaComponents:
+    """``δ_b`` together with its label set and outer exponent."""
+
+    cycle_length: int
+    labels: tuple[int, ...]
+    big_c: int
+    delta_b: QueryProduct
+
+    def label_queries(self) -> tuple[ConjunctiveQuery, ...]:
+        return tuple(cycle_query(label) for label in self.labels)
+
+
+def build_delta(arena: Arena, big_c: int) -> DeltaComponents:
+    """Construct ``δ_b = (∧̄_{l∈L} δ_{b,l}) ↑ C`` for the arena's ``𝕝``."""
+    if big_c < 1:
+        raise ReductionError(f"the exponent C must be >= 1, got {big_c}")
+    cycle_length = arena.cycle_length
+    labels = tuple(
+        label for label in range(1, cycle_length + 2) if label != cycle_length
+    )
+    delta_b = QueryProduct(
+        (cycle_query(label), big_c) for label in labels
+    )
+    return DeltaComponents(
+        cycle_length=cycle_length,
+        labels=labels,
+        big_c=big_c,
+        delta_b=delta_b,
+    )

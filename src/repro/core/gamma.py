@@ -1,0 +1,108 @@
+"""The fine-tuning gadget ``γ_s, γ_b`` of Section 3.2 (Lemma 10).
+
+``β`` can only multiply by numbers of the form ``(p+1)²/2p``; to hit an
+exact natural number ``c`` one composes it with a pair multiplying by
+``(m−1)/m`` — crucially **without** any inequality in ``γ_b`` (the budget
+of one inequality is already spent in ``β_b``).
+
+With ``P`` of arity ``m``, unary predicates ``A`` and ``B``:
+
+* ``γ'_s = CYCLIQ_A(♠,♥̄) ∧ B(♠)``       (ground: a known ``A``-cyclique^B)
+* ``γ''_s = CYCLIQ_B(x₁,x⃗) ∧ A(x₁)``     (counts ``B``-cycliques^A)
+* ``γ'_b = CYCLIQ_A(y₁,y⃗) ∧ B(y₁)``      (counts ``A``-cycliques^B)
+* ``γ''_b = CYCLIQ_B(x₁,x⃗)``             (counts all ``B``-cycliques)
+
+and ``γ_s = γ'_s ∧̄ γ''_s``, ``γ_b = γ'_b ∧̄ γ''_b``.
+
+The (=) witness is the disjoint union of the canonical structure of
+``γ'_s`` with a fresh ``B``-cycle of length ``m`` whose first ``m−1``
+members satisfy ``A``: there ``γ'`` counts are 1 and ``γ''`` counts are
+``m−1`` versus ``m``.
+
+The ground conjunct ``γ'_s`` uses the *mixed* tuple ``[♠,♥̄]`` — not an
+all-♠ loop — because the (≤) proof's endgame needs the unique
+``A``-cyclique^B to be non-homogeneous, which fails in a non-trivial
+database exactly as the printed contradiction requires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.core.cycliq import cycliq_u
+from repro.core.multiplication import MultiplicationGadget
+from repro.errors import ReductionError
+from repro.queries.atoms import Atom
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.terms import HEART_C, SPADE_C, Variable
+from repro.relational.operations import disjoint_union
+
+__all__ = ["GammaGadget", "gamma_gadget"]
+
+
+@dataclass(frozen=True)
+class GammaGadget(MultiplicationGadget):
+    """The Lemma 10 gadget for a specific arity ``m``."""
+
+    m: int = 0
+    relation: str = "P"
+    unary_a: str = "A"
+    unary_b: str = "B"
+
+
+def gamma_gadget(
+    m: int,
+    relation: str = "P_gamma",
+    unary_a: str = "A_gamma",
+    unary_b: str = "B_gamma",
+) -> GammaGadget:
+    """Build ``γ_s, γ_b`` multiplying by ``(m−1)/m`` (``m ≥ 3``).
+
+    >>> gadget = gamma_gadget(4)
+    >>> gadget.ratio
+    Fraction(3, 4)
+    >>> gadget.verify_equality()
+    True
+    """
+    if m < 3:
+        raise ReductionError(f"the gamma gadget requires arity m >= 3, got {m}")
+
+    x_tuple = tuple(Variable(f"gx_{i}") for i in range(1, m + 1))
+    y_tuple = tuple(Variable(f"gy_{i}") for i in range(1, m + 1))
+    spade_heart_tuple = (SPADE_C,) + (HEART_C,) * (m - 1)
+
+    gamma_s_prime = cycliq_u(relation, unary_a, spade_heart_tuple) & ConjunctiveQuery(
+        [Atom(unary_b, (SPADE_C,))]
+    )
+    gamma_s_doubleprime = cycliq_u(relation, unary_b, x_tuple) & ConjunctiveQuery(
+        [Atom(unary_a, (x_tuple[0],))]
+    )
+    gamma_b_prime = cycliq_u(relation, unary_a, y_tuple) & ConjunctiveQuery(
+        [Atom(unary_b, (y_tuple[0],))]
+    )
+    gamma_b_doubleprime = cycliq_u(relation, unary_b, x_tuple)
+
+    gamma_s = gamma_s_prime.disjoint_conj(gamma_s_doubleprime)
+    gamma_b = gamma_b_prime.disjoint_conj(gamma_b_doubleprime)
+
+    # The (=) witness: canonical structure of γ'_s, plus a disjoint
+    # B-cycle of length m whose first m−1 members also satisfy A.
+    fresh_cycle = cycliq_u(relation, unary_b, x_tuple) & ConjunctiveQuery(
+        Atom(unary_a, (x_tuple[i],)) for i in range(m - 1)
+    )
+    witness = disjoint_union(
+        gamma_s_prime.canonical_structure(),
+        fresh_cycle.canonical_structure(),
+    )
+
+    return GammaGadget(
+        query_s=gamma_s,
+        query_b=gamma_b,
+        ratio=Fraction(m - 1, m),
+        witness=witness,
+        m=m,
+        relation=relation,
+        unary_a=unary_a,
+        unary_b=unary_b,
+    )

@@ -1,0 +1,121 @@
+"""Multiplication gadgets (Definition 3) and their composition (Lemma 4).
+
+A pair of queries ``ρ_s, ρ_b`` *multiplies by* a rational ``q > 0`` when
+
+* **(=)** some non-trivial database ``D`` has ``ρ_s(D) = q·ρ_b(D) ≠ 0``, and
+* **(≤)** every non-trivial database ``D`` has ``ρ_s(D) ≤ q·ρ_b(D)``.
+
+A :class:`MultiplicationGadget` packages the two queries, the claimed
+ratio, and the equality witness; it can *certify* the (=) condition by
+exact evaluation and *probe* the (≤) condition over any stream of
+candidate databases.  Lemma 4 — gadgets over disjoint schemas compose
+multiplicatively — is :func:`compose`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterable
+
+from repro.errors import ReductionError
+from repro.homomorphism.engine import count
+from repro.queries.cq import ConjunctiveQuery
+from repro.relational.operations import disjoint_union
+from repro.relational.structure import Structure
+
+__all__ = ["MultiplicationGadget", "compose"]
+
+
+@dataclass(frozen=True)
+class MultiplicationGadget:
+    """Queries ``ρ_s``/``ρ_b`` claimed to multiply by ``ratio``."""
+
+    query_s: ConjunctiveQuery
+    query_b: ConjunctiveQuery
+    ratio: Fraction
+    witness: Structure
+
+    def __post_init__(self) -> None:
+        if self.ratio <= 0:
+            raise ReductionError(f"ratio must be positive, got {self.ratio}")
+
+    # -- Definition 3 (=) ------------------------------------------------
+
+    def verify_equality(self) -> bool:
+        """Check condition (=) on the packaged witness, exactly.
+
+        Requires the witness to be non-trivial and
+        ``ρ_s(D) = q·ρ_b(D) ≠ 0``.
+        """
+        if not self.witness.is_nontrivial():
+            return False
+        value_s = count(self.query_s, self.witness)
+        value_b = count(self.query_b, self.witness)
+        if value_s == 0:
+            return False
+        return Fraction(value_s) == self.ratio * value_b
+
+    def witness_counts(self) -> tuple[int, int]:
+        """``(ρ_s(witness), ρ_b(witness))`` for reporting."""
+        return count(self.query_s, self.witness), count(self.query_b, self.witness)
+
+    # -- Definition 3 (≤) -------------------------------------------------
+
+    def upper_bound_violation(
+        self, candidates: Iterable[Structure]
+    ) -> Structure | None:
+        """First non-trivial candidate with ``ρ_s(D) > q·ρ_b(D)``, if any.
+
+        A ``None`` result does not *prove* (≤) — the condition quantifies
+        over all databases — but the paper's proofs are finite combinatorial
+        arguments, and the experiment suite checks exhaustively generated
+        small structures plus randomized ones.
+        """
+        for candidate in candidates:
+            if not candidate.is_nontrivial():
+                continue
+            value_s = count(self.query_s, candidate)
+            value_b = count(self.query_b, candidate)
+            if Fraction(value_s) > self.ratio * value_b:
+                return candidate
+        return None
+
+    # -- metadata -------------------------------------------------------------
+
+    @property
+    def inequality_counts(self) -> tuple[int, int]:
+        """``(#inequalities in ρ_s, #inequalities in ρ_b)``."""
+        return self.query_s.inequality_count, self.query_b.inequality_count
+
+    def __str__(self) -> str:
+        return (
+            f"MultiplicationGadget(ratio={self.ratio}, "
+            f"|rho_s|={self.query_s.atom_count} atoms, "
+            f"|rho_b|={self.query_b.atom_count} atoms, "
+            f"inequalities={self.inequality_counts})"
+        )
+
+
+def compose(
+    first: MultiplicationGadget, second: MultiplicationGadget
+) -> MultiplicationGadget:
+    """Lemma 4: gadgets over disjoint schemas multiply their ratios.
+
+    ``(ρ_s ∧̄ ρ'_s, ρ_b ∧̄ ρ'_b)`` multiplies by ``q·q'``; the combined
+    witness is the union of the two witnesses (sharing only the
+    non-triviality constants), on which both factors attain equality.
+    """
+    schema_one = first.query_s.schema.union(first.query_b.schema)
+    schema_two = second.query_s.schema.union(second.query_b.schema)
+    if not schema_one.is_disjoint_from(schema_two):
+        shared = set(schema_one.relation_names) & set(schema_two.relation_names)
+        raise ReductionError(
+            f"Lemma 4 requires disjoint schemas; shared relations: {sorted(shared)}"
+        )
+    return MultiplicationGadget(
+        query_s=first.query_s.disjoint_conj(second.query_s),
+        query_b=first.query_b.disjoint_conj(second.query_b),
+        ratio=first.ratio * second.ratio,
+        witness=disjoint_union(first.witness, second.witness),
+    )

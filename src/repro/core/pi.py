@@ -1,0 +1,145 @@
+"""The polynomial-encoding queries ``π_s`` and ``π_b`` (Section 4.3).
+
+Both queries are stars centred at the variable ``x``.  For each monomial
+``T_m`` there is an ``S_m``-loop at ``x`` and an ``S_m``-ray whose length
+encodes the monomial's coefficient; for each degree position ``d`` there is
+a length-two ray ``R_d(x, y_d) ∧ X(y_d, z_d)`` whose ``X``-edge picks up
+the valuation.  ``π_b`` carries ``d`` additional rays through ``R_1``,
+which contribute the factor ``Ξ(x₁)^d`` (Lemma 15).
+
+**Ray length.** The displayed formula in Section 4.3 draws the ``S_m``-ray
+with ``c`` edges, but Appendix A's homomorphism count — ``c_{s,m}`` images
+per ray, "the edge mapped to ``S_m(a_m,a)`` can be chosen in ``c_{s,m}−1``
+ways" plus the all-loop image — requires ``c − 1`` edges.  We implement
+``c − 1`` edges (a coefficient-1 ray is just the loop), which makes
+Lemma 15 an exact identity; experiment E5 verifies it numerically.
+
+Lemma 12 (``π_s(D) ≤ π_b(D)`` for *every* D) is witnessed by the explicit
+onto homomorphism :func:`lemma12_homomorphism`.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.errors import ReductionError
+from repro.polynomials.lemma11 import Lemma11Instance
+from repro.queries.atoms import Atom
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.terms import Term, Variable
+
+__all__ = [
+    "CENTER",
+    "build_pi_s",
+    "build_pi_b",
+    "lemma12_homomorphism",
+    "s_relation",
+    "r_relation",
+    "X_RELATION",
+]
+
+#: The centre variable of both stars.
+CENTER = Variable("x")
+
+#: Name of the valuation relation (the only relation outside Σ₀).
+X_RELATION = "X"
+
+
+def s_relation(m: int) -> str:
+    """The relation ``S_m`` attached to monomial ``T_m`` (1-based)."""
+    return f"S_{m}"
+
+
+def r_relation(d: int) -> str:
+    """The relation ``R_d`` attached to degree position ``d`` (1-based)."""
+    return f"R_{d}"
+
+
+def _ray_variable(m: int, k: int) -> Variable:
+    return Variable(f"xr_{m}_{k}")
+
+
+def _ray_atoms(m: int, coefficient: int) -> list[Atom]:
+    """The ``S_m``-loop at ``x`` plus a ray of ``coefficient − 1`` edges.
+
+    Ray shape (for ``c ≥ 2``): ``x → xr_{c−1} → xr_{c−2} → … → xr_1``.
+    In a correct database rooted at ``a_m`` this path has exactly ``c``
+    homomorphic images (Appendix A, equation (***)).
+    """
+    relation = s_relation(m)
+    atoms = [Atom(relation, (CENTER, CENTER))]
+    if coefficient >= 2:
+        atoms.append(Atom(relation, (CENTER, _ray_variable(m, coefficient - 1))))
+        for k in range(coefficient - 2, 0, -1):
+            atoms.append(
+                Atom(relation, (_ray_variable(m, k + 1), _ray_variable(m, k)))
+            )
+    return atoms
+
+
+def _valuation_rays(instance: Lemma11Instance) -> list[Atom]:
+    atoms: list[Atom] = []
+    for d in range(1, instance.d + 1):
+        y = Variable(f"y_{d}")
+        z = Variable(f"z_{d}")
+        atoms.append(Atom(r_relation(d), (CENTER, y)))
+        atoms.append(Atom(X_RELATION, (y, z)))
+    return atoms
+
+
+def build_pi_s(instance: Lemma11Instance) -> ConjunctiveQuery:
+    """``π_s``: encodes ``P_s`` (Lemma 15, first identity)."""
+    atoms: list[Atom] = []
+    for m, coefficient in enumerate(instance.s_coefficients, start=1):
+        atoms.extend(_ray_atoms(m, coefficient))
+    atoms.extend(_valuation_rays(instance))
+    return ConjunctiveQuery(atoms)
+
+
+def build_pi_b(instance: Lemma11Instance) -> ConjunctiveQuery:
+    """``π_b``: encodes ``x₁^d · P_b`` (Lemma 15, second identity).
+
+    Besides the ``S_m``-rays for the (larger) ``P_b`` coefficients it has
+    ``d`` extra rays ``R_1(x, y'_d) ∧ X(y'_d, z'_d)``; since ``x₁`` is the
+    first variable of every monomial, in a correct database these all pass
+    through ``b₁`` and contribute ``Ξ(x₁)^d``.
+    """
+    atoms: list[Atom] = []
+    for m, coefficient in enumerate(instance.b_coefficients, start=1):
+        atoms.extend(_ray_atoms(m, coefficient))
+    atoms.extend(_valuation_rays(instance))
+    for d in range(1, instance.d + 1):
+        y = Variable(f"yp_{d}")
+        z = Variable(f"zp_{d}")
+        atoms.append(Atom(r_relation(1), (CENTER, y)))
+        atoms.append(Atom(X_RELATION, (y, z)))
+    return ConjunctiveQuery(atoms)
+
+
+def lemma12_homomorphism(instance: Lemma11Instance) -> Mapping[Variable, Term]:
+    """The onto query homomorphism ``π_b → π_s`` from the proof of Lemma 12.
+
+    Identity on the shared variables; the surplus ray variables collapse to
+    the centre ``x`` (absorbed by the ``S_m``-loops — the only place the
+    paper uses ``c_{s,m} ≤ c_{b,m}``), and the primed rays fold onto
+    ``(y₁, z₁)``.  Its existence implies ``π_s(D) ≤ π_b(D)`` for every
+    database ``D``.
+    """
+    pi_b = build_pi_b(instance)
+    pi_s = build_pi_s(instance)
+    shared = pi_s.variables
+    mapping: dict[Variable, Term] = {}
+    for variable in pi_b.variables:
+        if variable in shared:
+            mapping[variable] = variable
+        elif variable.name.startswith("xr_"):
+            mapping[variable] = CENTER
+        elif variable.name.startswith("yp_"):
+            mapping[variable] = Variable("y_1")
+        elif variable.name.startswith("zp_"):
+            mapping[variable] = Variable("z_1")
+        else:
+            raise ReductionError(
+                f"unexpected variable {variable} in pi_b"
+            )
+    return mapping

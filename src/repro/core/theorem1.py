@@ -1,0 +1,183 @@
+"""The Theorem 1 reduction: ``(c, P_s, P_b) ↦ (ℂ, φ_s, φ_b)``.
+
+Assembles Sections 4.2–4.7: ``φ_s = Arena ∧̄ π_s`` and
+``φ_b = π_b ∧̄ ζ_b ∧̄ δ_b``, with ``ℂ = c·C₁``.  The reduction's
+correctness is the equivalence
+
+* **ℛ**: some valuation ``Ξ`` has ``c·P_s(Ξ) > Ξ(x₁)^d·P_b(Ξ)``,  iff
+* **𝔇**: some non-trivial database ``D`` has ``ℂ·φ_s(D) > φ_b(D)``,
+
+whose constructive halves are executable here: a violating valuation is
+turned into a counterexample database (and *verified* by exact counting),
+and conversely any database can be classified (Definition 13) and its
+induced valuation extracted (Definition 14).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.core.arena import Arena, DatabaseKind, build_arena
+from repro.core.delta import DeltaComponents, build_delta
+from repro.core.pi import build_pi_b, build_pi_s
+from repro.core.zeta import ZetaComponents, build_zeta
+from repro.errors import ReductionError
+from repro.homomorphism.engine import count, count_at_least
+from repro.polynomials.hilbert import HilbertReduction, hilbert_to_lemma11
+from repro.polynomials.lemma11 import Lemma11Instance
+from repro.polynomials.polynomial import Polynomial
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.product import QueryProduct
+from repro.relational.structure import Structure
+
+__all__ = ["Theorem1Reduction", "theorem1_reduction", "reduce_polynomial"]
+
+
+@dataclass(frozen=True)
+class Theorem1Reduction:
+    """The output tuple ``[ℂ, φ_s, φ_b]`` plus every ingredient."""
+
+    instance: Lemma11Instance
+    arena: Arena
+    pi_s: ConjunctiveQuery
+    pi_b: ConjunctiveQuery
+    zeta: ZetaComponents
+    delta: DeltaComponents
+    big_c: int
+    phi_s: QueryProduct
+    phi_b: QueryProduct
+
+    # -- the Theorem 1 inequality ----------------------------------------
+
+    def lhs(self, structure: Structure) -> int:
+        """``ℂ · φ_s(D)``."""
+        return self.big_c * count(self.phi_s, structure)
+
+    def rhs(self, structure: Structure) -> int:
+        """``φ_b(D)``."""
+        return count(self.phi_b, structure)
+
+    def holds_on(self, structure: Structure) -> bool:
+        """Does ``ℂ·φ_s(D) ≤ φ_b(D)`` hold for this database?
+
+        Evaluated threshold-style: ``φ_b`` carries outer exponents of
+        magnitude ``ℂ``, so on cheating databases its exact value is
+        astronomically large; ``count_at_least`` clears the comparison
+        without materializing it.
+        """
+        return count_at_least(self.phi_b, structure, self.lhs(structure))
+
+    # -- the ℛ ⇒ 𝔇 direction ------------------------------------------------
+
+    def correct_database(self, valuation: Mapping[int, int]) -> Structure:
+        """The correct database realizing a valuation (Section 4.4)."""
+        return self.arena.correct_database(dict(valuation))
+
+    def counterexample_from_valuation(
+        self, valuation: Mapping[int, int]
+    ) -> Structure:
+        """Turn a Lemma 11 violation into a verified Theorem 1 violation.
+
+        Raises :class:`~repro.errors.ReductionError` when the valuation
+        does not violate the Lemma 11 inequality, or when — impossibly, if
+        the implementation is right — the constructed database fails to
+        violate the query inequality.
+        """
+        valuation = dict(valuation)
+        if self.instance.holds_for(valuation):
+            raise ReductionError(
+                f"valuation {valuation} satisfies the Lemma 11 inequality; "
+                "it yields no counterexample"
+            )
+        structure = self.correct_database(valuation)
+        if self.holds_on(structure):
+            raise ReductionError(
+                "internal error: the correct database of a violating "
+                "valuation does not violate ℂ·φ_s ≤ φ_b"
+            )
+        return structure
+
+    def find_counterexample(self, max_value: int) -> Structure | None:
+        """Grid-search valuations, returning a verified database or ``None``.
+
+        This is (a bounded run of) the co-r.e. half of the problem: when the
+        Lemma 11 instance is violated somewhere, a large enough grid finds
+        the violation and the returned database witnesses **𝔇**.
+        """
+        violation = self.instance.find_counterexample(max_value)
+        if violation is None:
+            return None
+        return self.counterexample_from_valuation(violation)
+
+    # -- the 𝔇 ⇒ ℛ direction ----------------------------------------------------
+
+    def classify(self, structure: Structure) -> DatabaseKind:
+        return self.arena.classify(structure)
+
+    def valuation_of(self, structure: Structure) -> dict[int, int]:
+        return self.arena.valuation_of(structure)
+
+    # -- reporting ------------------------------------------------------------
+
+    def size_report(self) -> dict[str, int]:
+        """Sizes of the output queries (atoms/variables/inequalities).
+
+        Counts are for the factorized representation's *expansion*; they
+        can be astronomical, which is the point — the queries exist
+        syntactically but only their factorized form is materializable.
+        """
+        return {
+            "C": self.big_c,
+            "phi_s_atoms": self.phi_s.total_atom_count,
+            "phi_s_variables": self.phi_s.total_variable_count,
+            "phi_s_inequalities": self.phi_s.total_inequality_count,
+            "phi_b_atoms": self.phi_b.total_atom_count,
+            "phi_b_variables": self.phi_b.total_variable_count,
+            "phi_b_inequalities": self.phi_b.total_inequality_count,
+        }
+
+
+def theorem1_reduction(instance: Lemma11Instance) -> Theorem1Reduction:
+    """Build the Theorem 1 output for a Lemma 11 instance.
+
+    >>> from repro.polynomials import Monomial, Lemma11Instance
+    >>> instance = Lemma11Instance(
+    ...     c=2, monomials=(Monomial.of(1),),
+    ...     s_coefficients=(1,), b_coefficients=(1,))
+    >>> reduction = theorem1_reduction(instance)
+    >>> reduction.big_c > 0
+    True
+    """
+    arena = build_arena(instance)
+    pi_s = build_pi_s(instance)
+    pi_b = build_pi_b(instance)
+    zeta = build_zeta(arena, instance.c)
+    big_c = instance.c * zeta.c1
+    delta = build_delta(arena, big_c)
+
+    phi_s = QueryProduct.of(arena.arena).disjoint_conj(QueryProduct.of(pi_s))
+    phi_b = (
+        QueryProduct.of(pi_b)
+        .disjoint_conj(zeta.zeta_b)
+        .disjoint_conj(delta.delta_b)
+    )
+    return Theorem1Reduction(
+        instance=instance,
+        arena=arena,
+        pi_s=pi_s,
+        pi_b=pi_b,
+        zeta=zeta,
+        delta=delta,
+        big_c=big_c,
+        phi_s=phi_s,
+        phi_b=phi_b,
+    )
+
+
+def reduce_polynomial(
+    q: Polynomial,
+) -> tuple[HilbertReduction, Theorem1Reduction]:
+    """Full pipeline: Hilbert-10 polynomial → Lemma 11 → Theorem 1 queries."""
+    hilbert = hilbert_to_lemma11(q)
+    return hilbert, theorem1_reduction(hilbert.instance)

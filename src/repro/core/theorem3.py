@@ -1,0 +1,127 @@
+"""The Theorem 3 reduction: undecidability with a single inequality.
+
+Section 3 shows how to trade the multiplicative constant ``ℂ`` of
+Theorem 1 for one inequality: take ``α_s, α_b`` multiplying by ``ℂ``
+(:func:`repro.core.alpha.alpha_gadget`) over a schema disjoint from the
+Theorem 1 output and set
+
+``ψ_s = α_s ∧̄ φ_s``    (no inequalities),
+``ψ_b = α_b ∧̄ φ_b``    (exactly **one** inequality).
+
+Then ``∃ non-trivial D: ℂ·φ_s(D) > φ_b(D)`` iff
+``∃ non-trivial D: ψ_s(D) > ψ_b(D)``; the forward direction is
+constructive — ``D = D₁ ∪ D₂`` where ``D₂`` is the gadget's equality
+witness — and is verified by exact counting here.
+
+The gadget's arity grows linearly with ``ℂ`` (``p = 2ℂ−1``), so the
+materialized reduction is practical only for small ``ℂ``; that suffices to
+*run* the construction (the undecidability statement of course needs
+arbitrary instances, which stay representable in factorized form).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.core.alpha import alpha_gadget
+from repro.core.multiplication import MultiplicationGadget
+from repro.core.theorem1 import Theorem1Reduction, theorem1_reduction
+from repro.errors import ReductionError
+from repro.homomorphism.engine import count
+from repro.polynomials.lemma11 import Lemma11Instance
+from repro.queries.product import QueryProduct
+from repro.relational.operations import disjoint_union
+from repro.relational.structure import Structure
+
+__all__ = ["Theorem3Reduction", "theorem3_reduction"]
+
+#: Refuse to build gadgets with relation arity beyond this bound.
+DEFAULT_ARITY_BUDGET = 2_000
+
+
+@dataclass(frozen=True)
+class Theorem3Reduction:
+    """The output pair ``(ψ_s, ψ_b)`` plus the Theorem 1 ingredients."""
+
+    theorem1: Theorem1Reduction
+    gadget: MultiplicationGadget
+    psi_s: QueryProduct
+    psi_b: QueryProduct
+
+    @property
+    def instance(self) -> Lemma11Instance:
+        return self.theorem1.instance
+
+    @property
+    def inequality_counts(self) -> tuple[int, int]:
+        """``(#inequalities in ψ_s, #inequalities in ψ_b)`` — ``(0, 1)``."""
+        return (
+            self.psi_s.total_inequality_count,
+            self.psi_b.total_inequality_count,
+        )
+
+    def lhs(self, structure: Structure) -> int:
+        return count(self.psi_s, structure)
+
+    def rhs(self, structure: Structure) -> int:
+        return count(self.psi_b, structure)
+
+    def holds_on(self, structure: Structure) -> bool:
+        """Does ``ψ_s(D) ≤ ψ_b(D)`` hold for this database?"""
+        return self.lhs(structure) <= self.rhs(structure)
+
+    def counterexample_from_valuation(
+        self, valuation: Mapping[int, int]
+    ) -> Structure:
+        """``D = D₁ ∪ D₂`` per the (i) ⇒ (ii) direction of Section 3.
+
+        ``D₁`` is the correct database of a violating valuation, ``D₂`` the
+        gadget's equality witness.  The result is verified to satisfy
+        ``ψ_s(D) > ψ_b(D)`` by exact counting.
+        """
+        d1 = self.theorem1.counterexample_from_valuation(valuation)
+        d2 = self.gadget.witness
+        combined = disjoint_union(d1, d2)
+        if self.holds_on(combined):
+            raise ReductionError(
+                "internal error: the combined database does not violate "
+                "ψ_s ≤ ψ_b"
+            )
+        return combined
+
+    def find_counterexample(self, max_value: int) -> Structure | None:
+        """Grid-search valuations for a verified ``ψ_s(D) > ψ_b(D)`` witness."""
+        violation = self.instance.find_counterexample(max_value)
+        if violation is None:
+            return None
+        return self.counterexample_from_valuation(violation)
+
+
+def theorem3_reduction(
+    instance: Lemma11Instance,
+    arity_budget: int = DEFAULT_ARITY_BUDGET,
+) -> Theorem3Reduction:
+    """Build ``(ψ_s, ψ_b)`` from a Lemma 11 instance.
+
+    The alpha gadget needs a relation of arity ``2ℂ−1``; instances whose
+    ``ℂ`` exceeds ``arity_budget`` are rejected (raise
+    :class:`~repro.errors.ReductionError`) rather than silently exploding.
+    """
+    theorem1 = theorem1_reduction(instance)
+    big_c = theorem1.big_c
+    if 2 * big_c - 1 > arity_budget:
+        raise ReductionError(
+            f"the alpha gadget for ℂ = {big_c} needs relation arity "
+            f"{2 * big_c - 1}, beyond the budget of {arity_budget}; "
+            "use a smaller Lemma 11 instance for a materialized run"
+        )
+    gadget = alpha_gadget(big_c, name_suffix="_t3")
+    psi_s = QueryProduct.of(gadget.query_s).disjoint_conj(theorem1.phi_s)
+    psi_b = QueryProduct.of(gadget.query_b).disjoint_conj(theorem1.phi_b)
+    return Theorem3Reduction(
+        theorem1=theorem1,
+        gadget=gadget,
+        psi_s=psi_s,
+        psi_b=psi_b,
+    )

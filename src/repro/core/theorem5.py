@@ -1,0 +1,151 @@
+"""Theorem 5: inequalities in the s-query can always be eliminated.
+
+Section 5 proves that the problem "``ψ_s(D) ≤ ψ_b(D)`` for all ``D``", with
+inequalities allowed in ``ψ_s`` but not in ``ψ_b``, is decidable **iff**
+``QCP^bag_CQ`` itself is.  The engine is Lemma 23: with ``ψ'_s`` denoting
+``ψ_s`` stripped of its inequalities,
+
+``∃D. ψ_s(D) > ψ_b(D)``  ⟺  ``∃D₀. ψ'_s(D₀) > ψ_b(D₀)``,
+
+whose non-trivial direction is constructive: amplify ``D₀`` by a product
+power ``k`` (Lemma 22 (ii)) until ``ψ'_s`` dominates ``ψ_b`` by a factor
+``> 2^{j+1}`` (``j = |Var(ψ_b)|``), then blow up by 2; Lemma 24 guarantees
+the inequality-respecting homomorphisms are at least half of all of them.
+
+This module implements the witness transfer *constructively and
+verified*: the returned database is checked by exact counting, and the
+search widens the blow-up factor for queries with several inequalities
+(the paper's closing remark: use ``2p`` instead of ``2``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ReductionError, SearchBudgetExceeded
+from repro.homomorphism.engine import count
+from repro.queries.cq import ConjunctiveQuery
+from repro.relational.operations import blowup, power
+from repro.relational.structure import Structure
+
+__all__ = [
+    "lemma24_holds",
+    "transfer_witness",
+    "Theorem5Transfer",
+    "decide_via_relaxation",
+]
+
+
+def lemma24_holds(psi_s: ConjunctiveQuery, structure: Structure, factor: int = 2) -> bool:
+    """Check Lemma 24 on a concrete structure by exact counting.
+
+    For a single-inequality ``ψ_s``:
+    ``ψ_s(blowup(D,2)) ≥ ψ'_s(blowup(D,2)) / 2``.  With ``q`` inequalities
+    the generalized bound divides by ``2q`` at blow-up factor ``2q``
+    (``factor`` lets the caller probe other blow-ups).
+    """
+    blown = blowup(structure, factor)
+    with_ineqs = count(psi_s, blown)
+    without = count(psi_s.without_inequalities(), blown)
+    q = max(1, psi_s.inequality_count)
+    return with_ineqs * 2 * q >= without
+
+
+@dataclass(frozen=True)
+class Theorem5Transfer:
+    """A verified Lemma 23 witness transfer."""
+
+    psi_s: ConjunctiveQuery
+    psi_b: ConjunctiveQuery
+    source: Structure
+    product_power: int
+    blowup_factor: int
+    witness: Structure
+    lhs: int
+    rhs: int
+
+
+def transfer_witness(
+    psi_s: ConjunctiveQuery,
+    psi_b: ConjunctiveQuery,
+    source: Structure,
+    max_power: int = 12,
+) -> Theorem5Transfer:
+    """Lemma 23, the (b) ⇒ (a) direction, constructively.
+
+    Given ``D₀`` with ``ψ'_s(D₀) > ψ_b(D₀)``, find
+    ``D = blowup(D₀^{×k}, β)`` with ``ψ_s(D) > ψ_b(D)``, verified by exact
+    counting.  ``ψ_b`` must be inequality-free (Theorem 5's hypothesis).
+
+    The search tries ``k = 1, 2, …`` with blow-up factors ``2, …, 2q+2``;
+    the paper guarantees success once
+    ``(ψ'_s(D₀)/ψ_b(D₀))^k > 2^{j+1}``, so small ``k`` suffice whenever the
+    source gap is non-trivial.  Raises
+    :class:`~repro.errors.SearchBudgetExceeded` past ``max_power``.
+    """
+    if psi_b.has_inequalities():
+        raise ReductionError("Theorem 5 requires an inequality-free ψ_b")
+    psi_s_prime = psi_s.without_inequalities()
+    base_lhs = count(psi_s_prime, source)
+    base_rhs = count(psi_b, source)
+    if base_lhs <= base_rhs:
+        raise ReductionError(
+            f"ψ'_s(D₀) = {base_lhs} does not exceed ψ_b(D₀) = {base_rhs}; "
+            "the source is no Lemma 23 witness"
+        )
+    factors = range(2, 2 * max(1, psi_s.inequality_count) + 3)
+    for k in range(1, max_power + 1):
+        amplified = power(source, k) if k > 1 else source
+        for factor in factors:
+            candidate = blowup(amplified, factor)
+            lhs = count(psi_s, candidate)
+            rhs = count(psi_b, candidate)
+            if lhs > rhs:
+                return Theorem5Transfer(
+                    psi_s=psi_s,
+                    psi_b=psi_b,
+                    source=source,
+                    product_power=k,
+                    blowup_factor=factor,
+                    witness=candidate,
+                    lhs=lhs,
+                    rhs=rhs,
+                )
+    raise SearchBudgetExceeded(
+        f"no witness found up to product power {max_power}; "
+        "increase max_power (Lemma 23 guarantees eventual success)"
+    )
+
+
+def decide_via_relaxation(
+    psi_s: ConjunctiveQuery,
+    psi_b: ConjunctiveQuery,
+    relaxation_oracle,
+    max_power: int = 12,
+) -> tuple[bool, Structure | None]:
+    """Theorem 5 as a reduction: decide via the inequality-free relaxation.
+
+    ``relaxation_oracle(φ_s, φ_b)`` must answer the *inequality-free*
+    containment question, returning either ``None`` ("contained
+    everywhere") or a counterexample database ``D₀`` with
+    ``φ_s(D₀) > φ_b(D₀)``.  Per Lemma 23 the answer for ``(ψ_s, ψ_b)`` —
+    inequalities allowed in ``ψ_s``, none in ``ψ_b`` — is the same; in the
+    negative case the returned witness is lifted through the blow-up
+    amplifier and verified.
+
+    Returns ``(contained, witness)`` where ``witness`` violates
+    ``ψ_s(D) ≤ ψ_b(D)`` when ``contained`` is ``False``.
+
+    This realizes the "decidable iff ``QCP^bag_CQ`` is decidable"
+    statement operationally: plug in any (sound+complete) procedure for
+    the open problem and the inequality-extended problem is solved too.
+    In practice the oracle is a bounded verifier, so the outcome carries
+    the oracle's caveats.
+    """
+    if psi_b.has_inequalities():
+        raise ReductionError("Theorem 5 requires an inequality-free ψ_b")
+    source = relaxation_oracle(psi_s.without_inequalities(), psi_b)
+    if source is None:
+        return True, None
+    transfer = transfer_witness(psi_s, psi_b, source, max_power=max_power)
+    return False, transfer.witness

@@ -1,0 +1,167 @@
+"""Theorems 2 and 4: the trivial-database variants, as decision problems.
+
+Theorems 2 and 4 strengthen Theorems 1 and 3 by dropping the
+non-triviality restriction:
+
+* **Theorem 2**: given ``φ_s, φ_b`` (no inequalities) and naturals
+  ``c, c'``, is ``c·φ_s(D) ≤ φ_b(D) + c'`` for **every** database ``D``?
+  Undecidable.
+* **Theorem 4**: given ``ρ_s`` (no inequalities) and ``ρ_b`` (at most one),
+  is ``ρ_s(D) ≤ max(1, ρ_b(D))`` for **every** database ``D``?
+  Undecidable.
+
+The paper defers their proofs to the full version (they need "another
+level of anti-cheating" for trivial databases), so no reduction is built
+here — what *is* implemented is everything checkable about the problem
+statements:
+
+* the inequality shapes (:class:`Theorem2Instance`,
+  :class:`Theorem4Instance`) with exact per-database evaluation and
+  bounded verification over all small databases;
+* the **well of positivity** (Section 1.2): the single-vertex database in
+  which every atomic formula holds.  On it every inequality-free boolean
+  CQ counts exactly 1, which is why Theorem 1 needs non-triviality, why
+  Theorem 2 needs the additive constant ``c'``, and why Theorem 4 needs
+  the ``max(1, ·)`` guard — all three facts are demonstrated by the test
+  suite through this module.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.errors import ReductionError
+from repro.homomorphism.engine import count
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.product import QueryProduct
+from repro.relational.schema import Schema
+from repro.relational.structure import Structure
+
+__all__ = [
+    "well_of_positivity",
+    "Theorem2Instance",
+    "Theorem4Instance",
+]
+
+
+def well_of_positivity(schema: Schema, constants: tuple[str, ...] = ()) -> Structure:
+    """The "well of positivity": one vertex satisfying every atom.
+
+    Section 1.2: "a structure with a single vertex such that all atomic
+    formulas are true in D for this vertex".  Every constant named in
+    ``constants`` is interpreted as that vertex, so the well is always
+    *trivial* (it cannot interpret ``♠`` and ``♥`` differently).
+
+    For any inequality-free boolean CQ ``φ`` over ``schema``:
+    ``φ(well) = 1`` — the unique all-to-the-vertex assignment.
+    """
+    vertex = "•"
+    facts = {
+        symbol.name: {(vertex,) * symbol.arity} for symbol in schema
+    }
+    interpretation = {name: vertex for name in constants}
+    return Structure(schema, facts, interpretation, domain=[vertex])
+
+
+@dataclass(frozen=True)
+class Theorem2Instance:
+    """An instance of the Theorem 2 problem: ``c·φ_s ≤ φ_b + c'`` over all D."""
+
+    phi_s: ConjunctiveQuery | QueryProduct
+    phi_b: ConjunctiveQuery | QueryProduct
+    c: int
+    c_prime: int
+
+    def __post_init__(self) -> None:
+        if self.c < 1 or self.c_prime < 0:
+            raise ReductionError("Theorem 2 requires c >= 1 and c' >= 0")
+        for query in (self.phi_s, self.phi_b):
+            has_ineq = (
+                query.has_inequalities()
+                if isinstance(query, QueryProduct)
+                else query.has_inequalities()
+            )
+            if has_ineq:
+                raise ReductionError(
+                    "Theorem 2 queries carry no inequalities"
+                )
+
+    def holds_on(self, structure: Structure) -> bool:
+        return self.c * count(self.phi_s, structure) <= (
+            count(self.phi_b, structure) + self.c_prime
+        )
+
+    def minimal_c_prime_on(self, structures) -> int:
+        """The smallest ``c'`` making the inequality hold on a sample.
+
+        Useful for exploring how the additive constant absorbs the "well
+        of positivity": on trivial databases ``φ_s = φ_b = 1``, so
+        ``c' = c − 1`` is always forced (and may not suffice elsewhere).
+        """
+        needed = 0
+        for structure in structures:
+            gap = self.c * count(self.phi_s, structure) - count(
+                self.phi_b, structure
+            )
+            needed = max(needed, gap)
+        return needed
+
+
+@dataclass(frozen=True)
+class Theorem4Instance:
+    """An instance of the Theorem 4 problem: ``ρ_s ≤ max(1, ρ_b)`` over all D."""
+
+    rho_s: ConjunctiveQuery
+    rho_b: ConjunctiveQuery
+
+    def __post_init__(self) -> None:
+        if self.rho_s.has_inequalities():
+            raise ReductionError("Theorem 4's s-query carries no inequalities")
+        if self.rho_b.inequality_count > 1:
+            raise ReductionError(
+                "Theorem 4's b-query carries at most one inequality"
+            )
+
+    def holds_on(self, structure: Structure) -> bool:
+        return count(self.rho_s, structure) <= max(
+            1, count(self.rho_b, structure)
+        )
+
+    def max_guard_fires_on(self, structure: Structure) -> bool:
+        """Did the ``max(1, ·)`` clause do any work on this database?
+
+        True when ``ρ_b(D) = 0`` but ``ρ_s(D) ≤ 1`` keeps the instance
+        alive — exactly the "well of positivity" situation the guard was
+        introduced for.
+        """
+        return count(self.rho_b, structure) == 0 and count(
+            self.rho_s, structure
+        ) <= 1
+
+
+def verify_instance_bounded(
+    instance: Theorem2Instance | Theorem4Instance,
+    schema: Schema,
+    domain_size: int = 2,
+) -> Structure | None:
+    """First small database violating the instance, or ``None``.
+
+    Enumerates **all** structures over ``{0..domain_size−1}`` including
+    trivial ones — Theorems 2 and 4 quantify over every database.
+    """
+    domain = tuple(range(domain_size))
+    relation_tuples = [
+        (symbol.name, list(itertools.product(domain, repeat=symbol.arity)))
+        for symbol in schema
+    ]
+    streams = [
+        [frozenset(c) for size in range(len(tuples) + 1) for c in itertools.combinations(tuples, size)]
+        for _, tuples in relation_tuples
+    ]
+    names = [name for name, _ in relation_tuples]
+    for choice in itertools.product(*streams):
+        structure = Structure(schema, dict(zip(names, choice)), domain=domain)
+        if not instance.holds_on(structure):
+            return structure
+    return None

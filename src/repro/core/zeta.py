@@ -1,0 +1,93 @@
+"""The anti-cheating query ``ζ_b`` (Section 4.5): punishing slight incorrectness.
+
+For each relation ``P ∈ Σ_RS = {S_1..S_𝗆, R_1..R_𝖽}`` let ``j^P`` be the
+number of ``P``-atoms in ``Arena`` and ``j`` their maximum.  Choose the
+smallest ``k`` with ``((j+1)/j)^k ≥ c`` and set
+
+``ζ^P = P(w, v) ↑ k``,   ``ζ_b = ∧̄_P ζ^P``,   ``C₁ = ζ_b(D_Arena)``,
+``C = c · C₁``.
+
+Then (Lemmas 17–18): on a correct database ``ζ_b = C₁``; whenever
+``D ⊨ Arena``, ``ζ_b(D) ≥ 1``; and on a *slightly incorrect* database —
+one with at least one extra ``Σ₀``-atom — ``ζ_b(D) ≥ c·C₁``, because some
+relation has ``j^P + 1`` atoms and ``((j^P+1)/j^P)^k ≥ ((j+1)/j)^k ≥ c``.
+
+``ζ_b`` and the constants it induces are kept in factorized form: ``k``
+grows like ``j·ln c`` and ``C₁`` is a product of ``k``-th powers, easily
+astronomical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.arena import Arena
+from repro.errors import ReductionError
+from repro.queries.atoms import Atom
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.product import QueryProduct
+from repro.queries.terms import Variable
+
+__all__ = ["ZetaComponents", "build_zeta"]
+
+
+@dataclass(frozen=True)
+class ZetaComponents:
+    """``ζ_b`` with all the constants of Section 4.5."""
+
+    atoms_per_relation: dict[str, int]
+    j: int
+    k: int
+    zeta_b: QueryProduct
+    c1: int
+
+    def expected_on_correct(self) -> int:
+        """Lemma 17: ``ζ_b(D) = C₁`` on every correct database."""
+        return self.c1
+
+
+def smallest_k(j: int, c: int) -> int:
+    """The smallest ``k ≥ 0`` with ``((j+1)/j)^k ≥ c`` (exact arithmetic)."""
+    if j < 1:
+        raise ReductionError(f"j must be >= 1, got {j}")
+    k = 0
+    while (j + 1) ** k < c * j**k:
+        k += 1
+    return k
+
+
+def build_zeta(arena: Arena, c: int) -> ZetaComponents:
+    """Construct ``ζ_b`` and the constants ``j``, ``k``, ``C₁`` for ``c``."""
+    if c < 2:
+        raise ReductionError(f"Lemma 11 guarantees c >= 2, got {c}")
+    atoms_per_relation: dict[str, int] = {}
+    for relation in arena.rs_relations:
+        count = arena.d_arena.fact_count(relation)
+        if count < 1:
+            raise ReductionError(
+                f"Arena has no atoms of {relation!r}; "
+                "every Σ_RS relation must occur"
+            )
+        atoms_per_relation[relation] = count
+    j = max(atoms_per_relation.values())
+    k = smallest_k(j, c)
+
+    factors = []
+    for relation in arena.rs_relations:
+        edge = ConjunctiveQuery(
+            [Atom(relation, (Variable(f"w_{relation}"), Variable(f"v_{relation}")))]
+        )
+        factors.append((edge, k))
+    zeta_b = QueryProduct(factors)
+
+    c1 = 1
+    for relation in arena.rs_relations:
+        c1 *= atoms_per_relation[relation] ** k
+
+    return ZetaComponents(
+        atoms_per_relation=atoms_per_relation,
+        j=j,
+        k=k,
+        zeta_b=zeta_b,
+        c1=c1,
+    )

@@ -1,0 +1,42 @@
+"""Semi-decision procedures: search, bounded verification, certificates."""
+
+from repro.decision.bounded import BoundedVerdict, verify_bounded
+from repro.decision.certificates import Certificate, Verdict, decide_bag_containment
+from repro.decision.equivalence import (
+    are_isomorphic,
+    bag_equivalent,
+    core,
+    find_isomorphism,
+    set_equivalent,
+)
+from repro.decision.hde import HdeEstimate, hde_upper_bound, variable_ratio_bound
+from repro.decision.projection_free import projection_free_contained
+from repro.decision.search import (
+    SearchOutcome,
+    amplified,
+    enumerate_structures,
+    find_counterexample,
+    random_structures,
+)
+
+__all__ = [
+    "BoundedVerdict",
+    "Certificate",
+    "HdeEstimate",
+    "SearchOutcome",
+    "Verdict",
+    "amplified",
+    "are_isomorphic",
+    "bag_equivalent",
+    "core",
+    "decide_bag_containment",
+    "enumerate_structures",
+    "find_isomorphism",
+    "hde_upper_bound",
+    "projection_free_contained",
+    "find_counterexample",
+    "random_structures",
+    "set_equivalent",
+    "variable_ratio_bound",
+    "verify_bounded",
+]

@@ -1,0 +1,81 @@
+"""Bounded verification of generalized containment inequalities.
+
+The verifier checks ``multiplier·φ_s(D) ≤ φ_b(D) + additive`` for **every**
+structure up to a domain-size bound — the shape shared by Theorems 1–4.
+A refutation is definitive; a pass is evidence only (the quantifier ranges
+over all finite databases).  Exhaustive enumeration explodes quickly, so
+the verifier reports exactly what it covered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.decision.search import enumerate_structures, find_counterexample
+from repro.relational.isomorphism import distinct_up_to_isomorphism
+from repro.relational.schema import Schema
+from repro.relational.structure import Structure
+
+__all__ = ["BoundedVerdict", "verify_bounded"]
+
+
+@dataclass(frozen=True)
+class BoundedVerdict:
+    """Outcome of a bounded sweep."""
+
+    holds_on_sample: bool
+    checked: int
+    domain_size: int
+    counterexample: Structure | None
+
+    def __str__(self) -> str:
+        status = "no violation" if self.holds_on_sample else "VIOLATED"
+        return (
+            f"{status} on {self.checked} structures "
+            f"(domain size {self.domain_size})"
+        )
+
+
+def verify_bounded(
+    phi_s,
+    phi_b,
+    schema: Schema,
+    domain_size: int = 2,
+    multiplier: int = 1,
+    additive: int = 0,
+    require_nontrivial: bool = True,
+    max_facts_per_relation: int | None = None,
+    up_to_isomorphism: bool = False,
+) -> BoundedVerdict:
+    """Exhaustively check the inequality over all small structures.
+
+    With ``require_nontrivial`` (the default, matching Theorems 1 and 3)
+    the stream pins ``♠ = 0`` and ``♥ = 1`` and skips nothing further —
+    every structure in the stream is then non-trivial by construction.
+
+    ``up_to_isomorphism`` prunes the stream to one representative per
+    isomorphism class — sound, since homomorphism counts are isomorphism
+    invariants — typically shrinking the sweep severalfold at the cost of
+    pairwise isomorphism tests.
+    """
+    candidates = enumerate_structures(
+        schema,
+        domain_size,
+        nontrivial_constants=require_nontrivial,
+        max_facts_per_relation=max_facts_per_relation,
+    )
+    if up_to_isomorphism:
+        candidates = distinct_up_to_isomorphism(candidates)
+    outcome = find_counterexample(
+        phi_s,
+        phi_b,
+        candidates,
+        multiplier=multiplier,
+        additive=additive,
+    )
+    return BoundedVerdict(
+        holds_on_sample=not outcome.found,
+        checked=outcome.checked,
+        domain_size=domain_size,
+        counterexample=outcome.counterexample,
+    )

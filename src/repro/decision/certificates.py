@@ -1,0 +1,168 @@
+"""Sound certificates for and against bag containment.
+
+``QCP^bag_CQ`` is open, so no total decision procedure can be offered; what
+*can* be offered — and is, here — are sound one-sided tests, combined into
+a three-valued verdict:
+
+* **CONTAINED** via a surjective query homomorphism ``φ_b → φ_s``
+  (Lemma 12's opening observation: ``g ↦ g∘h`` injects ``Hom(φ_s, D)``
+  into ``Hom(φ_b, D)`` for every ``D``).
+* **NOT_CONTAINED** via
+  (a) a failed Chandra–Merlin test — bag containment implies set
+  containment, because ``φ_s`` applied to its own canonical structure is
+  positive; or
+  (b) a counterexample database found by search; or
+  (c) a blow-up asymptotics argument (Lemma 22 (i)): if ``φ_s`` has more
+  variables than ``φ_b`` and some database satisfies ``φ_s``, then
+  ``φ_s(blowup(D,k)) = k^{j_s}·φ_s(D)`` eventually overtakes
+  ``k^{j_b}·φ_b(D)``.
+* **UNKNOWN** otherwise — as it must sometimes be, for an open problem.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterable
+
+from repro.decision.search import SearchOutcome, find_counterexample
+from repro.homomorphism.backtracking import exists_homomorphism
+from repro.homomorphism.engine import count
+from repro.homomorphism.surjective import find_surjective_homomorphism
+from repro.queries.cq import ConjunctiveQuery
+from repro.relational.operations import blowup
+from repro.relational.structure import Structure
+
+__all__ = ["Verdict", "Certificate", "decide_bag_containment"]
+
+
+class Verdict(Enum):
+    CONTAINED = "contained"
+    NOT_CONTAINED = "not-contained"
+    UNKNOWN = "unknown"
+
+
+@dataclass(frozen=True)
+class Certificate:
+    """A verdict plus the evidence that produced it."""
+
+    verdict: Verdict
+    reason: str
+    witness: object | None = None
+
+    def __str__(self) -> str:
+        return f"{self.verdict.value}: {self.reason}"
+
+
+def _set_containment_refutation(
+    phi_s: ConjunctiveQuery, phi_b: ConjunctiveQuery
+) -> Certificate | None:
+    """Bag containment implies set containment (for inequality-free CQs)."""
+    if phi_s.has_inequalities() or phi_b.has_inequalities():
+        return None
+    canonical = phi_s.canonical_structure()
+    if not exists_homomorphism(phi_b, canonical):
+        return Certificate(
+            verdict=Verdict.NOT_CONTAINED,
+            reason=(
+                "Chandra-Merlin fails: phi_s holds on its canonical "
+                "structure but phi_b does not, so even set containment fails"
+            ),
+            witness=canonical,
+        )
+    return None
+
+
+def _surjection_certificate(
+    phi_s: ConjunctiveQuery, phi_b: ConjunctiveQuery
+) -> Certificate | None:
+    if phi_s.has_inequalities() or phi_b.has_inequalities():
+        return None
+    mapping = find_surjective_homomorphism(phi_b, phi_s)
+    if mapping is not None:
+        return Certificate(
+            verdict=Verdict.CONTAINED,
+            reason=(
+                "onto query homomorphism phi_b -> phi_s (Lemma 12): "
+                "phi_s(D) <= phi_b(D) for every database"
+            ),
+            witness=dict(mapping),
+        )
+    return None
+
+
+def _blowup_asymptotics(
+    phi_s: ConjunctiveQuery, phi_b: ConjunctiveQuery, max_blowup: int = 64
+) -> Certificate | None:
+    """Lemma 22 (i): more variables win under blow-up, given satisfiability."""
+    if phi_s.has_inequalities() or phi_b.has_inequalities():
+        return None
+    if phi_s.variable_count <= phi_b.variable_count:
+        return None
+    base = phi_s.canonical_structure()
+    for constant in phi_b.constants:
+        if not base.interprets(constant.name):
+            base = base.with_constant(constant.name, constant)
+    value_s = count(phi_s, base)
+    if value_s == 0:
+        return None
+    value_b = count(phi_b, base)
+    gap = phi_s.variable_count - phi_b.variable_count
+    factor = 2
+    while factor <= max_blowup:
+        # phi_s scales by factor^{j_s}, phi_b by factor^{j_b}: the gap
+        # factor^{j_s - j_b} eventually dominates any initial deficit.
+        if factor**gap * value_s > value_b:
+            blown = blowup(base, factor)
+            lhs, rhs = count(phi_s, blown), count(phi_b, blown)
+            if lhs > rhs:
+                return Certificate(
+                    verdict=Verdict.NOT_CONTAINED,
+                    reason=(
+                        f"blow-up asymptotics (Lemma 22 i): phi_s has "
+                        f"{gap} more variables; blowup(canonical, {factor}) "
+                        f"gives {lhs} > {rhs}"
+                    ),
+                    witness=blown,
+                )
+        factor *= 2
+    return None
+
+
+def decide_bag_containment(
+    phi_s: ConjunctiveQuery,
+    phi_b: ConjunctiveQuery,
+    candidates: Iterable[Structure] = (),
+) -> Certificate:
+    """Combine all sound tests into one three-valued verdict.
+
+    ``candidates`` feeds the counterexample search (e.g. streams from
+    :mod:`repro.decision.search`).  Order: cheap refutations first, then
+    the containment certificate, then search.
+    """
+    refuted = _set_containment_refutation(phi_s, phi_b)
+    if refuted is not None:
+        return refuted
+    asymptotic = _blowup_asymptotics(phi_s, phi_b)
+    if asymptotic is not None:
+        return asymptotic
+    contained = _surjection_certificate(phi_s, phi_b)
+    if contained is not None:
+        return contained
+    outcome: SearchOutcome = find_counterexample(phi_s, phi_b, candidates)
+    if outcome.found:
+        return Certificate(
+            verdict=Verdict.NOT_CONTAINED,
+            reason=(
+                f"counterexample database found after {outcome.checked} "
+                f"candidates: phi_s = {outcome.lhs} > phi_b = {outcome.rhs}"
+            ),
+            witness=outcome.counterexample,
+        )
+    return Certificate(
+        verdict=Verdict.UNKNOWN,
+        reason=(
+            f"no certificate either way ({outcome.checked} candidate "
+            "databases searched); QCP^bag_CQ is an open problem"
+        ),
+    )

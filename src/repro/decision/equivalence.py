@@ -1,0 +1,170 @@
+"""Query isomorphism, bag equivalence, and set-semantics cores.
+
+While bag *containment* of CQs is open, bag *equivalence* is decidable —
+the one positive result already in Chaudhuri & Vardi [1]: two conjunctive
+queries have ``φ₁(D) = φ₂(D)`` for every database ``D`` **iff they are
+isomorphic** (identical up to renaming variables).  The contrast between
+the trivial equivalence problem and the intractable containment problem is
+precisely what makes ``QCP^bag_CQ`` so striking.
+
+This module implements:
+
+* :func:`find_isomorphism` / :func:`are_isomorphic` — CQ isomorphism by
+  backtracking (a bijection on variables mapping the atom set onto the
+  atom set and the inequality set onto the inequality set);
+* :func:`bag_equivalent` — the Chaudhuri–Vardi criterion;
+* :func:`core` — the set-semantics core (minimal retract), the object the
+  classical Chandra–Merlin theory revolves around and which bag semantics
+  notoriously does *not* respect (a query and its core are set-equivalent
+  but almost never bag-equivalent).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping
+
+from repro.homomorphism.backtracking import (
+    enumerate_homomorphisms,
+    exists_homomorphism,
+)
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.terms import Variable
+
+__all__ = [
+    "find_isomorphism",
+    "are_isomorphic",
+    "bag_equivalent",
+    "core",
+    "set_equivalent",
+]
+
+
+def _signature(query: ConjunctiveQuery) -> tuple:
+    """A cheap isomorphism-invariant fingerprint."""
+    atom_shape = sorted(
+        (
+            atom.relation,
+            tuple(term.is_constant() for term in atom.terms),
+        )
+        for atom in query.atoms
+    )
+    return (
+        query.variable_count,
+        query.atom_count,
+        query.inequality_count,
+        tuple(atom_shape),
+        tuple(sorted(constant.name for constant in query.constants)),
+    )
+
+
+def find_isomorphism(
+    left: ConjunctiveQuery, right: ConjunctiveQuery
+) -> Mapping[Variable, Variable] | None:
+    """A variable bijection turning ``left`` into exactly ``right``.
+
+    Constants must match verbatim.  Returns the witness mapping or ``None``.
+    """
+    if _signature(left) != _signature(right):
+        return None
+    right_atoms = frozenset(right.atoms)
+    right_inequalities = frozenset(right.inequalities)
+    for mapping in _candidate_bijections(left, right):
+        mapped_atoms = frozenset(atom.rename(dict(mapping)) for atom in left.atoms)
+        if mapped_atoms != right_atoms:
+            continue
+        mapped_inequalities = frozenset(
+            ineq.rename(dict(mapping)) for ineq in left.inequalities
+        )
+        if mapped_inequalities != right_inequalities:
+            continue
+        return mapping
+    return None
+
+
+def _candidate_bijections(
+    left: ConjunctiveQuery, right: ConjunctiveQuery
+) -> Iterator[dict[Variable, Variable]]:
+    """Variable bijections that are at least homomorphisms into ``right``.
+
+    Enumerated as homomorphisms of the inequality-free part of ``left``
+    into the canonical structure of ``right`` (elements = terms), filtered
+    to bijections onto ``Var(right)``.
+    """
+    canonical = right.canonical_structure()
+    target_variables = frozenset(right.variables)
+    # Enumerating left itself (with its inequalities) also covers variables
+    # occurring only in inequalities, and prunes non-injective candidates
+    # early (an inequality's endpoints must map to distinct terms).
+    for assignment in enumerate_homomorphisms(left, canonical):
+        values = list(assignment.values())
+        if len(set(values)) != len(values):
+            continue
+        image = {term for term in values if isinstance(term, Variable)}
+        if image != target_variables:
+            continue
+        if any(not isinstance(term, Variable) for term in values):
+            continue
+        yield {variable: term for variable, term in assignment.items()}
+
+
+def are_isomorphic(left: ConjunctiveQuery, right: ConjunctiveQuery) -> bool:
+    return find_isomorphism(left, right) is not None
+
+
+def bag_equivalent(left: ConjunctiveQuery, right: ConjunctiveQuery) -> bool:
+    """Chaudhuri–Vardi [1]: bag-equivalent iff isomorphic.  Decidable.
+
+    >>> from repro.queries import parse_query
+    >>> bag_equivalent(parse_query("E(x, y)"), parse_query("E(u, v)"))
+    True
+    >>> bag_equivalent(parse_query("E(x, y)"), parse_query("E(x, y) & E(u, v)"))
+    False
+    """
+    return are_isomorphic(left, right)
+
+
+def set_equivalent(left: ConjunctiveQuery, right: ConjunctiveQuery) -> bool:
+    """Set-semantics equivalence: homomorphisms both ways (Chandra–Merlin)."""
+    if left.has_inequalities() or right.has_inequalities():
+        raise ValueError("set equivalence is implemented for CQs without ≠")
+    return exists_homomorphism(
+        left, right.canonical_structure()
+    ) and exists_homomorphism(right, left.canonical_structure())
+
+
+def core(query: ConjunctiveQuery) -> ConjunctiveQuery:
+    """The set-semantics core: a minimal subquery set-equivalent to the input.
+
+    Computed by greedy retraction: repeatedly drop an atom whose removal
+    preserves set-equivalence (i.e. the smaller query still maps
+    homomorphically into... the *larger* one always maps into the smaller
+    canonical? No — dropping atoms weakens the query, so equivalence holds
+    iff the original maps into the canonical structure of the reduced
+    query).  The result is unique up to isomorphism; inequality-free
+    queries only.
+
+    Bag semantics does **not** respect cores: ``core(φ)`` and ``φ`` are
+    set-equivalent but bag-equivalent only when the query already was its
+    core (by Chaudhuri–Vardi, since the core is not isomorphic to the
+    query otherwise) — the test suite demonstrates this on the classic
+    examples.
+    """
+    if query.has_inequalities():
+        raise ValueError("cores are implemented for CQs without ≠")
+    current = query
+    changed = True
+    while changed:
+        changed = False
+        for atom in current.atoms:
+            reduced = ConjunctiveQuery(
+                [candidate for candidate in current.atoms if candidate != atom]
+            )
+            if reduced.is_empty():
+                continue
+            # Dropping an atom can orphan variables; the retraction must
+            # stay within the original variables.
+            if exists_homomorphism(current, reduced.canonical_structure()):
+                current = reduced
+                changed = True
+                break
+    return current

@@ -1,0 +1,100 @@
+"""The homomorphism domination exponent (Kopparty–Rossman [12]).
+
+Section 1.1 recounts the second positive line of attack on
+``QCP^bag_CQ``: Kopparty and Rossman observed the problem is "a purely
+combinatorial phenomenon related to the notion of homomorphism domination
+exponent", defined (for structures/queries ``F, G``) as
+
+``hde(F, G) = sup { q : hom(F, D)^q ≤ hom(G, D) for every D }``.
+
+Bag containment of boolean CQs is exactly the question ``hde(φ_s, φ_b) ≥ 1``.
+The exponent is not known to be computable (by [13] its decidability is
+equivalent to a long-standing open problem in information theory), so this
+module provides what *is* available:
+
+* :func:`hde_upper_bound` — an empirical upper bound from a stream of
+  sample databases (each sample with ``φ_s(D) ≥ 2`` caps the exponent at
+  ``log φ_b(D) / log φ_s(D)``);
+* :func:`variable_ratio_bound` — the blow-up bound: by Lemma 22 (i),
+  blowing up any ``D`` with ``φ_s(D) > 0`` forces
+  ``hde ≤ |Var(φ_b)| / |Var(φ_s)|``;
+* exact values for the worked examples used in the tests.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.homomorphism.engine import count
+from repro.queries.cq import ConjunctiveQuery
+from repro.relational.structure import Structure
+
+__all__ = ["HdeEstimate", "hde_upper_bound", "variable_ratio_bound"]
+
+
+@dataclass(frozen=True)
+class HdeEstimate:
+    """An empirical upper bound on ``hde(φ_s, φ_b)`` with its witness."""
+
+    upper_bound: float
+    witness: Structure | None
+    samples_used: int
+
+    def refutes_containment(self) -> bool:
+        """``hde < 1`` means ``φ_s(D)^1 ≤ φ_b(D)`` fails somewhere."""
+        return self.upper_bound < 1.0
+
+
+def variable_ratio_bound(
+    phi_s: ConjunctiveQuery, phi_b: ConjunctiveQuery
+) -> float | None:
+    """The Lemma 22 (i) bound: ``hde ≤ |Var(φ_b)|/|Var(φ_s)|``.
+
+    Valid whenever some database satisfies ``φ_s`` (we use its canonical
+    structure) and both queries are inequality-free; returns ``None`` when
+    the bound does not apply.  Proof sketch: on ``blowup(D, k)`` the two
+    sides scale as ``k^{q·j_s}`` and ``k^{j_b}``, so ``q·j_s ≤ j_b``.
+    """
+    if phi_s.has_inequalities() or phi_b.has_inequalities():
+        return None
+    if phi_s.variable_count == 0:
+        return None
+    canonical = phi_s.canonical_structure()
+    for constant in phi_b.constants:
+        if not canonical.interprets(constant.name):
+            canonical = canonical.with_constant(constant.name, constant)
+    if count(phi_s, canonical) == 0:
+        return None
+    return phi_b.variable_count / phi_s.variable_count
+
+
+def hde_upper_bound(
+    phi_s: ConjunctiveQuery,
+    phi_b: ConjunctiveQuery,
+    candidates: Iterable[Structure],
+) -> HdeEstimate:
+    """Empirical upper bound: min over samples of ``log φ_b / log φ_s``.
+
+    Only samples with ``φ_s(D) ≥ 2`` are informative (``φ_s(D) ≤ 1`` makes
+    ``φ_s(D)^q ≤ φ_b(D)`` monotone in the wrong way); a sample with
+    ``φ_s(D) ≥ 2`` and ``φ_b(D) = 0`` drives the exponent to ``-∞``,
+    reported as ``float('-inf')``.
+    """
+    best = math.inf
+    witness: Structure | None = None
+    used = 0
+    for structure in candidates:
+        value_s = count(phi_s, structure)
+        if value_s < 2:
+            continue
+        used += 1
+        value_b = count(phi_b, structure)
+        if value_b == 0:
+            return HdeEstimate(-math.inf, structure, used)
+        bound = math.log(value_b) / math.log(value_s)
+        if bound < best:
+            best = bound
+            witness = structure
+    return HdeEstimate(best, witness, used)

@@ -1,0 +1,66 @@
+"""The projection-free decidable fragment (Afrati–Damigos–Gergatsoulis [7]).
+
+Section 1.1's first positive line of attack: bag containment is decidable
+when both queries are **projection-free** (every body variable is an
+output).  The reason is elementary once answer multisets are in view: a
+projection-free query's answers are its homomorphisms themselves, so every
+multiplicity is 0 or 1 and bag containment collapses to set containment of
+answer relations — which is a homomorphism condition à la Chandra–Merlin,
+here with the twist that the homomorphism must fix the (shared) output
+variables pointwise.
+
+Concretely, for projection-free ``Q₁, Q₂`` with the same head:
+``Q₁ ⊑_bag Q₂`` iff every assignment satisfying ``body(Q₁)`` satisfies
+``body(Q₂)`` iff there is a homomorphism ``body(Q₂) → canonical(body(Q₁))``
+fixing every head variable.  Decidable (NP), sound, and complete — one of
+the few islands of decidability around the open problem.
+"""
+
+from __future__ import annotations
+
+from repro.errors import QueryError
+from repro.homomorphism.backtracking import exists_homomorphism
+from repro.queries.open_query import OpenQuery
+from repro.queries.terms import Constant
+
+__all__ = ["projection_free_contained"]
+
+
+def projection_free_contained(query_s: OpenQuery, query_b: OpenQuery) -> bool:
+    """Decide ``Ψ_s ⊑_bag Ψ_b`` for projection-free queries, exactly.
+
+    Both queries must be projection-free, share the same head variables
+    (order included — containment compares answer tuples positionally),
+    and be inequality-free (the fragment of [7]).
+
+    >>> from repro.queries import OpenQuery, parse_query
+    >>> q1 = OpenQuery(parse_query("E(x, y) & E(y, x)"), ("x", "y"))
+    >>> q2 = OpenQuery(parse_query("E(x, y)"), ("x", "y"))
+    >>> projection_free_contained(q1, q2)
+    True
+    >>> projection_free_contained(q2, q1)
+    False
+    """
+    for query in (query_s, query_b):
+        if not query.is_projection_free():
+            raise QueryError(
+                "the decidable fragment requires projection-free queries; "
+                f"{query} has existential variables"
+            )
+        if query.body.has_inequalities():
+            raise QueryError("the [7] fragment is inequality-free")
+    if query_s.head != query_b.head:
+        raise QueryError(
+            "containment compares answers positionally; the queries must "
+            f"share the same head, got {query_s.head} vs {query_b.head}"
+        )
+    # Freeze the head: replace each head variable by a constant interpreted
+    # as itself on both sides.  A homomorphism body(Q_b) → canonical(body(Q_s))
+    # fixing the head pointwise is exactly a proof that Q_s's atoms entail
+    # Q_b's for every assignment.
+    head_constants = {
+        variable: Constant(f"__pf_{variable.name}") for variable in query_s.head
+    }
+    frozen_s = query_s.body.rename(head_constants)
+    frozen_b = query_b.body.rename(head_constants)
+    return exists_homomorphism(frozen_b, frozen_s.canonical_structure())

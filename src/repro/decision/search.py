@@ -1,0 +1,175 @@
+"""Candidate database streams and counterexample search.
+
+``QCP^bag_CQ``'s decidability is open, but it is co-recursively-enumerable:
+enumerate databases, evaluate both queries, stop on a violation.  This
+module provides the enumeration side — exhaustive streams over small
+domains, randomized streams, and streams derived from structured families
+(blow-ups and product powers, which Lemma 22 makes natural amplifiers) —
+plus the generic search driver.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, Sequence
+
+from repro.errors import SearchBudgetExceeded
+from repro.homomorphism.engine import count
+from repro.naming import HEART, SPADE
+from repro.relational.operations import blowup, power
+from repro.relational.schema import Schema
+from repro.relational.structure import Structure
+
+__all__ = [
+    "enumerate_structures",
+    "random_structures",
+    "amplified",
+    "SearchOutcome",
+    "find_counterexample",
+]
+
+
+def enumerate_structures(
+    schema: Schema,
+    domain_size: int,
+    constants: dict[str, int] | None = None,
+    nontrivial_constants: bool = False,
+    max_facts_per_relation: int | None = None,
+) -> Iterator[Structure]:
+    """Every structure over ``{0..domain_size−1}`` (up to the caps given).
+
+    ``constants`` pins interpretations (e.g. ``{"spade": 0, "heart": 1}``);
+    with ``nontrivial_constants`` the two non-triviality constants are
+    added automatically (requires ``domain_size ≥ 2``).  The stream grows
+    as ``2^{Σ n^arity}`` — keep domains tiny or cap facts per relation.
+    """
+    domain = tuple(range(domain_size))
+    interpretations = dict(constants or {})
+    if nontrivial_constants:
+        if domain_size < 2:
+            raise ValueError("non-trivial structures need at least 2 elements")
+        interpretations.setdefault(SPADE, 0)
+        interpretations.setdefault(HEART, 1)
+
+    relation_tuples: list[tuple[str, list[tuple]]] = []
+    for symbol in schema:
+        tuples = list(itertools.product(domain, repeat=symbol.arity))
+        relation_tuples.append((symbol.name, tuples))
+
+    def subsets(tuples: list[tuple]) -> Iterator[frozenset]:
+        sizes: Iterable[int] = range(len(tuples) + 1)
+        if max_facts_per_relation is not None:
+            sizes = range(min(len(tuples), max_facts_per_relation) + 1)
+        for size in sizes:
+            for combo in itertools.combinations(tuples, size):
+                yield frozenset(combo)
+
+    streams = [subsets(tuples) for _, tuples in relation_tuples]
+    names = [name for name, _ in relation_tuples]
+    for choice in itertools.product(*streams):
+        facts = dict(zip(names, choice))
+        yield Structure(schema, facts, interpretations, domain)
+
+
+def random_structures(
+    schema: Schema,
+    domain_size: int,
+    density: float = 0.3,
+    count: int = 100,
+    seed: int = 0,
+    constants: dict[str, int] | None = None,
+    nontrivial_constants: bool = False,
+) -> Iterator[Structure]:
+    """A reproducible stream of random structures.
+
+    Every possible tuple of every relation is included independently with
+    probability ``density``.
+    """
+    rng = random.Random(seed)
+    domain = tuple(range(domain_size))
+    interpretations = dict(constants or {})
+    if nontrivial_constants:
+        if domain_size < 2:
+            raise ValueError("non-trivial structures need at least 2 elements")
+        interpretations.setdefault(SPADE, 0)
+        interpretations.setdefault(HEART, 1)
+    for _ in range(count):
+        facts: dict[str, set[tuple]] = {}
+        for symbol in schema:
+            bucket = {
+                values
+                for values in itertools.product(domain, repeat=symbol.arity)
+                if rng.random() < density
+            }
+            if bucket:
+                facts[symbol.name] = bucket
+        yield Structure(schema, facts, interpretations, domain)
+
+
+def amplified(
+    bases: Iterable[Structure],
+    powers: Sequence[int] = (1, 2),
+    blowups: Sequence[int] = (1, 2),
+) -> Iterator[Structure]:
+    """Each base structure, amplified through ``D^{×k}`` and ``blowup``.
+
+    Lemma 22 makes these families the natural "stress tests" for candidate
+    containments: violations that are invisible at unit scale often
+    separate after amplification (this is exactly how Lemma 23's proof
+    manufactures its witness).
+    """
+    for base in bases:
+        for k in powers:
+            boosted = power(base, k) if k > 1 else base
+            for factor in blowups:
+                yield blowup(boosted, factor) if factor > 1 else boosted
+
+
+@dataclass(frozen=True)
+class SearchOutcome:
+    """Result of a bounded counterexample search."""
+
+    counterexample: Structure | None
+    checked: int
+    lhs: int | None = None
+    rhs: int | None = None
+
+    @property
+    def found(self) -> bool:
+        return self.counterexample is not None
+
+
+def find_counterexample(
+    phi_s,
+    phi_b,
+    candidates: Iterable[Structure],
+    multiplier: int = 1,
+    additive: int = 0,
+    predicate: Callable[[Structure], bool] | None = None,
+    max_candidates: int | None = None,
+) -> SearchOutcome:
+    """Search ``candidates`` for ``multiplier·φ_s(D) > φ_b(D) + additive``.
+
+    ``predicate`` pre-filters candidates (e.g. ``Structure.is_nontrivial``
+    for the Theorem 1/3 shape).  Stops at the first hit; raises
+    :class:`~repro.errors.SearchBudgetExceeded` if ``max_candidates`` is
+    exhausted while candidates remain.
+    """
+    checked = 0
+    for structure in candidates:
+        if max_candidates is not None and checked >= max_candidates:
+            raise SearchBudgetExceeded(
+                f"stopped after {checked} candidates without a verdict"
+            )
+        if predicate is not None and not predicate(structure):
+            continue
+        checked += 1
+        lhs = multiplier * count(phi_s, structure)
+        rhs = count(phi_b, structure) + additive
+        if lhs > rhs:
+            return SearchOutcome(
+                counterexample=structure, checked=checked, lhs=lhs, rhs=rhs
+            )
+    return SearchOutcome(counterexample=None, checked=checked)

@@ -1,0 +1,47 @@
+"""Homomorphism counting, enumeration, and containment tests."""
+
+from repro.homomorphism.acyclic import (
+    count_homomorphisms_acyclic,
+    is_acyclic,
+    join_tree,
+)
+from repro.homomorphism.backtracking import (
+    count_homomorphisms,
+    enumerate_homomorphisms,
+    exists_homomorphism,
+    is_homomorphism,
+)
+from repro.homomorphism.containment import (
+    bag_contained_on,
+    bag_counterexample_on,
+    set_contained,
+)
+from repro.homomorphism.engine import count, count_at_least, count_ucq, evaluate
+from repro.homomorphism.surjective import (
+    find_surjective_homomorphism,
+    has_surjective_homomorphism,
+    query_homomorphisms,
+)
+from repro.homomorphism.treewidth_dp import count_homomorphisms_td, query_treewidth
+
+__all__ = [
+    "bag_contained_on",
+    "bag_counterexample_on",
+    "count",
+    "count_at_least",
+    "count_homomorphisms",
+    "count_homomorphisms_acyclic",
+    "count_homomorphisms_td",
+    "count_ucq",
+    "enumerate_homomorphisms",
+    "evaluate",
+    "exists_homomorphism",
+    "find_surjective_homomorphism",
+    "has_surjective_homomorphism",
+    "is_acyclic",
+    "is_homomorphism",
+    "join_tree",
+    "query_homomorphisms",
+    "query_treewidth",
+    "set_contained",
+]

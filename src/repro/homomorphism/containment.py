@@ -1,0 +1,73 @@
+"""Set-semantics containment (Chandra–Merlin) and bag-containment helpers.
+
+Under set semantics, containment of boolean CQs is the classical
+homomorphism test of Chandra and Merlin [2]: ``φ_s ⊑_set φ_b`` iff there is
+a homomorphism from ``φ_b`` into the canonical structure of ``φ_s``.
+Chaudhuri and Vardi [1] observed that this equivalence *fails* under bag
+semantics — the starting point of the whole paper — so this module also
+provides the refutation-style helpers used to compare the two semantics
+empirically.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.homomorphism.backtracking import exists_homomorphism
+from repro.homomorphism.engine import count
+from repro.queries.cq import ConjunctiveQuery
+from repro.relational.structure import Structure
+
+__all__ = [
+    "set_contained",
+    "bag_contained_on",
+    "bag_counterexample_on",
+]
+
+
+def set_contained(phi_s: ConjunctiveQuery, phi_b: ConjunctiveQuery) -> bool:
+    """Chandra–Merlin test: is ``φ_s ⊆ φ_b`` under **set** semantics?
+
+    For boolean CQs without inequalities this is sound and complete:
+    ``φ_s(D) ≤ φ_b(D)`` in {0,1}-semantics for all ``D`` iff
+    ``Hom(φ_b, canonical(φ_s)) ≠ ∅``.  Queries with inequalities are
+    rejected (the classical test does not apply to them).
+    """
+    if phi_s.has_inequalities() or phi_b.has_inequalities():
+        raise ValueError(
+            "the Chandra-Merlin test applies to CQs without inequalities"
+        )
+    return exists_homomorphism(phi_b, phi_s.canonical_structure())
+
+
+def bag_contained_on(
+    phi_s,
+    phi_b,
+    structures: Iterable[Structure],
+    multiplier: int = 1,
+    additive: int = 0,
+) -> bool:
+    """Check ``multiplier·φ_s(D) ≤ φ_b(D) + additive`` on given databases.
+
+    The general inequality shape covers Theorems 1 (``c·φ_s ≤ φ_b``),
+    2 (``c·φ_s ≤ φ_b + c'``) and 3/4 (``multiplier = 1``).  This is a
+    *necessary-condition* check: a ``False`` refutes containment, a
+    ``True`` only says the sample found no counterexample.
+    """
+    return bag_counterexample_on(
+        phi_s, phi_b, structures, multiplier=multiplier, additive=additive
+    ) is None
+
+
+def bag_counterexample_on(
+    phi_s,
+    phi_b,
+    structures: Iterable[Structure],
+    multiplier: int = 1,
+    additive: int = 0,
+) -> Structure | None:
+    """First ``D`` in ``structures`` with ``multiplier·φ_s(D) > φ_b(D) + additive``."""
+    for structure in structures:
+        if multiplier * count(phi_s, structure) > count(phi_b, structure) + additive:
+            return structure
+    return None

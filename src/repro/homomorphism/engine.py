@@ -1,0 +1,248 @@
+"""Unified evaluation front-end: ``φ(D)`` for queries and query products.
+
+:func:`count` is the library's single entry point for bag-semantics
+evaluation.  It factorizes plain conjunctive queries into connected
+components (counts multiply, see
+:meth:`repro.queries.cq.ConjunctiveQuery.connected_components`), exploits
+the lazy exponents of :class:`repro.queries.product.QueryProduct`
+(``(θ↑k)(D) = θ(D)^k``, Definition 2), and dispatches each component to a
+counting engine.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Literal, Union
+
+from repro.errors import EvaluationError
+from repro.homomorphism.acyclic import count_homomorphisms_acyclic
+from repro.homomorphism.backtracking import count_homomorphisms
+from repro.homomorphism.treewidth_dp import count_homomorphisms_td
+from repro.queries.atoms import Inequality
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.product import QueryProduct
+from repro.queries.terms import Constant, Term, Variable
+from repro.queries.ucq import UnionOfConjunctiveQueries
+
+__all__ = ["count", "evaluate", "count_ucq", "Engine"]
+
+Engine = Literal["backtracking", "treewidth", "acyclic"]
+Countable = Union[ConjunctiveQuery, QueryProduct]
+
+_ENGINES = {
+    "backtracking": count_homomorphisms,
+    "treewidth": count_homomorphisms_td,
+    "acyclic": count_homomorphisms_acyclic,
+}
+
+#: Guard for the opt-in inclusion-exclusion path (2^q terms).
+INCLUSION_EXCLUSION_LIMIT = 12
+
+
+def count(
+    query: Countable,
+    structure,
+    engine: Engine = "backtracking",
+    use_inclusion_exclusion: bool = False,
+) -> int:
+    """``φ(D)``: the number of homomorphisms from ``φ`` to ``D``.
+
+    Accepts a :class:`ConjunctiveQuery` or a factorized
+    :class:`QueryProduct`; returns an exact Python integer.
+
+    ``use_inclusion_exclusion`` switches queries with (few) inequalities to
+    the alternative evaluation ``|Hom with all ≠| = Σ_{S⊆ineqs}
+    (−1)^{|S|}·|Hom of the S-merged query|``, which restores the component
+    factorization that inequalities break.  The default backtracking
+    engine's subtree memoization handles those shapes at least as fast in
+    every benchmarked case (see the E14 ablation), so the transform is
+    opt-in; it remains valuable as an independent implementation for
+    differential testing.
+
+    >>> from repro.queries import parse_query
+    >>> from repro.relational import Schema, Structure
+    >>> d = Structure(Schema.from_arities({"E": 2}), {"E": [(1, 2), (2, 1)]})
+    >>> count(parse_query("E(x, y) & E(y, x)"), d)
+    2
+    """
+    try:
+        counter = _ENGINES[engine]
+    except KeyError:
+        raise EvaluationError(
+            f"unknown engine {engine!r}; choose from {sorted(_ENGINES)}"
+        ) from None
+    if isinstance(query, QueryProduct):
+        total = 1
+        for factor, exponent in query:
+            value = count(factor, structure, engine=engine)
+            if value == 0:
+                return 0
+            total *= value**exponent
+        return total
+    if not isinstance(query, ConjunctiveQuery):
+        raise EvaluationError(
+            f"cannot evaluate object of type {type(query).__name__}"
+        )
+    if (
+        use_inclusion_exclusion
+        and engine == "backtracking"
+        and 1 <= query.inequality_count <= INCLUSION_EXCLUSION_LIMIT
+    ):
+        return _count_inclusion_exclusion(query, structure)
+    return _count_components(query, structure, counter)
+
+
+def _count_components(query: ConjunctiveQuery, structure, counter) -> int:
+    components = query.connected_components()
+    if len(components) <= 1:
+        return counter(query, structure)
+    total = 1
+    for component in components:
+        total *= counter(component, structure)
+        if total == 0:
+            return 0
+    return total
+
+
+def _count_inclusion_exclusion(query: ConjunctiveQuery, structure) -> int:
+    """Inclusion-exclusion over the query's inequalities.
+
+    Each subset ``S`` contributes ``(−1)^{|S|}`` times the count of the
+    inequality-free query with the endpoints of every inequality in ``S``
+    identified.  Identification of two *distinct constants* makes the term
+    zero unless the structure interprets them equally.
+    """
+    inequalities = query.inequalities
+    if any(ineq.is_trivially_false() for ineq in inequalities):
+        return 0
+    base = query.without_inequalities()
+    domain_size = len(structure.domain)
+    total = 0
+    for size in range(len(inequalities) + 1):
+        for subset in itertools.combinations(inequalities, size):
+            merged = _merge_inequality_endpoints(
+                base, subset, structure, query.variables
+            )
+            if merged is None:
+                continue
+            merged_query, representatives = merged
+            # Variables that survive merging but occur in no atom still
+            # range freely over the whole active domain.
+            dangling = sum(
+                1
+                for variable in representatives
+                if variable not in merged_query.variables
+            )
+            term = _count_components(
+                merged_query, structure, count_homomorphisms
+            ) * domain_size**dangling
+            total += term if size % 2 == 0 else -term
+    return total
+
+
+def _merge_inequality_endpoints(
+    base: ConjunctiveQuery,
+    subset: tuple[Inequality, ...],
+    structure,
+    original_variables: frozenset[Variable],
+) -> tuple[ConjunctiveQuery, frozenset[Variable]] | None:
+    """The query with each inequality's endpoints identified.
+
+    Returns the merged query together with the set of surviving variable
+    representatives of the *original* query's variables, or ``None`` when
+    the identifications are unsatisfiable in this structure (two constants
+    with different interpretations).
+    """
+    parent: dict[Term, Term] = {}
+
+    def find(term: Term) -> Term:
+        parent.setdefault(term, term)
+        while parent[term] != term:
+            parent[term] = parent[parent[term]]
+            term = parent[term]
+        return term
+
+    def union(left: Term, right: Term) -> bool:
+        root_left, root_right = find(left), find(right)
+        if root_left == root_right:
+            return True
+        # Prefer constants as representatives so variables get substituted.
+        if isinstance(root_left, Constant) and isinstance(root_right, Constant):
+            if structure.interpret(root_left.name) != structure.interpret(
+                root_right.name
+            ):
+                return False
+            parent[root_right] = root_left
+            return True
+        if isinstance(root_right, Constant):
+            root_left, root_right = root_right, root_left
+        parent[root_right] = root_left
+        return True
+
+    for inequality in subset:
+        if not union(inequality.left, inequality.right):
+            return None
+    mapping = {
+        term: find(term)
+        for term in list(parent)
+        if isinstance(term, Variable) and find(term) != term
+    }
+    representatives = frozenset(
+        image
+        for image in (
+            mapping.get(variable, variable) for variable in original_variables
+        )
+        if isinstance(image, Variable)
+    )
+    merged_query = base.rename(mapping) if mapping else base
+    return merged_query, representatives
+
+
+def evaluate(query: Countable, structure, engine: Engine = "backtracking") -> int:
+    """Alias of :func:`count`, matching the paper's ``φ(D)`` notation."""
+    return count(query, structure, engine=engine)
+
+
+def count_at_least(
+    query: Countable, structure, bound: int, engine: Engine = "backtracking"
+) -> bool:
+    """Is ``φ(D) ≥ bound``, without materializing astronomical powers?
+
+    The reductions of Section 4 produce factorized queries with outer
+    exponents like ``C = c·C₁`` that can exceed ``10^{100}``.  On *correct*
+    databases every ``δ_b`` factor counts 1 and exact evaluation is cheap,
+    but on a cheating database a factor of 2 raised to ``C`` would not fit
+    in memory.  This predicate multiplies factor-by-factor and stops as
+    soon as the bound is provably cleared: a factor ``v ≥ 2`` with exponent
+    ``e`` exceeds ``bound`` whenever ``e ≥ bound.bit_length()``, so
+    exponents are capped before powering.
+    """
+    if bound <= 0:
+        return True
+    if isinstance(query, ConjunctiveQuery):
+        return count(query, structure, engine=engine) >= bound
+    if not isinstance(query, QueryProduct):
+        raise EvaluationError(
+            f"cannot evaluate object of type {type(query).__name__}"
+        )
+    cap = bound.bit_length() + 1
+    total = 1
+    for factor, exponent in query:
+        value = count(factor, structure, engine=engine)
+        if value == 0:
+            return False
+        if value > 1:
+            total *= value ** min(exponent, cap)
+        if total >= bound:
+            return True
+    return total >= bound
+
+
+def count_ucq(
+    ucq: UnionOfConjunctiveQueries, structure, engine: Engine = "backtracking"
+) -> int:
+    """Bag-semantics value of a boolean UCQ: the sum over its disjuncts."""
+    return sum(
+        multiplicity * count(query, structure, engine=engine)
+        for query, multiplicity in ucq
+    )

@@ -1,0 +1,74 @@
+"""Surjective query homomorphisms (the engine behind Lemma 12).
+
+Lemma 12's proof rests on a simple but powerful observation: if there is an
+*onto* mapping ``h`` from the variables of ``ρ_b`` to the variables of
+``ρ_s`` which is a homomorphism of queries, then ``ρ_s(D) ≤ ρ_b(D)`` for
+every database ``D`` (because ``g ↦ g∘h`` injects ``Hom(ρ_s, D)`` into
+``Hom(ρ_b, D)``).
+
+This module searches for such witnesses, which gives a *sound, decidable,
+sufficient* condition for bag containment — one of the few general positive
+tools available while ``QCP^bag_CQ`` remains open.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping
+
+from repro.homomorphism.backtracking import enumerate_homomorphisms
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.terms import Term, Variable
+
+__all__ = [
+    "query_homomorphisms",
+    "find_surjective_homomorphism",
+    "has_surjective_homomorphism",
+]
+
+
+def query_homomorphisms(
+    source: ConjunctiveQuery, target: ConjunctiveQuery
+) -> Iterator[Mapping[Variable, Term]]:
+    """All homomorphisms of queries ``source → target``.
+
+    A query homomorphism maps variables of ``source`` to *terms* of
+    ``target`` (constants to themselves) such that every atom of ``source``
+    becomes an atom of ``target``.  Implemented as structure homomorphisms
+    into the canonical structure of ``target`` (Section 2.1 identifies
+    queries with their canonical structures).
+
+    Inequalities of ``source`` are required to map to syntactically
+    distinct terms, a conservative reading sufficient for all uses in the
+    paper (none of the Lemma 12-style arguments involve inequalities in the
+    source).
+    """
+    canonical = target.canonical_structure()
+    for assignment in enumerate_homomorphisms(source, canonical):
+        yield dict(assignment)
+
+
+def find_surjective_homomorphism(
+    source: ConjunctiveQuery, target: ConjunctiveQuery
+) -> Mapping[Variable, Term] | None:
+    """A query homomorphism ``source → target`` onto ``Var(target)``.
+
+    Returns the witness mapping, or ``None`` when none exists.  Lemma 12
+    instantiates this with ``source = π_b`` and ``target = π_s``.
+    """
+    targets = frozenset(target.variables)
+    for mapping in query_homomorphisms(source, target):
+        image = {term for term in mapping.values() if isinstance(term, Variable)}
+        if targets <= image:
+            return mapping
+    return None
+
+
+def has_surjective_homomorphism(
+    source: ConjunctiveQuery, target: ConjunctiveQuery
+) -> bool:
+    """Does an onto query homomorphism ``source → target`` exist?
+
+    When true, ``target(D) ≤ source(D)`` holds for **every** database ``D``
+    (the observation opening the proof of Lemma 12).
+    """
+    return find_surjective_homomorphism(source, target) is not None

@@ -1,0 +1,297 @@
+"""JSON serialization for queries and structures.
+
+Reduction outputs are artifacts worth persisting: a counterexample
+database produced by the Theorem 1 pipeline, or the query pair of a
+Theorem 3 instance, should be storable and reloadable bit-for-bit.  This
+module provides a stable JSON encoding for :class:`Schema`,
+:class:`Structure`, :class:`ConjunctiveQuery`, :class:`OpenQuery` and
+:class:`QueryProduct`.
+
+Domain elements are restricted to the JSON-friendly closure of strings,
+integers, booleans and (nested) tuples — which covers everything the
+library itself generates (fresh elements are strings or tagged tuples).
+Tuples are encoded as ``{"§": [...]}`` so they survive the round trip
+distinctly from lists.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.errors import BagCQError
+from repro.queries.atoms import Atom, Inequality
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.open_query import OpenQuery
+from repro.queries.product import QueryProduct
+from repro.queries.terms import Constant, Term, Variable
+from repro.relational.schema import RelationSymbol, Schema
+from repro.relational.structure import Structure
+
+__all__ = [
+    "SerializationError",
+    "schema_to_dict",
+    "schema_from_dict",
+    "structure_to_dict",
+    "structure_from_dict",
+    "query_to_dict",
+    "query_from_dict",
+    "open_query_to_dict",
+    "open_query_from_dict",
+    "product_to_dict",
+    "product_from_dict",
+    "dumps",
+    "loads",
+]
+
+_TUPLE_TAG = "§"
+
+
+class SerializationError(BagCQError):
+    """An object cannot be (de)serialized."""
+
+
+# -- elements -------------------------------------------------------------
+
+
+_CONST_TAG = "§const"
+_VAR_TAG = "§var"
+
+
+def _encode_element(element: Any) -> Any:
+    if isinstance(element, bool) or isinstance(element, (int, str)):
+        return element
+    if isinstance(element, tuple):
+        return {_TUPLE_TAG: [_encode_element(part) for part in element]}
+    # Canonical structures use terms themselves as elements.
+    if isinstance(element, Constant):
+        return {_CONST_TAG: element.name}
+    if isinstance(element, Variable):
+        return {_VAR_TAG: element.name}
+    raise SerializationError(
+        f"cannot serialize domain element of type {type(element).__name__}: "
+        f"{element!r}"
+    )
+
+
+def _decode_element(payload: Any) -> Any:
+    if isinstance(payload, dict):
+        if set(payload) == {_TUPLE_TAG}:
+            return tuple(_decode_element(part) for part in payload[_TUPLE_TAG])
+        if set(payload) == {_CONST_TAG}:
+            return Constant(payload[_CONST_TAG])
+        if set(payload) == {_VAR_TAG}:
+            return Variable(payload[_VAR_TAG])
+        raise SerializationError(f"malformed element payload: {payload!r}")
+    if isinstance(payload, (int, str, bool)):
+        return payload
+    raise SerializationError(f"malformed element payload: {payload!r}")
+
+
+# -- terms ------------------------------------------------------------------
+
+
+def _encode_term(term: Term) -> dict:
+    kind = "const" if isinstance(term, Constant) else "var"
+    return {"kind": kind, "name": term.name}
+
+
+def _decode_term(payload: dict) -> Term:
+    try:
+        kind, name = payload["kind"], payload["name"]
+    except (KeyError, TypeError):
+        raise SerializationError(f"malformed term payload: {payload!r}") from None
+    if kind == "var":
+        return Variable(name)
+    if kind == "const":
+        return Constant(name)
+    raise SerializationError(f"unknown term kind {kind!r}")
+
+
+# -- schema --------------------------------------------------------------------
+
+
+def schema_to_dict(schema: Schema) -> dict:
+    return {
+        "relations": {symbol.name: symbol.arity for symbol in schema},
+    }
+
+
+def schema_from_dict(payload: dict) -> Schema:
+    try:
+        relations = payload["relations"]
+    except (KeyError, TypeError):
+        raise SerializationError(f"malformed schema payload: {payload!r}") from None
+    return Schema(
+        RelationSymbol(name, arity) for name, arity in relations.items()
+    )
+
+
+# -- structures -------------------------------------------------------------------
+
+
+def structure_to_dict(structure: Structure) -> dict:
+    return {
+        "schema": schema_to_dict(structure.schema),
+        "facts": {
+            name: sorted(
+                (
+                    [_encode_element(value) for value in values]
+                    for values in structure.facts(name)
+                ),
+                key=repr,
+            )
+            for name in structure.schema.relation_names
+            if structure.facts(name)
+        },
+        "constants": {
+            name: _encode_element(element)
+            for name, element in sorted(structure.constants.items())
+        },
+        "domain": sorted(
+            (_encode_element(element) for element in structure.domain), key=repr
+        ),
+    }
+
+
+def structure_from_dict(payload: dict) -> Structure:
+    try:
+        schema = schema_from_dict(payload["schema"])
+        facts = {
+            name: [
+                tuple(_decode_element(value) for value in values)
+                for values in tuples
+            ]
+            for name, tuples in payload.get("facts", {}).items()
+        }
+        constants = {
+            name: _decode_element(element)
+            for name, element in payload.get("constants", {}).items()
+        }
+        domain = [_decode_element(e) for e in payload.get("domain", [])]
+    except (KeyError, TypeError) as error:
+        raise SerializationError(
+            f"malformed structure payload: {error}"
+        ) from error
+    return Structure(schema, facts, constants, domain)
+
+
+# -- queries -------------------------------------------------------------------------
+
+
+def query_to_dict(query: ConjunctiveQuery) -> dict:
+    return {
+        "atoms": [
+            {
+                "relation": atom.relation,
+                "terms": [_encode_term(term) for term in atom.terms],
+            }
+            for atom in query.atoms
+        ],
+        "inequalities": [
+            {"left": _encode_term(ineq.left), "right": _encode_term(ineq.right)}
+            for ineq in query.inequalities
+        ],
+    }
+
+
+def query_from_dict(payload: dict) -> ConjunctiveQuery:
+    try:
+        atoms = [
+            Atom(
+                entry["relation"],
+                tuple(_decode_term(term) for term in entry["terms"]),
+            )
+            for entry in payload.get("atoms", [])
+        ]
+        inequalities = [
+            Inequality(_decode_term(entry["left"]), _decode_term(entry["right"]))
+            for entry in payload.get("inequalities", [])
+        ]
+    except (KeyError, TypeError) as error:
+        raise SerializationError(f"malformed query payload: {error}") from error
+    return ConjunctiveQuery(atoms, inequalities)
+
+
+def open_query_to_dict(query: OpenQuery) -> dict:
+    return {
+        "body": query_to_dict(query.body),
+        "head": [variable.name for variable in query.head],
+    }
+
+
+def open_query_from_dict(payload: dict) -> OpenQuery:
+    try:
+        body = query_from_dict(payload["body"])
+        head = payload.get("head", [])
+    except (KeyError, TypeError) as error:
+        raise SerializationError(f"malformed open query payload: {error}") from error
+    return OpenQuery(body, tuple(head))
+
+
+def product_to_dict(product: QueryProduct) -> dict:
+    return {
+        "factors": [
+            {"query": query_to_dict(query), "exponent": exponent}
+            for query, exponent in product
+        ]
+    }
+
+
+def product_from_dict(payload: dict) -> QueryProduct:
+    try:
+        factors = [
+            (query_from_dict(entry["query"]), entry["exponent"])
+            for entry in payload.get("factors", [])
+        ]
+    except (KeyError, TypeError) as error:
+        raise SerializationError(
+            f"malformed query product payload: {error}"
+        ) from error
+    return QueryProduct(factors)
+
+
+# -- top level -----------------------------------------------------------------------
+
+_ENCODERS = {
+    Schema: ("schema", schema_to_dict),
+    Structure: ("structure", structure_to_dict),
+    ConjunctiveQuery: ("query", query_to_dict),
+    OpenQuery: ("open_query", open_query_to_dict),
+    QueryProduct: ("query_product", product_to_dict),
+}
+
+_DECODERS = {
+    "schema": schema_from_dict,
+    "structure": structure_from_dict,
+    "query": query_from_dict,
+    "open_query": open_query_from_dict,
+    "query_product": product_from_dict,
+}
+
+
+def dumps(obj, indent: int | None = None) -> str:
+    """Serialize any supported object to a self-describing JSON string."""
+    for cls, (tag, encoder) in _ENCODERS.items():
+        if isinstance(obj, cls):
+            return json.dumps(
+                {"type": tag, "payload": encoder(obj)}, indent=indent
+            )
+    raise SerializationError(
+        f"cannot serialize objects of type {type(obj).__name__}"
+    )
+
+
+def loads(text: str):
+    """Inverse of :func:`dumps`."""
+    try:
+        envelope = json.loads(text)
+        tag = envelope["type"]
+        payload = envelope["payload"]
+    except (json.JSONDecodeError, KeyError, TypeError) as error:
+        raise SerializationError(f"malformed envelope: {error}") from error
+    try:
+        decoder = _DECODERS[tag]
+    except KeyError:
+        raise SerializationError(f"unknown payload type {tag!r}") from None
+    return decoder(payload)

@@ -1,0 +1,59 @@
+"""Shared naming conventions.
+
+The paper designates two constants, rendered here as ``♠`` (spade) and
+``♥`` (heart), whose distinct interpretation makes a database *non-trivial*
+(Section 1.2: "Call a database D non-trivial if it contains two different
+constants").  Every gadget in Section 3 and the Arena of Section 4 mention
+them, so the names are fixed package-wide.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator
+
+__all__ = ["SPADE", "HEART", "NameSupply"]
+
+#: Name of the first non-triviality constant (the paper's spade).
+SPADE = "spade"
+
+#: Name of the second non-triviality constant (the paper's heart).
+HEART = "heart"
+
+
+class NameSupply:
+    """Deterministic supply of fresh names avoiding a reserved set.
+
+    Used when renaming queries apart for the disjoint conjunction
+    ``∧̄`` (Section 2.2): the variables of the right-hand operand must be
+    made local, i.e. renamed away from every variable of the left-hand
+    operand.
+
+    >>> supply = NameSupply(reserved={"x", "x_1"})
+    >>> supply.fresh("x")
+    'x_2'
+    >>> supply.fresh("x")
+    'x_3'
+    """
+
+    __slots__ = ("_reserved", "_counters")
+
+    def __init__(self, reserved: Iterator[str] | set[str] = ()) -> None:
+        self._reserved: set[str] = set(reserved)
+        self._counters: dict[str, itertools.count] = {}
+
+    def reserve(self, name: str) -> None:
+        self._reserved.add(name)
+
+    def fresh(self, base: str) -> str:
+        """Return an unused name derived from ``base`` and reserve it."""
+        if base not in self._reserved:
+            self._reserved.add(base)
+            return base
+        counter = self._counters.setdefault(base, itertools.count(1))
+        for index in counter:
+            candidate = f"{base}_{index}"
+            if candidate not in self._reserved:
+                self._reserved.add(candidate)
+                return candidate
+        raise AssertionError("unreachable: itertools.count is infinite")

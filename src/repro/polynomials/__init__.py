@@ -1,0 +1,36 @@
+"""Polynomials over ℕ/ℤ, the Lemma 11 normal form, and the Appendix B pipeline."""
+
+from repro.polynomials.diophantine import (
+    DiophantineInstance,
+    always_positive,
+    fermat_cubes,
+    linear,
+    markov,
+    parity_obstruction,
+    pell,
+    pell_nontrivial,
+    standard_suite,
+    sum_of_squares,
+)
+from repro.polynomials.hilbert import HilbertReduction, hilbert_to_lemma11
+from repro.polynomials.lemma11 import Lemma11Instance
+from repro.polynomials.monomial import Monomial
+from repro.polynomials.polynomial import Polynomial
+
+__all__ = [
+    "DiophantineInstance",
+    "HilbertReduction",
+    "Lemma11Instance",
+    "Monomial",
+    "Polynomial",
+    "always_positive",
+    "fermat_cubes",
+    "hilbert_to_lemma11",
+    "linear",
+    "markov",
+    "parity_obstruction",
+    "pell",
+    "pell_nontrivial",
+    "standard_suite",
+    "sum_of_squares",
+]

@@ -1,0 +1,249 @@
+"""A library of concrete Diophantine instances.
+
+Hilbert's 10th problem — does ``Q(Ξ) = 0`` have a solution over ℕ? — is the
+paper's source of undecidability (Theorem 6 / reference [18]).  Since no
+algorithm decides it, the reproduction exercises the reductions on a suite
+of *concrete* polynomials whose solvability is known by elementary number
+theory.  Each instance records the polynomial, its solvability status, and
+a witness valuation when one exists (witnesses are verified by the test
+suite, not trusted).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PolynomialError
+from repro.polynomials.polynomial import Polynomial
+
+__all__ = [
+    "DiophantineInstance",
+    "linear",
+    "pell",
+    "pell_nontrivial",
+    "sum_of_squares",
+    "markov",
+    "fermat_cubes",
+    "always_positive",
+    "parity_obstruction",
+    "standard_suite",
+]
+
+
+@dataclass(frozen=True)
+class DiophantineInstance:
+    """A named polynomial with known solvability over ℕ.
+
+    ``solvable`` is ``True``/``False`` when known; ``witness`` (if present)
+    is a valuation ``{variable index: value}`` with ``polynomial(witness) = 0``.
+    """
+
+    name: str
+    polynomial: Polynomial
+    solvable: bool
+    witness: dict[int, int] | None
+    description: str
+
+    def __post_init__(self) -> None:
+        if self.witness is not None:
+            if not self.solvable:
+                raise PolynomialError(
+                    f"{self.name}: witness supplied for an unsolvable instance"
+                )
+            value = self.polynomial.evaluate(self.witness)
+            if value != 0:
+                raise PolynomialError(
+                    f"{self.name}: claimed witness {self.witness} gives "
+                    f"Q = {value}, not 0"
+                )
+
+    def __str__(self) -> str:
+        status = "solvable" if self.solvable else "unsolvable"
+        return f"{self.name}: {self.polynomial} = 0  [{status}]"
+
+
+def _var(index: int) -> Polynomial:
+    return Polynomial.variable(index)
+
+
+def linear(a: int, b: int, c: int) -> DiophantineInstance:
+    """``a·x + b·y − c = 0`` over ℕ (``a, b, c > 0``).
+
+    Solvable iff ``c`` is a non-negative integer combination of ``a`` and
+    ``b`` — decided here by a tiny search, which is exact for this family.
+    """
+    if min(a, b, c) <= 0:
+        raise PolynomialError("linear instance requires positive a, b, c")
+    polynomial = a * _var(1) + b * _var(2) - c
+    witness = None
+    for x in range(c // a + 1):
+        remainder = c - a * x
+        if remainder % b == 0:
+            witness = {1: x, 2: remainder // b}
+            break
+    return DiophantineInstance(
+        name=f"linear({a},{b},{c})",
+        polynomial=polynomial,
+        solvable=witness is not None,
+        witness=witness,
+        description=f"{a}x + {b}y = {c} over the naturals",
+    )
+
+
+def pell(n: int) -> DiophantineInstance:
+    """``x² − n·y² − 1 = 0`` — always solvable over ℕ via ``(1, 0)``."""
+    if n < 1:
+        raise PolynomialError("pell requires n >= 1")
+    polynomial = _var(1) ** 2 - n * _var(2) ** 2 - 1
+    return DiophantineInstance(
+        name=f"pell({n})",
+        polynomial=polynomial,
+        solvable=True,
+        witness={1: 1, 2: 0},
+        description=f"Pell equation x^2 - {n}y^2 = 1 (trivial solution allowed)",
+    )
+
+
+def pell_nontrivial(n: int, witness_x: int | None = None) -> DiophantineInstance:
+    """``x² − n·(y+1)² − 1 = 0``: the Pell equation with ``y ≥ 1`` forced.
+
+    Solvable iff ``n`` is **not** a perfect square (classical theory of the
+    Pell equation).  For non-square ``n ≤ 30`` a fundamental solution is
+    found by search; larger non-square ``n`` require ``witness_x``.
+    """
+    if n < 1:
+        raise PolynomialError("pell_nontrivial requires n >= 1")
+    polynomial = _var(1) ** 2 - n * (_var(2) + 1) ** 2 - 1
+    root = int(n**0.5)
+    if root * root == n:
+        return DiophantineInstance(
+            name=f"pell_nontrivial({n})",
+            polynomial=polynomial,
+            solvable=False,
+            witness=None,
+            description=f"x^2 - {n}(y+1)^2 = 1 with square n: unsolvable",
+        )
+    witness = None
+    if witness_x is not None:
+        y_plus_1_squared = (witness_x**2 - 1) // n
+        witness = {1: witness_x, 2: int(y_plus_1_squared**0.5) - 1}
+    else:
+        for x in range(2, 100_000):
+            value = x * x - 1
+            if value % n == 0:
+                square = value // n
+                side = int(square**0.5)
+                if side >= 1 and side * side == square:
+                    witness = {1: x, 2: side - 1}
+                    break
+        if witness is None:
+            raise PolynomialError(
+                f"no fundamental solution of Pell({n}) found within the "
+                f"search bound; pass witness_x explicitly"
+            )
+    return DiophantineInstance(
+        name=f"pell_nontrivial({n})",
+        polynomial=polynomial,
+        solvable=True,
+        witness=witness,
+        description=f"x^2 - {n}(y+1)^2 = 1 with y >= 0 forced non-trivial",
+    )
+
+
+def sum_of_squares(c: int) -> DiophantineInstance:
+    """``x² + y² − c = 0``: solvable iff ``c`` is a sum of two squares."""
+    if c < 0:
+        raise PolynomialError("sum_of_squares requires c >= 0")
+    polynomial = _var(1) ** 2 + _var(2) ** 2 - c
+    witness = None
+    x = 0
+    while x * x <= c and witness is None:
+        rest = c - x * x
+        y = int(rest**0.5)
+        for candidate in (y - 1, y, y + 1):
+            if candidate >= 0 and candidate * candidate == rest:
+                witness = {1: x, 2: candidate}
+                break
+        x += 1
+    return DiophantineInstance(
+        name=f"sum_of_squares({c})",
+        polynomial=polynomial,
+        solvable=witness is not None,
+        witness=witness,
+        description=f"x^2 + y^2 = {c}",
+    )
+
+
+def markov() -> DiophantineInstance:
+    """``x² + y² + z² − 3xyz = 0``: the Markov equation, solvable by (1,1,1)."""
+    polynomial = (
+        _var(1) ** 2
+        + _var(2) ** 2
+        + _var(3) ** 2
+        - 3 * _var(1) * _var(2) * _var(3)
+    )
+    return DiophantineInstance(
+        name="markov",
+        polynomial=polynomial,
+        solvable=True,
+        witness={1: 1, 2: 1, 3: 1},
+        description="Markov triple equation x^2 + y^2 + z^2 = 3xyz",
+    )
+
+
+def fermat_cubes() -> DiophantineInstance:
+    """``(x+1)³ + (y+1)³ − (z+1)³ = 0``: unsolvable (Fermat, exponent 3)."""
+    polynomial = (
+        (_var(1) + 1) ** 3 + (_var(2) + 1) ** 3 - (_var(3) + 1) ** 3
+    )
+    return DiophantineInstance(
+        name="fermat_cubes",
+        polynomial=polynomial,
+        solvable=False,
+        witness=None,
+        description="Fermat's last theorem for exponent 3, shifted to force positivity",
+    )
+
+
+def always_positive() -> DiophantineInstance:
+    """``x² + 1 = 0``: has no root anywhere, let alone in ℕ."""
+    polynomial = _var(1) ** 2 + 1
+    return DiophantineInstance(
+        name="always_positive",
+        polynomial=polynomial,
+        solvable=False,
+        witness=None,
+        description="x^2 + 1 is strictly positive",
+    )
+
+
+def parity_obstruction() -> DiophantineInstance:
+    """``2x − 2y − 1 = 0``: unsolvable by parity."""
+    polynomial = 2 * _var(1) - 2 * _var(2) - 1
+    return DiophantineInstance(
+        name="parity_obstruction",
+        polynomial=polynomial,
+        solvable=False,
+        witness=None,
+        description="an even number never equals an odd one",
+    )
+
+
+def standard_suite() -> tuple[DiophantineInstance, ...]:
+    """The fixed instance suite used by the experiments (E8, E9, E11, E12).
+
+    Mixes solvable and unsolvable instances so both branches of each
+    reduction's correctness proof are exercised.
+    """
+    return (
+        linear(2, 3, 7),
+        linear(2, 4, 5),
+        pell(2),
+        pell_nontrivial(2),
+        pell_nontrivial(4),
+        sum_of_squares(25),
+        sum_of_squares(7),
+        markov(),
+        always_positive(),
+        parity_obstruction(),
+    )

@@ -1,0 +1,170 @@
+"""The Appendix B pipeline: from Hilbert's 10th problem to Lemma 11.
+
+Given a polynomial ``Q`` with integer coefficients, Appendix B constructs a
+Lemma 11 instance ``(c, P_s, P_b)`` such that ``Q`` has a root in ℕ iff the
+Lemma 11 inequality fails for some valuation.  The steps (each one a method
+below, all intermediate artifacts retained for inspection and testing):
+
+* **B.2** Rename the variables of ``Q`` to ``ξ₂,…,ξ_n`` (reserving ``ξ₁``),
+  square it (``Q' = Q²``), split into positive and negative parts, and set
+  ``P₁ = Q'_- + 1``, ``P₂ = Q'_+``.  Lemma 25: ``Q(Ξ)=0 ⟺ P₁(Ξ) > P₂(Ξ)``.
+* **B.3** Add ``P = Σ_{t∈T} t`` (over the union ``T`` of their monomials)
+  to both, yielding ``P₁' , P₂'`` with a common monomial set.
+* **B.4** Pad every monomial with a power of ``ξ₁`` to the common degree
+  ``d = 1 + max degree`` (Lemmas 26–28 relate ``P''`` to ``P'``).
+* **B.5** Let ``c = max(2, max coefficient of P₁'')`` and output
+  ``P_s = P₁''``, ``P_b = c·P₂''``.
+
+Lemma 29 then gives: ``∃Ξ. P₁(Ξ) > P₂(Ξ)`` iff
+``∃Ξ'. c·P_s(Ξ') > Ξ'(ξ₁)^d·P_b(Ξ')``.
+
+One engineering note: distinct monomials of ``T`` can *collide* after the
+``ξ₁``-padding of B.4 (e.g. ``x₂`` and ``x₁x₂`` both pad to ``x₁²x₂`` when
+``d = 3``).  Colliding monomials are merged by summing their coefficients
+in both polynomials, which preserves the polynomials' values and every
+Lemma 11 side condition; the test-suite checks the Lemma 29 equivalence on
+instances that exercise this merge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PolynomialError
+from repro.polynomials.lemma11 import Lemma11Instance
+from repro.polynomials.monomial import Monomial
+from repro.polynomials.polynomial import Polynomial
+
+__all__ = ["HilbertReduction", "hilbert_to_lemma11"]
+
+
+@dataclass(frozen=True)
+class HilbertReduction:
+    """All artifacts of the Appendix B construction, in order of creation."""
+
+    q_original: Polynomial
+    q: Polynomial
+    variable_renaming: dict[int, int]
+    q_squared: Polynomial
+    q_plus: Polynomial
+    q_minus: Polynomial
+    p1: Polynomial
+    p2: Polynomial
+    common: Polynomial
+    p1_prime: Polynomial
+    p2_prime: Polynomial
+    d: int
+    p1_doubleprime: Polynomial
+    p2_doubleprime: Polynomial
+    c: int
+    instance: Lemma11Instance
+
+    def q_has_root(self, valuation) -> bool:
+        """``Q(Ξ) = 0`` for the given valuation of the *renamed* variables."""
+        return self.q.evaluate(valuation) == 0
+
+    def describe(self) -> str:
+        """A step-by-step textual trace of the construction."""
+        lines = [
+            f"Q (input)           : {self.q_original}",
+            f"Q (renamed to ξ2..) : {self.q}",
+            f"Q' = Q^2            : {self.q_squared}",
+            f"Q'_+                : {self.q_plus}",
+            f"Q'_-                : {self.q_minus}",
+            f"P1 = Q'_- + 1       : {self.p1}",
+            f"P2 = Q'_+           : {self.p2}",
+            f"P  = Σ t over T     : {self.common}",
+            f"P1' = P1 + P        : {self.p1_prime}",
+            f"P2' = P2 + P        : {self.p2_prime}",
+            f"d  = 1 + max degree : {self.d}",
+            f"P1'' (ξ1-padded)    : {self.p1_doubleprime}",
+            f"P2'' (ξ1-padded)    : {self.p2_doubleprime}",
+            f"c                   : {self.c}",
+            f"P_s = P1''          : {self.instance.p_s}",
+            f"P_b = c·P2''        : {self.instance.p_b}",
+        ]
+        return "\n".join(lines)
+
+
+def hilbert_to_lemma11(q: Polynomial) -> HilbertReduction:
+    """Run the full Appendix B pipeline on a Hilbert-10 polynomial ``Q``.
+
+    >>> x, y = Polynomial.variable(1), Polynomial.variable(2)
+    >>> reduction = hilbert_to_lemma11(x**2 - 2 * y**2 - 1)
+    >>> reduction.instance.c >= 2
+    True
+    """
+    # -- B.2: rename variables to ξ2.., square, split signs -----------------
+    original_variables = sorted(q.variables)
+    renaming = {old: new for new, old in enumerate(original_variables, start=2)}
+    renamed = q.rename_variables(renaming)
+
+    q_squared = renamed**2
+    q_plus, q_minus = q_squared.split_signs()
+    p1 = q_minus + 1
+    p2 = q_plus
+
+    # -- B.3: common monomial set ----------------------------------------------
+    monomial_set = sorted(set(p1.monomials) | set(p2.monomials))
+    common = Polynomial((monomial, 1) for monomial in monomial_set)
+    p1_prime = p1 + common
+    p2_prime = p2 + common
+
+    # -- B.4: pad to common degree d with ξ1 ------------------------------------
+    d = 1 + max(monomial.degree for monomial in monomial_set)
+    padded: dict[Monomial, tuple[int, int]] = {}
+    order: list[Monomial] = []
+    for monomial in monomial_set:
+        lifted = monomial.canonical().prepend_variable(1, d - monomial.degree)
+        key = lifted.canonical()
+        s_coefficient = p1_prime.coefficient(monomial)
+        b_coefficient = p2_prime.coefficient(monomial)
+        if key not in padded:
+            order.append(key)
+            padded[key] = (0, 0)
+        s_old, b_old = padded[key]
+        padded[key] = (s_old + s_coefficient, b_old + b_coefficient)
+
+    ordered_monomials = tuple(
+        Monomial((1,) * key.exponent_of(1) + tuple(i for i in key.indices if i != 1))
+        for key in order
+    )
+    s_coefficients = tuple(padded[key][0] for key in order)
+    p2_coefficients = tuple(padded[key][1] for key in order)
+
+    p1_doubleprime = Polynomial(zip(ordered_monomials, s_coefficients))
+    p2_doubleprime = Polynomial(zip(ordered_monomials, p2_coefficients))
+
+    # -- B.5: scale P2'' so coefficients dominate ----------------------------------
+    c = max(2, max(s_coefficients))
+    b_coefficients = tuple(c * coefficient for coefficient in p2_coefficients)
+
+    if any(coefficient < 1 for coefficient in s_coefficients):
+        raise PolynomialError(
+            "internal error: P1'' lost a monomial during padding"
+        )
+
+    instance = Lemma11Instance(
+        c=c,
+        monomials=ordered_monomials,
+        s_coefficients=s_coefficients,
+        b_coefficients=b_coefficients,
+    )
+    return HilbertReduction(
+        q_original=q,
+        q=renamed,
+        variable_renaming=renaming,
+        q_squared=q_squared,
+        q_plus=q_plus,
+        q_minus=q_minus,
+        p1=p1,
+        p2=p2,
+        common=common,
+        p1_prime=p1_prime,
+        p2_prime=p2_prime,
+        d=d,
+        p1_doubleprime=p1_doubleprime,
+        p2_doubleprime=p2_doubleprime,
+        c=c,
+        instance=instance,
+    )

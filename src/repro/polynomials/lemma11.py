@@ -1,0 +1,178 @@
+"""The normal form of Lemma 11: the source of undecidability.
+
+Lemma 11 states that the following problem is undecidable.  Given a natural
+number ``c ≥ 2`` and two polynomials ``P_s = Σ c_{s,m}·T_m`` and
+``P_b = Σ c_{b,m}·T_m`` with natural coefficients such that
+
+1. both sums range over the **same** monomials ``T_1 … T_𝗆``,
+2. every monomial has the same degree ``d``,
+3. ``x₁`` occurs as the **first** variable of each ``T_m``, and
+4. ``1 ≤ c_{s,m} ≤ c_{b,m}`` for each ``m``,
+
+does ``c·P_s(Ξ(x⃗)) ≤ Ξ(x₁)^d · P_b(Ξ(x⃗))`` hold for every valuation
+``Ξ : {x₁,…,x_n} → ℕ``?
+
+A :class:`Lemma11Instance` is a validated instance of this problem; it is
+the direct input of the Theorem 1 reduction (Section 4) and the output of
+the Appendix B pipeline (:mod:`repro.polynomials.hilbert`).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterator, Mapping, Sequence
+
+from repro.errors import Lemma11ViolationError
+from repro.polynomials.monomial import Monomial, Valuation
+from repro.polynomials.polynomial import Polynomial
+
+__all__ = ["Lemma11Instance"]
+
+
+@dataclass(frozen=True)
+class Lemma11Instance:
+    """A validated instance ``(c, P_s, P_b)`` of the Lemma 11 problem.
+
+    ``monomials`` holds the shared **ordered** monomials ``T_1 … T_𝗆``;
+    ``s_coefficients[m]`` and ``b_coefficients[m]`` are the coefficients of
+    ``T_{m+1}`` in ``P_s`` and ``P_b`` respectively.
+
+    >>> inst = Lemma11Instance(
+    ...     c=2,
+    ...     monomials=(Monomial.of(1, 2), Monomial.of(1, 1)),
+    ...     s_coefficients=(1, 2),
+    ...     b_coefficients=(3, 2),
+    ... )
+    >>> inst.n, inst.m, inst.d
+    (2, 2, 2)
+    >>> inst.holds_for({1: 2, 2: 1})
+    True
+    >>> inst.holds_for({1: 1, 2: 1})
+    False
+    """
+
+    c: int
+    monomials: tuple[Monomial, ...]
+    s_coefficients: tuple[int, ...]
+    b_coefficients: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if self.c < 2:
+            raise Lemma11ViolationError(f"Lemma 11 requires c >= 2, got {self.c}")
+        if not self.monomials:
+            raise Lemma11ViolationError("at least one monomial is required")
+        if not (
+            len(self.monomials)
+            == len(self.s_coefficients)
+            == len(self.b_coefficients)
+        ):
+            raise Lemma11ViolationError(
+                "monomials and coefficient vectors must have equal length"
+            )
+        degrees = {monomial.degree for monomial in self.monomials}
+        if len(degrees) != 1:
+            raise Lemma11ViolationError(
+                f"all monomials must have the same degree, got degrees {sorted(degrees)}"
+            )
+        if self.d < 1:
+            raise Lemma11ViolationError("monomials must have degree >= 1")
+        for index, monomial in enumerate(self.monomials, start=1):
+            if monomial.indices[0] != 1:
+                raise Lemma11ViolationError(
+                    f"x1 must be the first variable of every monomial; "
+                    f"T_{index} = {monomial} starts with x{monomial.indices[0]}"
+                )
+        canonical_forms = [monomial.canonical() for monomial in self.monomials]
+        if len(set(canonical_forms)) != len(canonical_forms):
+            raise Lemma11ViolationError(
+                "the monomials T_1 ... T_m must be pairwise distinct"
+            )
+        for index, (small, big) in enumerate(
+            zip(self.s_coefficients, self.b_coefficients), start=1
+        ):
+            if not 1 <= small <= big:
+                raise Lemma11ViolationError(
+                    f"coefficients must satisfy 1 <= c_s,m <= c_b,m; "
+                    f"for m={index} got c_s={small}, c_b={big}"
+                )
+
+    # -- dimensions (the paper's 𝗇, 𝗆, 𝖽) ------------------------------
+
+    @property
+    def n(self) -> int:
+        """Number of numerical variables (largest index occurring)."""
+        return max(max(monomial.indices) for monomial in self.monomials)
+
+    @property
+    def m(self) -> int:
+        """Number of monomials."""
+        return len(self.monomials)
+
+    @property
+    def d(self) -> int:
+        """The common degree of all monomials."""
+        return self.monomials[0].degree
+
+    # -- polynomials ------------------------------------------------------
+
+    @property
+    def p_s(self) -> Polynomial:
+        return Polynomial(zip(self.monomials, self.s_coefficients))
+
+    @property
+    def p_b(self) -> Polynomial:
+        return Polynomial(zip(self.monomials, self.b_coefficients))
+
+    def position_relation(self) -> frozenset[tuple[int, int, int]]:
+        """The relation ``𝒫 ⊆ {1..n} × {1..d} × {1..m}`` of Section 4.4.
+
+        ``(n, d, m) ∈ 𝒫`` iff ``x_n`` is the ``d``-th variable of ``T_m``
+        (all indices 1-based, like the paper's).
+        """
+        triples: set[tuple[int, int, int]] = set()
+        for m_index, monomial in enumerate(self.monomials, start=1):
+            for d_index, n_index in enumerate(monomial.indices, start=1):
+                triples.add((n_index, d_index, m_index))
+        return frozenset(triples)
+
+    # -- the Lemma 11 inequality --------------------------------------------
+
+    def lhs(self, valuation: Valuation | Sequence[int]) -> int:
+        """``c · P_s(Ξ(x⃗))``."""
+        return self.c * self.p_s.evaluate(valuation)
+
+    def rhs(self, valuation: Valuation | Sequence[int]) -> int:
+        """``Ξ(x₁)^d · P_b(Ξ(x⃗))``."""
+        if isinstance(valuation, Mapping):
+            x1 = valuation[1]
+        else:
+            x1 = valuation[0]
+        return x1**self.d * self.p_b.evaluate(valuation)
+
+    def holds_for(self, valuation: Valuation | Sequence[int]) -> bool:
+        """Does ``c·P_s(Ξ) ≤ Ξ(x₁)^d·P_b(Ξ)`` hold for this valuation?"""
+        return self.lhs(valuation) <= self.rhs(valuation)
+
+    def valuations(self, max_value: int) -> Iterator[dict[int, int]]:
+        """All valuations ``{1..n} → {0..max_value}``."""
+        indices = range(1, self.n + 1)
+        for values in itertools.product(range(max_value + 1), repeat=self.n):
+            yield dict(zip(indices, values))
+
+    def find_counterexample(self, max_value: int) -> dict[int, int] | None:
+        """A valuation violating the inequality, searched on a grid.
+
+        Returns the first ``Ξ`` with ``c·P_s(Ξ) > Ξ(x₁)^d·P_b(Ξ)`` among all
+        valuations into ``{0..max_value}``, or ``None``.  (Absence of a grid
+        counterexample proves nothing — the problem is undecidable.)
+        """
+        for valuation in self.valuations(max_value):
+            if not self.holds_for(valuation):
+                return valuation
+        return None
+
+    def __str__(self) -> str:
+        return (
+            f"{self.c}·({self.p_s})  ≤?  x1^{self.d}·({self.p_b})"
+        )

@@ -1,0 +1,127 @@
+"""Monomials of numerical variables.
+
+The paper's reductions (Lemma 11, Appendix B) manipulate polynomials of
+*numerical variables* ``x₁, x₂, …, x_n`` ranging over ℕ.  A monomial here
+is an **ordered** product of variables — the order matters because Lemma 11
+requires ``x₁`` to occur as the *first* variable of every monomial, and the
+Arena relation ``𝒫(n, d, m)`` of Section 4.4 records which variable is the
+``d``-th factor of which monomial.
+
+Variables are identified by positive integer indices (``1`` for ``x₁``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.errors import PolynomialError
+
+__all__ = ["Monomial"]
+
+Valuation = Mapping[int, int]
+
+
+@dataclass(frozen=True, order=True)
+class Monomial:
+    """An ordered product of numerical variables, e.g. ``x₁·x₂·x₂``.
+
+    >>> t = Monomial((1, 2, 2))
+    >>> t.degree
+    3
+    >>> t.evaluate({1: 5, 2: 3})
+    45
+    >>> str(t)
+    'x1*x2^2'
+    """
+
+    indices: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        for index in self.indices:
+            if not isinstance(index, int) or index < 1:
+                raise PolynomialError(
+                    f"variable indices must be positive integers, got {index!r}"
+                )
+
+    @classmethod
+    def constant(cls) -> "Monomial":
+        """The empty product (degree 0)."""
+        return cls(())
+
+    @classmethod
+    def of(cls, *indices: int) -> "Monomial":
+        return cls(tuple(indices))
+
+    @property
+    def degree(self) -> int:
+        return len(self.indices)
+
+    @property
+    def variables(self) -> frozenset[int]:
+        return frozenset(self.indices)
+
+    def exponent_of(self, index: int) -> int:
+        return self.indices.count(index)
+
+    def canonical(self) -> "Monomial":
+        """The sorted form, used as a key for polynomial arithmetic.
+
+        Two monomials denote the same product iff their canonical forms
+        coincide; the *ordered* form is only significant inside Lemma 11
+        instances.
+        """
+        return Monomial(tuple(sorted(self.indices)))
+
+    def times(self, other: "Monomial") -> "Monomial":
+        return Monomial(self.indices + other.indices)
+
+    def prepend_variable(self, index: int, count: int = 1) -> "Monomial":
+        """Prefix ``count`` occurrences of ``x_index`` (Appendix B.4)."""
+        if count < 0:
+            raise PolynomialError(f"cannot prepend {count} occurrences")
+        return Monomial((index,) * count + self.indices)
+
+    def evaluate(self, valuation: Valuation | Sequence[int]) -> int:
+        """The value of the product under a valuation ``Ξ``.
+
+        ``valuation`` is a mapping from variable index to ℕ, or a sequence
+        where position ``i`` (0-based) holds the value of ``x_{i+1}``.
+        """
+        value = 1
+        for index in self.indices:
+            value *= _lookup(valuation, index)
+        return value
+
+    def __str__(self) -> str:
+        if not self.indices:
+            return "1"
+        parts: list[str] = []
+        i = 0
+        while i < len(self.indices):
+            index = self.indices[i]
+            run = 1
+            while i + run < len(self.indices) and self.indices[i + run] == index:
+                run += 1
+            parts.append(f"x{index}" if run == 1 else f"x{index}^{run}")
+            i += run
+        return "*".join(parts)
+
+
+def _lookup(valuation: Valuation | Sequence[int], index: int) -> int:
+    if isinstance(valuation, Mapping):
+        try:
+            value = valuation[index]
+        except KeyError:
+            raise PolynomialError(
+                f"valuation does not assign variable x{index}"
+            ) from None
+    else:
+        if index > len(valuation):
+            raise PolynomialError(f"valuation does not assign variable x{index}")
+        value = valuation[index - 1]
+    if value < 0:
+        raise PolynomialError(
+            f"valuations range over the naturals; x{index} = {value}"
+        )
+    return value

@@ -1,0 +1,242 @@
+"""Multivariate polynomials with integer coefficients.
+
+The inputs of Hilbert's 10th problem (Theorem 6 in Appendix B) and every
+intermediate object of the Appendix B pipeline.  Internally a polynomial is
+a mapping from *canonical* (sorted) monomials to non-zero integer
+coefficients; the ordered monomials demanded by Lemma 11 live in
+:class:`repro.polynomials.lemma11.Lemma11Instance`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from repro.errors import PolynomialError
+from repro.polynomials.monomial import Monomial, Valuation
+
+__all__ = ["Polynomial"]
+
+
+class Polynomial:
+    """An immutable polynomial ``Σ c_i·t_i`` over ℤ.
+
+    >>> x, y = Polynomial.variable(1), Polynomial.variable(2)
+    >>> q = x**2 - 2 * y**2 - 1
+    >>> q.evaluate({1: 3, 2: 2})
+    0
+    >>> str(q)
+    '-1 + x1^2 - 2*x2^2'
+    """
+
+    __slots__ = ("_terms",)
+
+    def __init__(self, terms: Mapping[Monomial, int] | Iterable[tuple[Monomial, int]] = ()) -> None:
+        collected: dict[Monomial, int] = {}
+        items = terms.items() if isinstance(terms, Mapping) else terms
+        for monomial, coefficient in items:
+            if not isinstance(monomial, Monomial):
+                raise PolynomialError(f"not a Monomial: {monomial!r}")
+            if not isinstance(coefficient, int):
+                raise PolynomialError(f"not an integer coefficient: {coefficient!r}")
+            key = monomial.canonical()
+            collected[key] = collected.get(key, 0) + coefficient
+        self._terms: dict[Monomial, int] = {
+            monomial: coefficient
+            for monomial, coefficient in sorted(collected.items())
+            if coefficient != 0
+        }
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def zero(cls) -> "Polynomial":
+        return cls()
+
+    @classmethod
+    def constant(cls, value: int) -> "Polynomial":
+        return cls({Monomial.constant(): value})
+
+    @classmethod
+    def variable(cls, index: int) -> "Polynomial":
+        """The polynomial ``x_index``."""
+        return cls({Monomial.of(index): 1})
+
+    @classmethod
+    def from_terms(cls, *terms: tuple[int, Sequence[int]]) -> "Polynomial":
+        """Build from ``(coefficient, variable-indices)`` pairs.
+
+        >>> str(Polynomial.from_terms((3, [1, 1]), (-1, [2])))
+        '3*x1^2 - x2'
+        """
+        return cls(
+            (Monomial(tuple(indices)), coefficient)
+            for coefficient, indices in terms
+        )
+
+    # -- accessors ------------------------------------------------------------
+
+    @property
+    def terms(self) -> dict[Monomial, int]:
+        """``{canonical monomial: coefficient}`` (non-zero coefficients only)."""
+        return dict(self._terms)
+
+    @property
+    def monomials(self) -> tuple[Monomial, ...]:
+        return tuple(self._terms)
+
+    def coefficient(self, monomial: Monomial) -> int:
+        return self._terms.get(monomial.canonical(), 0)
+
+    def __iter__(self) -> Iterator[tuple[Monomial, int]]:
+        return iter(self._terms.items())
+
+    def is_zero(self) -> bool:
+        return not self._terms
+
+    @property
+    def degree(self) -> int:
+        """The total degree (``0`` for constants and for the zero polynomial)."""
+        return max((monomial.degree for monomial in self._terms), default=0)
+
+    @property
+    def variables(self) -> frozenset[int]:
+        result: set[int] = set()
+        for monomial in self._terms:
+            result |= monomial.variables
+        return frozenset(result)
+
+    def has_natural_coefficients(self) -> bool:
+        """Are all coefficients ≥ 0 (required of ``P_s`` and ``P_b``)?"""
+        return all(coefficient > 0 for coefficient in self._terms.values())
+
+    def is_homogeneous(self) -> bool:
+        """Do all monomials share the same degree (Lemma 11's condition)?"""
+        degrees = {monomial.degree for monomial in self._terms}
+        return len(degrees) <= 1
+
+    # -- arithmetic ---------------------------------------------------------------
+
+    def __add__(self, other: "Polynomial | int") -> "Polynomial":
+        other = _coerce(other)
+        terms = dict(self._terms)
+        return Polynomial(list(terms.items()) + list(other._terms.items()))
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Polynomial":
+        return Polynomial(
+            (monomial, -coefficient) for monomial, coefficient in self._terms.items()
+        )
+
+    def __sub__(self, other: "Polynomial | int") -> "Polynomial":
+        return self + (-_coerce(other))
+
+    def __rsub__(self, other: "Polynomial | int") -> "Polynomial":
+        return _coerce(other) - self
+
+    def __mul__(self, other: "Polynomial | int") -> "Polynomial":
+        other = _coerce(other)
+        terms: list[tuple[Monomial, int]] = []
+        for left_monomial, left_coefficient in self._terms.items():
+            for right_monomial, right_coefficient in other._terms.items():
+                terms.append(
+                    (
+                        left_monomial.times(right_monomial),
+                        left_coefficient * right_coefficient,
+                    )
+                )
+        return Polynomial(terms)
+
+    __rmul__ = __mul__
+
+    def __pow__(self, exponent: int) -> "Polynomial":
+        if exponent < 0:
+            raise PolynomialError(f"negative exponent {exponent}")
+        result = Polynomial.constant(1)
+        for _ in range(exponent):
+            result = result * self
+        return result
+
+    def scale(self, factor: int) -> "Polynomial":
+        return self * factor
+
+    def split_signs(self) -> tuple["Polynomial", "Polynomial"]:
+        """``(Q'_+, Q'_-)`` of Appendix B.2: ``self = positive − negative``.
+
+        Both returned polynomials have natural coefficients.
+        """
+        positive = Polynomial(
+            (monomial, coefficient)
+            for monomial, coefficient in self._terms.items()
+            if coefficient > 0
+        )
+        negative = Polynomial(
+            (monomial, -coefficient)
+            for monomial, coefficient in self._terms.items()
+            if coefficient < 0
+        )
+        return positive, negative
+
+    def rename_variables(self, mapping: Mapping[int, int]) -> "Polynomial":
+        """Rename variable indices (injective on the variables present)."""
+        present = self.variables
+        image = {mapping.get(index, index) for index in present}
+        if len(image) != len(present):
+            raise PolynomialError("variable renaming must be injective")
+        return Polynomial(
+            (
+                Monomial(tuple(mapping.get(i, i) for i in monomial.indices)),
+                coefficient,
+            )
+            for monomial, coefficient in self._terms.items()
+        )
+
+    # -- evaluation ---------------------------------------------------------
+
+    def evaluate(self, valuation: Valuation | Sequence[int]) -> int:
+        """The value under a valuation ``Ξ : variables → ℕ``."""
+        return sum(
+            coefficient * monomial.evaluate(valuation)
+            for monomial, coefficient in self._terms.items()
+        )
+
+    # -- value semantics -------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, int):
+            other = Polynomial.constant(other)
+        if not isinstance(other, Polynomial):
+            return NotImplemented
+        return self._terms == other._terms
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._terms.items()))
+
+    def __str__(self) -> str:
+        if not self._terms:
+            return "0"
+        parts: list[str] = []
+        for monomial, coefficient in self._terms.items():
+            magnitude = abs(coefficient)
+            if monomial.degree == 0:
+                body = str(magnitude)
+            elif magnitude == 1:
+                body = str(monomial)
+            else:
+                body = f"{magnitude}*{monomial}"
+            if not parts:
+                parts.append(body if coefficient > 0 else f"-{body}")
+            else:
+                parts.append(f"+ {body}" if coefficient > 0 else f"- {body}")
+        return " ".join(parts)
+
+    def __repr__(self) -> str:
+        return f"Polynomial({str(self)!r})"
+
+
+def _coerce(value: "Polynomial | int") -> Polynomial:
+    if isinstance(value, int):
+        return Polynomial.constant(value)
+    if isinstance(value, Polynomial):
+        return value
+    raise PolynomialError(f"cannot coerce {value!r} to a Polynomial")

@@ -1,0 +1,44 @@
+"""Conjunctive queries: terms, atoms, CQs, factorized products, UCQs."""
+
+from repro.queries.atoms import Atom, Inequality
+from repro.queries.cq import TRUE, ConjunctiveQuery
+from repro.queries.open_query import (
+    OpenQuery,
+    answer_multiset,
+    bag_answer_contained,
+    bag_answer_counterexample,
+)
+from repro.queries.parser import parse_query, parse_term
+from repro.queries.product import QueryProduct
+from repro.queries.terms import (
+    HEART_C,
+    SPADE_C,
+    Constant,
+    Term,
+    Variable,
+    constants,
+    variables,
+)
+from repro.queries.ucq import UnionOfConjunctiveQueries
+
+__all__ = [
+    "Atom",
+    "ConjunctiveQuery",
+    "Constant",
+    "HEART_C",
+    "Inequality",
+    "OpenQuery",
+    "QueryProduct",
+    "SPADE_C",
+    "TRUE",
+    "Term",
+    "UnionOfConjunctiveQueries",
+    "Variable",
+    "answer_multiset",
+    "bag_answer_contained",
+    "bag_answer_counterexample",
+    "constants",
+    "parse_query",
+    "parse_term",
+    "variables",
+]

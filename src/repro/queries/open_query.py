@@ -1,0 +1,185 @@
+"""Non-boolean conjunctive queries: answer multisets and bag containment.
+
+The paper works with *boolean* queries throughout (Section 2), but the
+problem it studies — ``QCP^bag`` as stated in Section 1.1 — is about
+general CQs whose answers form a **multiset of tuples**: ``Ψ(D)`` maps
+each answer tuple to the number of homomorphisms producing it, and
+``Ψ_s(D) ⊆ Ψ_b(D)`` is multiset inclusion (pointwise ``≤`` on
+multiplicities).
+
+An :class:`OpenQuery` is a boolean :class:`ConjunctiveQuery` body plus an
+ordered tuple of *free* (output) variables.  Two classical reductions
+connect the open and boolean worlds, both implemented here:
+
+* grounding an output tuple turns free variables into constants
+  (:meth:`OpenQuery.ground`), which is the Section 2.3 observation read
+  right-to-left: containment of boolean queries with constants ``a`` is
+  the same as containment of the open queries with ``a`` read as free
+  variables;
+* the boolean query of an open query simply drops the output tuple
+  (:meth:`OpenQuery.boolean`).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from repro.errors import QueryError
+from repro.homomorphism.backtracking import enumerate_homomorphisms
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.terms import Constant, Term, Variable
+from repro.relational.structure import Structure
+
+__all__ = ["OpenQuery", "bag_answer_contained", "answer_multiset"]
+
+
+class OpenQuery:
+    """A conjunctive query with an ordered tuple of output variables.
+
+    >>> from repro.queries import parse_query
+    >>> q = OpenQuery(parse_query("E(x, y) & E(y, z)"), ("x", "z"))
+    >>> q.arity
+    2
+    """
+
+    __slots__ = ("_body", "_head")
+
+    def __init__(
+        self,
+        body: ConjunctiveQuery,
+        head: Sequence[Variable | str],
+    ) -> None:
+        self._body = body
+        head_variables = tuple(
+            Variable(v) if isinstance(v, str) else v for v in head
+        )
+        for variable in head_variables:
+            if not isinstance(variable, Variable):
+                raise QueryError(f"head terms must be variables, got {variable!r}")
+            if variable not in body.variables:
+                raise QueryError(
+                    f"head variable {variable} does not occur in the body"
+                )
+        self._head = head_variables
+
+    # -- accessors ---------------------------------------------------------
+
+    @property
+    def body(self) -> ConjunctiveQuery:
+        return self._body
+
+    @property
+    def head(self) -> tuple[Variable, ...]:
+        return self._head
+
+    @property
+    def arity(self) -> int:
+        return len(self._head)
+
+    def is_boolean(self) -> bool:
+        return not self._head
+
+    def is_projection_free(self) -> bool:
+        """No existential variables: every body variable is an output.
+
+        The fragment whose bag containment Afrati et al. [7] proved
+        decidable (for both queries projection-free).
+        """
+        return set(self._head) == set(self._body.variables)
+
+    # -- conversions -----------------------------------------------------------
+
+    def boolean(self) -> ConjunctiveQuery:
+        """Forget the head: the boolean query counting all homomorphisms."""
+        return self._body
+
+    def ground(self, answer: Sequence) -> tuple[ConjunctiveQuery, Structure]:
+        """Pin the head to an answer tuple via fresh constants.
+
+        Returns the boolean query with each head variable replaced by a
+        fresh constant, plus a helper interpretation fragment mapping each
+        fresh constant name to the corresponding answer element (merge it
+        into your structure with ``with_constant``).
+        """
+        if len(answer) != self.arity:
+            raise QueryError(
+                f"answer arity {len(answer)} != head arity {self.arity}"
+            )
+        mapping: dict[Variable, Term] = {}
+        constants: dict[str, object] = {}
+        for position, (variable, element) in enumerate(zip(self._head, answer)):
+            constant = Constant(f"__ans_{position}")
+            mapping[variable] = constant
+            constants[constant.name] = element
+        grounded = self._body.rename(mapping)
+        fragment = Structure(grounded.schema, constants=constants)
+        return grounded, fragment
+
+    # -- evaluation ---------------------------------------------------------------
+
+    def answers(self, structure: Structure) -> Counter:
+        """The answer multiset ``Ψ(D)``: tuple → multiplicity.
+
+        The multiplicity of a tuple is the number of homomorphisms of the
+        body mapping the head to it (duplicates preserved — SQL without
+        DISTINCT, the paper's motivating semantics).
+        """
+        result: Counter = Counter()
+        for assignment in enumerate_homomorphisms(self._body, structure):
+            result[tuple(assignment[v] for v in self._head)] += 1
+        return result
+
+    def __str__(self) -> str:
+        head = ", ".join(str(v) for v in self._head)
+        return f"({head}) <- {self._body}"
+
+    def __repr__(self) -> str:
+        return f"OpenQuery(head={self._head!r}, body={self._body!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, OpenQuery):
+            return NotImplemented
+        return self._body == other._body and self._head == other._head
+
+    def __hash__(self) -> int:
+        return hash((self._body, self._head))
+
+
+def answer_multiset(query: OpenQuery, structure: Structure) -> Counter:
+    """Free-function alias of :meth:`OpenQuery.answers`."""
+    return query.answers(structure)
+
+
+def bag_answer_contained(
+    query_s: OpenQuery, query_b: OpenQuery, structure: Structure
+) -> bool:
+    """``Ψ_s(D) ⊆ Ψ_b(D)`` as multisets, on one database.
+
+    Pointwise comparison of answer multiplicities — the ``⊆`` of the QCP
+    statement in Section 1.1 under bag semantics.  Queries must have equal
+    arity.
+    """
+    if query_s.arity != query_b.arity:
+        raise QueryError(
+            f"cannot compare answers of arities {query_s.arity} and "
+            f"{query_b.arity}"
+        )
+    small = query_s.answers(structure)
+    big = query_b.answers(structure)
+    return all(count <= big[answer] for answer, count in small.items())
+
+
+def bag_answer_counterexample(
+    query_s: OpenQuery,
+    query_b: OpenQuery,
+    candidates: Iterable[Structure],
+) -> tuple[Structure, tuple] | None:
+    """First ``(D, answer)`` with ``Ψ_s(D)[answer] > Ψ_b(D)[answer]``."""
+    for structure in candidates:
+        small = query_s.answers(structure)
+        big = query_b.answers(structure)
+        for answer, count in sorted(small.items(), key=lambda kv: repr(kv[0])):
+            if count > big[answer]:
+                return structure, answer
+    return None

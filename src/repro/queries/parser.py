@@ -1,0 +1,174 @@
+"""A small textual syntax for conjunctive queries.
+
+Grammar (whitespace-insensitive)::
+
+    query      := clause (("&" | "," | "∧") clause)*  |  "TRUE"
+    clause     := atom | inequality
+    atom       := NAME "(" term ("," term)* ")"
+    inequality := term ("!=" | "≠") term
+    term       := NAME          -- a variable
+                | "#" NAME      -- a constant
+    NAME       := [A-Za-z_][A-Za-z0-9_']*
+
+Example::
+
+    >>> phi = parse_query("R(x, y) & S(y, #a) & x != y")
+    >>> phi.atom_count, phi.inequality_count
+    (2, 1)
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator, NamedTuple
+
+from repro.errors import ParseError
+from repro.queries.atoms import Atom, Inequality
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.terms import Constant, Term, Variable
+
+__all__ = ["parse_query", "parse_term"]
+
+_TOKEN_SPEC = [
+    ("NAME", r"[A-Za-z_][A-Za-z0-9_']*"),
+    ("HASH", r"#"),
+    ("LPAREN", r"\("),
+    ("RPAREN", r"\)"),
+    ("COMMA", r","),
+    ("NEQ", r"!=|≠"),
+    ("AND", r"&|∧"),
+    ("SKIP", r"\s+"),
+    ("BAD", r"."),
+]
+_TOKEN_RE = re.compile("|".join(f"(?P<{name}>{rx})" for name, rx in _TOKEN_SPEC))
+
+
+class _Token(NamedTuple):
+    kind: str
+    text: str
+    position: int
+
+
+def _tokenize(text: str) -> Iterator[_Token]:
+    for match in _TOKEN_RE.finditer(text):
+        kind = match.lastgroup or "BAD"
+        if kind == "SKIP":
+            continue
+        if kind == "BAD":
+            raise ParseError(
+                f"unexpected character {match.group()!r} at offset {match.start()}"
+            )
+        yield _Token(kind, match.group(), match.start())
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self._tokens = list(_tokenize(text))
+        self._index = 0
+
+    def _peek(self) -> _Token | None:
+        if self._index < len(self._tokens):
+            return self._tokens[self._index]
+        return None
+
+    def _next(self, expected: str | None = None) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise ParseError(
+                f"unexpected end of input (expected {expected or 'a token'})"
+            )
+        if expected is not None and token.kind != expected:
+            raise ParseError(
+                f"expected {expected} at offset {token.position}, "
+                f"got {token.text!r}"
+            )
+        self._index += 1
+        return token
+
+    def parse_query(self) -> ConjunctiveQuery:
+        atoms: list[Atom] = []
+        inequalities: list[Inequality] = []
+        first = self._peek()
+        if first is not None and first.kind == "NAME" and first.text == "TRUE":
+            self._next()
+            if self._peek() is not None:
+                raise ParseError("TRUE cannot be combined with other clauses")
+            return ConjunctiveQuery()
+        while True:
+            clause = self._parse_clause()
+            if isinstance(clause, Atom):
+                atoms.append(clause)
+            else:
+                inequalities.append(clause)
+            token = self._peek()
+            if token is None:
+                break
+            if token.kind in ("AND", "COMMA"):
+                self._next()
+                continue
+            raise ParseError(
+                f"expected '&' or ',' at offset {token.position}, got {token.text!r}"
+            )
+        return ConjunctiveQuery(atoms, inequalities)
+
+    def _parse_clause(self) -> Atom | Inequality:
+        token = self._peek()
+        if token is None:
+            raise ParseError("unexpected end of input (expected a clause)")
+        if token.kind == "NAME":
+            lookahead = (
+                self._tokens[self._index + 1]
+                if self._index + 1 < len(self._tokens)
+                else None
+            )
+            if lookahead is not None and lookahead.kind == "LPAREN":
+                return self._parse_atom()
+        left = self._parse_term()
+        self._next("NEQ")
+        right = self._parse_term()
+        return Inequality(left, right)
+
+    def _parse_atom(self) -> Atom:
+        name = self._next("NAME").text
+        self._next("LPAREN")
+        terms = [self._parse_term()]
+        while True:
+            token = self._peek()
+            if token is None:
+                raise ParseError(f"unterminated atom {name!r}")
+            if token.kind == "COMMA":
+                self._next()
+                terms.append(self._parse_term())
+                continue
+            self._next("RPAREN")
+            break
+        return Atom(name, tuple(terms))
+
+    def _parse_term(self) -> Term:
+        token = self._peek()
+        if token is None:
+            raise ParseError("unexpected end of input (expected a term)")
+        if token.kind == "HASH":
+            self._next()
+            return Constant(self._next("NAME").text)
+        if token.kind == "NAME":
+            return Variable(self._next().text)
+        raise ParseError(
+            f"expected a term at offset {token.position}, got {token.text!r}"
+        )
+
+
+def parse_query(text: str) -> ConjunctiveQuery:
+    """Parse the textual query syntax into a :class:`ConjunctiveQuery`."""
+    parser = _Parser(text)
+    query = parser.parse_query()
+    return query
+
+
+def parse_term(text: str) -> Term:
+    """Parse a single term (``x`` variable, ``#a`` constant)."""
+    parser = _Parser(text)
+    term = parser._parse_term()
+    if parser._peek() is not None:
+        raise ParseError(f"trailing input after term in {text!r}")
+    return term

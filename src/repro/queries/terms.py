@@ -1,0 +1,107 @@
+"""Terms of conjunctive queries: variables and constants.
+
+All queries in the paper are boolean and implicitly existentially
+quantified (Section 2.1), so a term is either an (existential) variable or
+a constant of the language.  Both are immutable, hashable, and ordered;
+hashes are precomputed because homomorphism counting hashes terms in its
+innermost loops.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.naming import HEART, SPADE
+
+__all__ = [
+    "Variable",
+    "Constant",
+    "Term",
+    "SPADE_C",
+    "HEART_C",
+    "variables",
+    "constants",
+]
+
+
+class _Named:
+    """Shared value-object machinery for variables and constants."""
+
+    __slots__ = ("name", "_hash")
+
+    def __init__(self, name: str) -> None:
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "_hash", hash((type(self).__name__, name)))
+
+    def __setattr__(self, key: str, value) -> None:
+        raise AttributeError(f"{type(self).__name__} is immutable")
+
+    def __eq__(self, other: object) -> bool:
+        return type(other) is type(self) and other.name == self.name  # type: ignore[attr-defined]
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __lt__(self, other: "_Named") -> bool:
+        if type(other) is not type(self):
+            return type(self).__name__ < type(other).__name__
+        return self.name < other.name
+
+    def __le__(self, other: "_Named") -> bool:
+        return self == other or self < other
+
+    def __gt__(self, other: "_Named") -> bool:
+        return not self <= other
+
+    def __ge__(self, other: "_Named") -> bool:
+        return not self < other
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class Variable(_Named):
+    """An existentially quantified first-order variable."""
+
+    __slots__ = ()
+
+    def __str__(self) -> str:
+        return self.name
+
+    def is_variable(self) -> bool:
+        return True
+
+    def is_constant(self) -> bool:
+        return False
+
+
+class Constant(_Named):
+    """A constant of the language; homomorphisms fix it (``h(a) = a``)."""
+
+    __slots__ = ()
+
+    def __str__(self) -> str:
+        return f"#{self.name}"
+
+    def is_variable(self) -> bool:
+        return False
+
+    def is_constant(self) -> bool:
+        return True
+
+
+Term = Union[Variable, Constant]
+
+#: The two distinguished non-triviality constants (Section 1.2).
+SPADE_C = Constant(SPADE)
+HEART_C = Constant(HEART)
+
+
+def variables(*names: str) -> tuple[Variable, ...]:
+    """Convenience constructor: ``x, y = variables("x", "y")``."""
+    return tuple(Variable(name) for name in names)
+
+
+def constants(*names: str) -> tuple[Constant, ...]:
+    """Convenience constructor: ``a, b = constants("a", "b")``."""
+    return tuple(Constant(name) for name in names)

@@ -1,0 +1,113 @@
+"""Unions of conjunctive queries (UCQs) under bag semantics.
+
+Needed for the baseline of Ioannidis–Ramakrishnan [14], which the paper
+cites as the "easy" undecidability result: ``QCP^bag_UCQ`` is undecidable
+via a straightforward encoding of Hilbert's 10th problem, because a sum of
+monomials translates naturally into a *disjunction* of CQs.
+
+Under bag semantics the value of a boolean UCQ on ``D`` is the **sum** of
+the values of its disjuncts (bag union keeps duplicates; this is the
+standard multiset semantics of UNION ALL).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.errors import QueryError
+from repro.queries.cq import ConjunctiveQuery
+from repro.relational.schema import Schema
+
+__all__ = ["UnionOfConjunctiveQueries"]
+
+
+class UnionOfConjunctiveQueries:
+    """A finite multiset of boolean CQs, summed under bag semantics.
+
+    Disjuncts form a *multiset*: the same CQ may appear with a
+    multiplicity, contributing ``multiplicity · φ(D)`` to the union — this
+    is exactly how natural-number coefficients of a polynomial are encoded
+    in the [14] baseline.
+    """
+
+    __slots__ = ("_disjuncts",)
+
+    def __init__(
+        self, disjuncts: Iterable[tuple[ConjunctiveQuery, int]] = ()
+    ) -> None:
+        merged: dict[ConjunctiveQuery, int] = {}
+        order: list[ConjunctiveQuery] = []
+        for query, multiplicity in disjuncts:
+            if not isinstance(query, ConjunctiveQuery):
+                raise QueryError(f"not a ConjunctiveQuery: {query!r}")
+            if multiplicity < 0:
+                raise QueryError(f"negative multiplicity {multiplicity}")
+            if multiplicity == 0:
+                continue
+            if query not in merged:
+                order.append(query)
+                merged[query] = 0
+            merged[query] += multiplicity
+        self._disjuncts: tuple[tuple[ConjunctiveQuery, int], ...] = tuple(
+            (query, merged[query]) for query in order
+        )
+
+    @classmethod
+    def of(cls, *queries: ConjunctiveQuery) -> "UnionOfConjunctiveQueries":
+        return cls((query, 1) for query in queries)
+
+    @property
+    def disjuncts(self) -> tuple[tuple[ConjunctiveQuery, int], ...]:
+        return self._disjuncts
+
+    def __iter__(self) -> Iterator[tuple[ConjunctiveQuery, int]]:
+        return iter(self._disjuncts)
+
+    def __len__(self) -> int:
+        return sum(multiplicity for _, multiplicity in self._disjuncts)
+
+    def is_empty(self) -> bool:
+        return not self._disjuncts
+
+    @property
+    def schema(self) -> Schema:
+        schema = Schema()
+        for query, _ in self._disjuncts:
+            schema = schema.union(query.schema)
+        return schema
+
+    def union(self, other: "UnionOfConjunctiveQueries") -> "UnionOfConjunctiveQueries":
+        """Bag union (UNION ALL): multiplicities add."""
+        return UnionOfConjunctiveQueries(self._disjuncts + other._disjuncts)
+
+    def __or__(self, other: "UnionOfConjunctiveQueries") -> "UnionOfConjunctiveQueries":
+        return self.union(other)
+
+    def scale(self, factor: int) -> "UnionOfConjunctiveQueries":
+        """Multiply every multiplicity by a natural number."""
+        if factor < 0:
+            raise QueryError(f"negative factor {factor}")
+        return UnionOfConjunctiveQueries(
+            (query, multiplicity * factor)
+            for query, multiplicity in self._disjuncts
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, UnionOfConjunctiveQueries):
+            return NotImplemented
+        return dict(self._disjuncts) == dict(other._disjuncts)
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._disjuncts))
+
+    def __str__(self) -> str:
+        if not self._disjuncts:
+            return "FALSE"
+        parts = []
+        for query, multiplicity in self._disjuncts:
+            body = f"({query})"
+            parts.append(body if multiplicity == 1 else f"{multiplicity}·{body}")
+        return " | ".join(parts)
+
+    def __repr__(self) -> str:
+        return f"UnionOfConjunctiveQueries(disjuncts={len(self._disjuncts)})"

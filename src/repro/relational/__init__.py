@@ -1,0 +1,27 @@
+"""Relational substrate: schemas, finite structures, structure operations."""
+
+from repro.relational.isomorphism import (
+    are_isomorphic,
+    distinct_up_to_isomorphism,
+    find_isomorphism,
+)
+from repro.relational.multiset_structure import MultisetStructure, count_weighted
+from repro.relational.operations import blowup, disjoint_union, power, product
+from repro.relational.schema import RelationSymbol, Schema
+from repro.relational.structure import Structure, StructureBuilder
+
+__all__ = [
+    "MultisetStructure",
+    "RelationSymbol",
+    "Schema",
+    "Structure",
+    "StructureBuilder",
+    "are_isomorphic",
+    "blowup",
+    "count_weighted",
+    "distinct_up_to_isomorphism",
+    "find_isomorphism",
+    "disjoint_union",
+    "power",
+    "product",
+]

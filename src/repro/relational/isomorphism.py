@@ -1,0 +1,146 @@
+"""Structure isomorphism.
+
+Exhaustive searches (gadget (≤) verification, bounded containment checks)
+enumerate every structure over a small domain, but many candidates differ
+only by a relabeling of elements — and every query count is invariant
+under isomorphism.  This module provides an exact isomorphism test and an
+iso-pruning filter for candidate streams.
+
+The test is backtracking over element bijections with an invariant-based
+pre-filter (per-element "color" profiles: how often an element occurs at
+each position of each relation, plus constant names it interprets).
+Exponential in the worst case, linear-ish on the tiny structures the
+search procedures enumerate.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator
+
+from repro.relational.structure import Structure
+
+__all__ = ["are_isomorphic", "find_isomorphism", "distinct_up_to_isomorphism"]
+
+Element = Hashable
+
+
+def _color(structure: Structure, element: Element) -> tuple:
+    """An isomorphism-invariant fingerprint of one element."""
+    occurrence_profile = []
+    for name in structure.schema.relation_names:
+        arity = structure.schema.arity(name)
+        counts = [0] * arity
+        for values in structure.facts(name):
+            for position, value in enumerate(values):
+                if value == element:
+                    counts[position] += 1
+        occurrence_profile.append((name, tuple(counts)))
+    interpreted = tuple(
+        sorted(
+            name
+            for name, value in structure.constants.items()
+            if value == element
+        )
+    )
+    return (tuple(occurrence_profile), interpreted)
+
+
+def _profile(structure: Structure) -> tuple:
+    """A whole-structure invariant: sorted multiset of element colors."""
+    return (
+        structure.schema,
+        tuple(sorted(structure.fact_count(n) for n in structure.schema.relation_names)),
+        tuple(sorted(map(repr, (_color(structure, e) for e in structure.domain)))),
+    )
+
+
+def find_isomorphism(
+    left: Structure, right: Structure
+) -> dict[Element, Element] | None:
+    """An element bijection mapping ``left`` onto ``right`` exactly.
+
+    Constants must map to constants of the same name.  Returns the witness
+    mapping or ``None``.
+    """
+    if left.schema != right.schema:
+        return None
+    if len(left.domain) != len(right.domain):
+        return None
+    for name in left.schema.relation_names:
+        if left.fact_count(name) != right.fact_count(name):
+            return None
+
+    left_elements = sorted(left.domain, key=repr)
+    left_colors = {e: _color(left, e) for e in left_elements}
+    right_colors: dict[tuple, list[Element]] = {}
+    for element in right.domain:
+        right_colors.setdefault(_color(right, element), []).append(element)
+    for element in left_elements:
+        if left_colors[element] not in right_colors:
+            return None
+
+    # Most-constrained-first: rare colors first.
+    left_elements.sort(key=lambda e: (len(right_colors[left_colors[e]]), repr(e)))
+
+    mapping: dict[Element, Element] = {}
+    used: set[Element] = set()
+
+    def consistent_so_far(element: Element, image: Element) -> bool:
+        """Check all facts whose support is fully mapped after this pair."""
+        trial = dict(mapping)
+        trial[element] = image
+        for name in left.schema.relation_names:
+            for values in left.facts(name):
+                if element not in values:
+                    continue
+                if any(value not in trial for value in values):
+                    continue
+                mapped = tuple(trial[value] for value in values)
+                if not right.has_fact(name, mapped):
+                    return False
+        return True
+
+    def backtrack(index: int) -> bool:
+        if index == len(left_elements):
+            return True
+        element = left_elements[index]
+        for image in right_colors[left_colors[element]]:
+            if image in used:
+                continue
+            if not consistent_so_far(element, image):
+                continue
+            mapping[element] = image
+            used.add(image)
+            if backtrack(index + 1):
+                return True
+            del mapping[element]
+            used.discard(image)
+        return False
+
+    if backtrack(0):
+        # Fact counts are equal and the mapping preserves facts injectively,
+        # so the image fact sets coincide; constants were matched by color.
+        return dict(mapping)
+    return None
+
+
+def are_isomorphic(left: Structure, right: Structure) -> bool:
+    return find_isomorphism(left, right) is not None
+
+
+def distinct_up_to_isomorphism(
+    structures: Iterable[Structure],
+) -> Iterator[Structure]:
+    """Filter a stream, keeping one representative per isomorphism class.
+
+    Intended for the small-domain exhaustive streams of
+    :mod:`repro.decision.search`; memory grows with the number of classes.
+    """
+    kept: dict[tuple, list[Structure]] = {}
+    for structure in structures:
+        key = _profile(structure)
+        bucket = kept.setdefault(key, [])
+        if any(are_isomorphic(structure, seen) for seen in bucket):
+            continue
+        bucket.append(structure)
+        yield structure

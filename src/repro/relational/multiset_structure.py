@@ -1,0 +1,216 @@
+"""Multiset databases: base relations with duplicate tuples.
+
+The literature around the paper distinguishes two multiset semantics
+(e.g. Afrati et al. [7], "query containment under bag and bag-set
+semantics"):
+
+* **bag-set semantics** — base relations are *sets*, duplicates arise only
+  from projection/join.  This is the semantics of the paper and of the
+  plain :class:`~repro.relational.structure.Structure` used everywhere
+  else in this library (``φ(D) = |Hom(φ, D)|``).
+* **bag semantics proper** — base relations are *multisets* themselves
+  (real SQL tables).  A homomorphism is then weighted by the product of
+  the multiplicities of the facts it uses, counted once per atom
+  *occurrence*:
+
+  ``φ(D) = Σ_{h ∈ Hom(φ, set(D))} Π_{atoms A of φ} mult(h(A))``
+
+A :class:`MultisetStructure` carries fact multiplicities and evaluates
+queries under bag semantics proper.  Its :meth:`support` is the ordinary
+set-based structure, and when every multiplicity is 1 the two semantics
+coincide (tested).  Weighted evaluation reduces to ordinary counting over
+the support with per-fact weights folded in during the atom-directed join.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Mapping
+
+from repro.errors import EvaluationError, SchemaError
+from repro.relational.schema import Schema
+from repro.relational.structure import Structure
+
+if False:  # pragma: no cover - import cycle guard, used for typing only
+    from repro.queries.cq import ConjunctiveQuery
+
+__all__ = ["MultisetStructure", "count_weighted"]
+
+Element = Hashable
+
+
+class MultisetStructure:
+    """A finite structure whose facts carry multiplicities ≥ 1.
+
+    >>> schema = Schema.from_arities({"E": 2})
+    >>> d = MultisetStructure(schema, {"E": {(0, 1): 3, (1, 0): 1}})
+    >>> d.multiplicity("E", (0, 1))
+    3
+    """
+
+    __slots__ = ("_schema", "_facts", "_constants", "_domain")
+
+    def __init__(
+        self,
+        schema: Schema,
+        facts: Mapping[str, Mapping[tuple, int]] | None = None,
+        constants: Mapping[str, Element] | None = None,
+        domain: Iterable[Element] = (),
+    ) -> None:
+        self._schema = schema
+        normalized: dict[str, dict[tuple, int]] = {}
+        elements: set[Element] = set(domain)
+        for name, bucket in (facts or {}).items():
+            if name not in schema:
+                raise SchemaError(f"fact uses undeclared relation {name!r}")
+            cleaned: dict[tuple, int] = {}
+            for values, multiplicity in bucket.items():
+                values = tuple(values)
+                schema.check_tuple(name, values)
+                if multiplicity < 0:
+                    raise SchemaError(
+                        f"multiplicity of {name}{values!r} must be >= 0, "
+                        f"got {multiplicity}"
+                    )
+                if multiplicity == 0:
+                    continue
+                cleaned[values] = multiplicity
+                elements.update(values)
+            if cleaned:
+                normalized[name] = cleaned
+        self._constants = dict(constants or {})
+        elements.update(self._constants.values())
+        self._facts = normalized
+        self._domain = frozenset(elements)
+
+    # -- accessors -------------------------------------------------------
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    @property
+    def domain(self) -> frozenset:
+        return self._domain
+
+    @property
+    def constants(self) -> Mapping[str, Element]:
+        return dict(self._constants)
+
+    def multiplicity(self, relation: str, values: tuple) -> int:
+        self._schema.symbol(relation)
+        return self._facts.get(relation, {}).get(tuple(values), 0)
+
+    def facts(self, relation: str) -> dict[tuple, int]:
+        self._schema.symbol(relation)
+        return dict(self._facts.get(relation, {}))
+
+    def total_multiplicity(self, relation: str | None = None) -> int:
+        """Total tuple count including duplicates (``COUNT(*)``)."""
+        if relation is None:
+            return sum(
+                sum(bucket.values()) for bucket in self._facts.values()
+            )
+        return sum(self.facts(relation).values())
+
+    def support(self) -> Structure:
+        """The set-based structure obtained by forgetting multiplicities."""
+        return Structure(
+            self._schema,
+            {name: set(bucket) for name, bucket in self._facts.items()},
+            self._constants,
+            self._domain,
+        )
+
+    @classmethod
+    def from_structure(
+        cls, structure: Structure, multiplicity: int = 1
+    ) -> "MultisetStructure":
+        """Lift a set-based structure, giving every fact the same multiplicity."""
+        facts = {
+            name: {values: multiplicity for values in structure.facts(name)}
+            for name in structure.schema.relation_names
+            if structure.facts(name)
+        }
+        return cls(structure.schema, facts, structure.constants, structure.domain)
+
+    def scale(self, relation: str, values: tuple, factor: int) -> "MultisetStructure":
+        """A copy with one fact's multiplicity multiplied by ``factor``."""
+        facts = {
+            name: dict(bucket) for name, bucket in self._facts.items()
+        }
+        current = facts.get(relation, {}).get(tuple(values))
+        if current is None:
+            raise SchemaError(f"no fact {relation}{tuple(values)!r} to scale")
+        facts[relation][tuple(values)] = current * factor
+        return MultisetStructure(self._schema, facts, self._constants, self._domain)
+
+    # -- value semantics -------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MultisetStructure):
+            return NotImplemented
+        return (
+            self._schema == other._schema
+            and self._facts == other._facts
+            and self._constants == other._constants
+            and self._domain == other._domain
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            (
+                self._schema,
+                frozenset(
+                    (name, frozenset(bucket.items()))
+                    for name, bucket in self._facts.items()
+                ),
+                frozenset(self._constants.items()),
+                self._domain,
+            )
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"MultisetStructure(|dom|={len(self._domain)}, "
+            f"total={self.total_multiplicity()})"
+        )
+
+
+def count_weighted(query: "ConjunctiveQuery", structure: MultisetStructure) -> int:
+    """``φ(D)`` under bag semantics proper (weighted homomorphism count).
+
+    Every homomorphism into the support contributes the product, over the
+    query's atom occurrences, of the multiplicity of the fact the atom
+    maps to.  With all multiplicities 1 this equals the ordinary count.
+
+    Inequalities are supported (they constrain the homomorphisms, not the
+    weights).  Implemented by enumerating support homomorphisms and
+    weighting — exact, and adequate for the moderate counts this library
+    works with; the factorization laws (Lemma 1 analogues) are covered by
+    the test suite.
+    """
+    # Imported here: queries/homomorphism modules depend on the relational
+    # package, so a module-level import would be circular.
+    from repro.homomorphism.backtracking import enumerate_homomorphisms
+    from repro.queries.terms import Constant
+
+    support = structure.support()
+    total = 0
+    for assignment in enumerate_homomorphisms(query, support):
+        weight = 1
+        for atom in query.atoms:
+            values = tuple(
+                structure.constants[term.name]
+                if isinstance(term, Constant)
+                else assignment[term]
+                for term in atom.terms
+            )
+            multiplicity = structure.multiplicity(atom.relation, values)
+            if multiplicity == 0:
+                raise EvaluationError(
+                    "internal error: support homomorphism uses a zero-"
+                    "multiplicity fact"
+                )
+            weight *= multiplicity
+        total += weight
+    return total

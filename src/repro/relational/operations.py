@@ -1,0 +1,182 @@
+"""Operations on structures: union, product, blow-up, power.
+
+Section 5.1 of the paper recalls two standard graph operations, which it
+applies to arbitrary relational structures:
+
+* ``blowup(D, k)`` — replace every element by ``k`` interchangeable copies;
+* ``D₁ × D₂`` — the categorical product (atoms hold component-wise), with
+  ``D^×k`` the ``k``-fold power.
+
+Both enter Lemma 22 (counting identities for CQs without inequality) and
+the proof of Theorem 5.  Section 3 additionally evaluates queries over the
+union ``D₁ ∪ D₂`` of databases over *disjoint schemas* sharing the two
+non-triviality constants; :func:`disjoint_union` implements exactly that
+merge.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable
+
+from repro.errors import ConstantError
+from repro.relational.structure import Structure
+
+__all__ = ["disjoint_union", "product", "power", "blowup"]
+
+Element = Hashable
+
+
+def disjoint_union(left: Structure, right: Structure) -> Structure:
+    """Union of two structures, identifying shared constants only.
+
+    Elements interpreting at least one constant are merged by the *set of
+    constant names* they interpret; all other elements are kept apart by
+    tagging with ``0``/``1``.  If the two structures disagree on the
+    grouping of constants (e.g. ``left`` identifies ``♠`` and ``♥`` while
+    ``right`` separates them) the interpretation of some constant would
+    become ambiguous and :class:`~repro.errors.ConstantError` is raised.
+
+    This is the paper's ``D = D₁ ∪ D₂`` from the proof of Theorem 3: the
+    schemas of the two parts are typically disjoint, the non-triviality
+    constants are shared.
+    """
+    schema = left.schema.union(right.schema)
+
+    def key_function(structure: Structure) -> Callable[[Element], Element]:
+        owned: dict[Element, frozenset[str]] = {}
+        for name, element in structure.constants.items():
+            owned[element] = owned.get(element, frozenset()) | {name}
+        groups = owned
+
+        def key(element: Element, tag: int, groups=groups) -> Element:
+            if element in groups:
+                return ("const", tuple(sorted(groups[element])))
+            return (tag, element)
+
+        return key
+
+    left_key = key_function(left)
+    right_key = key_function(right)
+
+    constants: dict[str, Element] = {}
+    for tag, structure, keyer in ((0, left, left_key), (1, right, right_key)):
+        for name, element in structure.constants.items():
+            merged = keyer(element, tag)
+            if name in constants and constants[name] != merged:
+                raise ConstantError(
+                    f"constant {name!r} would become ambiguous in the union: "
+                    f"{constants[name]!r} vs {merged!r}"
+                )
+            constants[name] = merged
+
+    facts: dict[str, set[tuple]] = {}
+    domain: set[Element] = set()
+    for tag, structure, keyer in ((0, left, left_key), (1, right, right_key)):
+        for element in structure.domain:
+            domain.add(keyer(element, tag))
+        for name, values in structure.all_facts():
+            facts.setdefault(name, set()).add(
+                tuple(keyer(value, tag) for value in values)
+            )
+    return Structure(schema, facts, constants, domain)
+
+
+def product(left: Structure, right: Structure) -> Structure:
+    """The categorical product ``D₁ × D₂`` (Section 5.1).
+
+    Elements are pairs; ``R((s,s'),(r,r'),…)`` is an atom iff ``R(s,r,…)``
+    holds in ``D₁`` and ``R(s',r',…)`` holds in ``D₂``.  A constant is
+    interpreted in the product only when both factors interpret it, and
+    then component-wise — this keeps Lemma 22 (ii),
+    ``φ(D^×k) = φ(D)^k``, true in the presence of constants.
+    """
+    schema = left.schema.union(right.schema)
+    facts: dict[str, set[tuple]] = {}
+    for name in schema.relation_names:
+        left_tuples = left.facts(name) if name in left.schema else frozenset()
+        right_tuples = right.facts(name) if name in right.schema else frozenset()
+        bucket = {
+            tuple(zip(lt, rt))
+            for lt in left_tuples
+            for rt in right_tuples
+        }
+        if bucket:
+            facts[name] = bucket
+    constants = {
+        name: (left.interpret(name), right.interpret(name))
+        for name in left.constants
+        if right.interprets(name)
+    }
+    domain = {(a, b) for a in left.domain for b in right.domain}
+    return Structure(schema, facts, constants, domain)
+
+
+def power(structure: Structure, k: int) -> Structure:
+    """``D^×k``: the product of ``k`` copies of ``D`` (``k ≥ 1``).
+
+    Elements of the result are ``k``-tuples of elements of ``D`` (flattened,
+    not nested pairs), so ``power(D, 1)`` is isomorphic to ``D`` with
+    1-tuples as elements.
+    """
+    if k < 1:
+        raise ValueError(f"power requires k >= 1, got {k}")
+    facts: dict[str, set[tuple]] = {}
+    for name in structure.schema.relation_names:
+        base = structure.facts(name)
+        if not base:
+            continue
+        bucket: set[tuple] = {tuple((v,) for v in values) for values in base}
+        for _ in range(k - 1):
+            bucket = {
+                tuple(old + (new,) for old, new in zip(combined, values))
+                for combined in bucket
+                for values in base
+            }
+        facts[name] = bucket
+    constants = {
+        name: tuple([element] * k)
+        for name, element in structure.constants.items()
+    }
+    domain = {tuple(point) for point in _cartesian(sorted(structure.domain, key=repr), k)}
+    return Structure(structure.schema, facts, constants, domain)
+
+
+def _cartesian(elements: list, k: int) -> list[tuple]:
+    points: list[tuple] = [()]
+    for _ in range(k):
+        points = [point + (element,) for point in points for element in elements]
+    return points
+
+
+def blowup(structure: Structure, k: int) -> Structure:
+    """``blowup(D, k)`` (Section 5.1).
+
+    The element set becomes ``{(s, i) : s ∈ V_D, 1 ≤ i ≤ k}`` and
+    ``R((s,i),(r,j),…)`` is an atom iff ``R(s,r,…)`` is.  Constants are
+    pinned to copy ``1``; consequently Lemma 22 (i) reads
+    ``φ(blowup(D,k)) = k^j · φ(D)`` with ``j`` the number of *variables*
+    of ``φ`` (for constant-free queries that is all of ``V_φ``, exactly as
+    printed in the paper).
+    """
+    if k < 1:
+        raise ValueError(f"blowup requires k >= 1, got {k}")
+    copies = range(1, k + 1)
+    facts: dict[str, set[tuple]] = {}
+    for name in structure.schema.relation_names:
+        base = structure.facts(name)
+        if not base:
+            continue
+        bucket: set[tuple] = set()
+        for values in base:
+            assignments: list[tuple] = [()]
+            for value in values:
+                assignments = [
+                    partial + ((value, i),) for partial in assignments for i in copies
+                ]
+            bucket.update(assignments)
+        facts[name] = bucket
+    constants = {
+        name: (element, 1) for name, element in structure.constants.items()
+    }
+    domain = {(element, i) for element in structure.domain for i in copies}
+    return Structure(structure.schema, facts, constants, domain)

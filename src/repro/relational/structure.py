@@ -1,0 +1,292 @@
+"""Finite relational structures (databases) with constants.
+
+A :class:`Structure` is the paper's ``D`` (Section 2.1): a finite set of
+elements (the active domain ``V_D``), a finite set of facts per relation
+symbol, and an interpretation for each constant of the language
+(homomorphisms must fix constants: ``h(a) = a``).
+
+Structures are immutable value objects; bulk construction goes through
+:class:`StructureBuilder`, and small functional updates go through the
+``with_*`` methods.  Domain elements may be any hashable Python values.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Iterable, Iterator, Mapping
+
+from repro.errors import ConstantError, SchemaError
+from repro.naming import HEART, SPADE
+from repro.relational.schema import RelationSymbol, Schema
+
+__all__ = ["Structure", "StructureBuilder"]
+
+Element = Hashable
+Fact = tuple[str, tuple]
+
+
+class Structure:
+    """An immutable finite relational structure.
+
+    >>> sigma = Schema.from_arities({"E": 2})
+    >>> d = Structure(sigma, facts={"E": [(1, 2), (2, 1)]})
+    >>> sorted(d.domain)
+    [1, 2]
+    >>> d.fact_count("E")
+    2
+    """
+
+    __slots__ = ("_schema", "_facts", "_constants", "_domain")
+
+    def __init__(
+        self,
+        schema: Schema,
+        facts: Mapping[str, Iterable[tuple]] | None = None,
+        constants: Mapping[str, Element] | None = None,
+        domain: Iterable[Element] = (),
+    ) -> None:
+        self._schema = schema
+        normalized: dict[str, frozenset[tuple]] = {}
+        elements: set[Element] = set(domain)
+        for name, tuples in (facts or {}).items():
+            if name not in schema:
+                raise SchemaError(f"fact uses undeclared relation {name!r}")
+            bucket = set()
+            for values in tuples:
+                values = tuple(values)
+                schema.check_tuple(name, values)
+                bucket.add(values)
+                elements.update(values)
+            if bucket:
+                normalized[name] = frozenset(bucket)
+        self._constants: dict[str, Element] = dict(constants or {})
+        elements.update(self._constants.values())
+        self._facts = normalized
+        self._domain = frozenset(elements)
+
+    # -- basic accessors -------------------------------------------------
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    @property
+    def domain(self) -> frozenset:
+        """The active domain ``V_D``."""
+        return self._domain
+
+    @property
+    def constants(self) -> Mapping[str, Element]:
+        return dict(self._constants)
+
+    def interpret(self, constant_name: str) -> Element:
+        """The element interpreting ``constant_name`` (``a_D`` in the paper)."""
+        try:
+            return self._constants[constant_name]
+        except KeyError:
+            raise ConstantError(
+                f"structure does not interpret constant {constant_name!r}"
+            ) from None
+
+    def interprets(self, constant_name: str) -> bool:
+        return constant_name in self._constants
+
+    def facts(self, relation: str) -> frozenset[tuple]:
+        """All tuples of ``relation`` (empty if the relation has no facts)."""
+        self._schema.symbol(relation)
+        return self._facts.get(relation, frozenset())
+
+    def all_facts(self) -> Iterator[Fact]:
+        for name in sorted(self._facts):
+            for values in sorted(self._facts[name], key=repr):
+                yield name, values
+
+    def fact_count(self, relation: str | None = None) -> int:
+        """Number of facts of ``relation``, or total facts when ``None``."""
+        if relation is None:
+            return sum(len(bucket) for bucket in self._facts.values())
+        return len(self.facts(relation))
+
+    def has_fact(self, relation: str, values: tuple) -> bool:
+        return tuple(values) in self.facts(relation)
+
+    def is_nontrivial(self) -> bool:
+        """Non-triviality per Section 1.2: ``♠`` and ``♥`` differ.
+
+        A structure that does not interpret both constants is *not*
+        non-trivial: the definition requires the database to "contain two
+        different constants".
+        """
+        if SPADE not in self._constants or HEART not in self._constants:
+            return False
+        return self._constants[SPADE] != self._constants[HEART]
+
+    # -- functional updates ----------------------------------------------
+
+    def with_fact(self, relation: str, values: tuple) -> "Structure":
+        facts = {name: set(bucket) for name, bucket in self._facts.items()}
+        facts.setdefault(relation, set()).add(tuple(values))
+        return Structure(self._schema, facts, self._constants, self._domain)
+
+    def without_fact(self, relation: str, values: tuple) -> "Structure":
+        facts = {name: set(bucket) for name, bucket in self._facts.items()}
+        facts.get(relation, set()).discard(tuple(values))
+        return Structure(self._schema, facts, self._constants, self._domain)
+
+    def with_constant(self, name: str, element: Element) -> "Structure":
+        constants = dict(self._constants)
+        constants[name] = element
+        return Structure(self._schema, self._facts, constants, self._domain)
+
+    def with_element(self, element: Element) -> "Structure":
+        return Structure(
+            self._schema, self._facts, self._constants, self._domain | {element}
+        )
+
+    def with_schema(self, schema: Schema) -> "Structure":
+        """Reinterpret over a larger schema (all existing facts must fit)."""
+        return Structure(schema, self._facts, self._constants, self._domain)
+
+    # -- restriction and quotients ----------------------------------------
+
+    def restrict(self, relation_names: Iterable[str]) -> "Structure":
+        """``D ↾ Σ₀``: drop all facts of relations outside ``relation_names``.
+
+        Keeps the domain and the constants intact, exactly as Definition 13
+        needs ("by ``D ↾ Σ₀`` we mean the database resulting from D by
+        removing from it all atoms of the relation X").
+        """
+        keep = set(relation_names)
+        schema = self._schema.restrict(keep)
+        facts = {name: bucket for name, bucket in self._facts.items() if name in keep}
+        return Structure(schema, facts, self._constants, self._domain)
+
+    def relabel(self, mapping: Mapping[Element, Element]) -> "Structure":
+        """Apply an element mapping (the quotient when non-injective).
+
+        Elements absent from ``mapping`` are kept as-is.  A non-injective
+        mapping yields the homomorphic image — this is how the test-suite
+        manufactures the paper's *seriously incorrect* databases
+        (Definition 13: a homomorphic image of ``D_Arena`` that identifies
+        some of its elements).
+        """
+
+        def image(element: Element) -> Element:
+            return mapping.get(element, element)
+
+        facts = {
+            name: {tuple(image(value) for value in values) for values in bucket}
+            for name, bucket in self._facts.items()
+        }
+        constants = {name: image(e) for name, e in self._constants.items()}
+        domain = {image(e) for e in self._domain}
+        return Structure(self._schema, facts, constants, domain)
+
+    # -- comparisons -------------------------------------------------------
+
+    def extends(self, other: "Structure") -> bool:
+        """True when every fact of ``other`` is a fact of ``self``.
+
+        Constants of ``other`` must be interpreted identically by ``self``.
+        This is the ``⊇`` of Definition 13 (inclusion of relational
+        structures).
+        """
+        for name, element in other._constants.items():
+            if self._constants.get(name) != element:
+                return False
+        for name, bucket in other._facts.items():
+            if name not in self._schema:
+                return False
+            if not bucket <= self.facts(name):
+                return False
+        return True
+
+    def same_facts(self, other: "Structure") -> bool:
+        """True when both structures have exactly the same fact sets."""
+        return self._facts == other._facts
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Structure):
+            return NotImplemented
+        return (
+            self._schema == other._schema
+            and self._facts == other._facts
+            and self._constants == other._constants
+            and self._domain == other._domain
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            (
+                self._schema,
+                frozenset(self._facts.items()),
+                frozenset(self._constants.items()),
+                self._domain,
+            )
+        )
+
+    def __repr__(self) -> str:
+        parts = [f"|dom|={len(self._domain)}", f"|facts|={self.fact_count()}"]
+        if self._constants:
+            parts.append(f"constants={sorted(self._constants)}")
+        return f"Structure({', '.join(parts)})"
+
+    def describe(self) -> str:
+        """A multi-line human-readable listing of the structure."""
+        lines = [f"domain ({len(self._domain)}): {sorted(self._domain, key=repr)}"]
+        for name, element in sorted(self._constants.items()):
+            lines.append(f"constant {name} -> {element!r}")
+        for name, values in self.all_facts():
+            lines.append(f"{name}{values!r}")
+        return "\n".join(lines)
+
+
+class StructureBuilder:
+    """Mutable accumulator producing a :class:`Structure`.
+
+    >>> builder = StructureBuilder(Schema.from_arities({"E": 2}))
+    >>> builder.add_fact("E", (0, 1)).add_constant("spade", 0)  # doctest: +ELLIPSIS
+    <repro.relational.structure.StructureBuilder object at ...>
+    >>> builder.build().fact_count("E")
+    1
+    """
+
+    def __init__(self, schema: Schema) -> None:
+        self._schema = schema
+        self._facts: dict[str, set[tuple]] = {}
+        self._constants: dict[str, Element] = {}
+        self._domain: set[Element] = set()
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    def add_relation(self, name: str, arity: int) -> "StructureBuilder":
+        self._schema = self._schema.union(Schema([RelationSymbol(name, arity)]))
+        return self
+
+    def add_fact(self, relation: str, values: tuple) -> "StructureBuilder":
+        values = tuple(values)
+        self._schema.check_tuple(relation, values)
+        self._facts.setdefault(relation, set()).add(values)
+        return self
+
+    def add_facts(self, relation: str, tuples: Iterable[tuple]) -> "StructureBuilder":
+        for values in tuples:
+            self.add_fact(relation, values)
+        return self
+
+    def add_constant(self, name: str, element: Element) -> "StructureBuilder":
+        existing = self._constants.get(name)
+        if existing is not None and existing != element:
+            raise ConstantError(
+                f"constant {name!r} already interpreted as {existing!r}"
+            )
+        self._constants[name] = element
+        return self
+
+    def add_element(self, element: Element) -> "StructureBuilder":
+        self._domain.add(element)
+        return self
+
+    def build(self) -> Structure:
+        return Structure(self._schema, self._facts, self._constants, self._domain)

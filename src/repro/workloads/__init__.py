@@ -1,0 +1,10 @@
+"""Workload generators for tests and benchmarks."""
+
+from repro.workloads.random_queries import (
+    path_query,
+    random_queries,
+    random_query,
+    star_query,
+)
+
+__all__ = ["path_query", "random_queries", "random_query", "star_query"]

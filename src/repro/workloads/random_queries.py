@@ -1,0 +1,88 @@
+"""Random conjunctive-query generators for tests and benchmarks.
+
+Reproducible (seeded) generators producing queries of controlled shape:
+arbitrary random CQs, connected CQs, paths, cycles and stars — the shapes
+that appear throughout the paper's constructions (rays and stars in
+Section 4.3, cycles in Section 4.6).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from repro.queries.atoms import Atom, Inequality
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.terms import Variable
+from repro.relational.schema import Schema
+
+__all__ = [
+    "random_query",
+    "random_queries",
+    "path_query",
+    "star_query",
+]
+
+
+def random_query(
+    schema: Schema,
+    variable_count: int,
+    atom_count: int,
+    inequality_count: int = 0,
+    seed: int = 0,
+) -> ConjunctiveQuery:
+    """A random CQ over ``schema`` with the given shape parameters."""
+    rng = random.Random(seed)
+    variables = [Variable(f"q{i}") for i in range(variable_count)]
+    symbols = list(schema)
+    atoms = []
+    for _ in range(atom_count):
+        symbol = rng.choice(symbols)
+        atoms.append(
+            Atom(symbol.name, tuple(rng.choice(variables) for _ in range(symbol.arity)))
+        )
+    inequalities = []
+    for _ in range(inequality_count):
+        if len(variables) >= 2:
+            left, right = rng.sample(variables, 2)
+            inequalities.append(Inequality(left, right))
+    return ConjunctiveQuery(atoms, inequalities)
+
+
+def random_queries(
+    schema: Schema,
+    count: int,
+    variable_count: int = 4,
+    atom_count: int = 5,
+    inequality_count: int = 0,
+    seed: int = 0,
+) -> Iterator[ConjunctiveQuery]:
+    """A reproducible stream of random CQs."""
+    for offset in range(count):
+        yield random_query(
+            schema,
+            variable_count=variable_count,
+            atom_count=atom_count,
+            inequality_count=inequality_count,
+            seed=seed + offset,
+        )
+
+
+def path_query(length: int, relation: str = "E", prefix: str = "p") -> ConjunctiveQuery:
+    """The directed path ``E(p₀,p₁) ∧ … ∧ E(p_{l−1}, p_l)``."""
+    if length < 1:
+        raise ValueError(f"path length must be >= 1, got {length}")
+    variables = [Variable(f"{prefix}{i}") for i in range(length + 1)]
+    return ConjunctiveQuery(
+        Atom(relation, (variables[i], variables[i + 1])) for i in range(length)
+    )
+
+
+def star_query(rays: int, relation: str = "E", prefix: str = "s") -> ConjunctiveQuery:
+    """A star with ``rays`` out-edges from a shared centre."""
+    if rays < 1:
+        raise ValueError(f"a star needs at least one ray, got {rays}")
+    centre = Variable(f"{prefix}_centre")
+    return ConjunctiveQuery(
+        Atom(relation, (centre, Variable(f"{prefix}{i}"))) for i in range(rays)
+    )

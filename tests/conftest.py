@@ -1,0 +1,66 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.homomorphism import is_homomorphism
+from repro.polynomials import Lemma11Instance, Monomial
+from repro.relational import Schema, Structure
+
+
+@pytest.fixture
+def edge_schema() -> Schema:
+    return Schema.from_arities({"E": 2})
+
+
+@pytest.fixture
+def mixed_schema() -> Schema:
+    return Schema.from_arities({"E": 2, "U": 1, "T": 3})
+
+
+@pytest.fixture
+def triangle(edge_schema: Schema) -> Structure:
+    """A directed 3-cycle."""
+    return Structure(edge_schema, {"E": [(0, 1), (1, 2), (2, 0)]})
+
+
+@pytest.fixture
+def loop_and_edge(edge_schema: Schema) -> Structure:
+    """A self-loop plus one extra edge — the smallest interesting mix."""
+    return Structure(edge_schema, {"E": [(0, 0), (0, 1)]})
+
+
+@pytest.fixture
+def minimal_lemma11() -> Lemma11Instance:
+    """The smallest legal Lemma 11 instance: c = 2, P_s = P_b = x₁."""
+    return Lemma11Instance(
+        c=2,
+        monomials=(Monomial.of(1),),
+        s_coefficients=(1,),
+        b_coefficients=(1,),
+    )
+
+
+@pytest.fixture
+def richer_lemma11() -> Lemma11Instance:
+    """Two monomials, two variables, non-trivial coefficients."""
+    return Lemma11Instance(
+        c=3,
+        monomials=(Monomial.of(1, 2), Monomial.of(1, 1)),
+        s_coefficients=(2, 1),
+        b_coefficients=(3, 4),
+    )
+
+
+def brute_force_count(query, structure) -> int:
+    """Reference counter: try every assignment (exponential, tests only)."""
+    variables = sorted(query.variables)
+    domain = sorted(structure.domain, key=repr)
+    total = 0
+    for combo in itertools.product(domain, repeat=len(variables)):
+        if is_homomorphism(dict(zip(variables, combo)), query, structure):
+            total += 1
+    return total

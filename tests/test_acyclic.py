@@ -1,0 +1,142 @@
+"""Tests for the Yannakakis acyclic counting engine."""
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.homomorphism import count
+from repro.homomorphism.acyclic import (
+    count_homomorphisms_acyclic,
+    is_acyclic,
+    join_tree,
+)
+from repro.queries import parse_query
+from repro.relational import Schema, Structure
+
+from tests.conftest import brute_force_count
+
+
+@pytest.fixture
+def structure():
+    return Structure(
+        Schema.from_arities({"E": 2, "U": 1, "T": 3}),
+        {
+            "E": [(0, 1), (1, 2), (2, 0), (0, 0), (1, 1)],
+            "U": [(0,), (2,)],
+            "T": [(0, 1, 2), (1, 1, 1), (0, 0, 2)],
+        },
+    )
+
+
+class TestAcyclicityDetection:
+    def test_paths_and_stars_acyclic(self):
+        assert is_acyclic(parse_query("E(x, y) & E(y, z) & E(z, w)"))
+        assert is_acyclic(parse_query("E(x, y) & E(x, z) & E(x, w)"))
+
+    def test_triangle_cyclic(self):
+        assert not is_acyclic(parse_query("E(x, y) & E(y, z) & E(z, x)"))
+
+    def test_alpha_acyclic_with_big_atom(self):
+        # T(x,y,z) covers the triangle's variables: α-acyclic.
+        assert is_acyclic(parse_query("T(x, y, z) & E(x, y) & E(y, z) & E(z, x)"))
+
+    def test_disconnected_acyclic(self):
+        assert is_acyclic(parse_query("E(x, y) & E(u, v)"))
+
+    def test_single_atom(self):
+        assert is_acyclic(parse_query("T(x, y, z)"))
+
+    def test_join_tree_shape(self):
+        tree = join_tree(parse_query("E(x, y) & E(y, z)"))
+        assert tree is not None
+        assert len(tree) == 2
+        assert tree[-1][1] is None  # last node is the root
+
+    def test_empty_query(self):
+        assert join_tree(parse_query("TRUE")) == []
+
+
+class TestCounting:
+    QUERIES = [
+        "E(x, y)",
+        "E(x, y) & E(y, z)",
+        "E(x, y) & E(y, z) & E(z, w)",
+        "E(x, y) & E(x, z)",
+        "E(x, y) & U(x) & U(y)",
+        "T(x, y, z) & E(x, y)",
+        "T(x, y, z) & E(x, y) & E(y, z) & E(z, x)",
+        "E(x, y) & E(u, v)",
+        "E(x, x) & U(x)",
+        "T(x, x, y) & E(y, y)",
+    ]
+
+    @pytest.mark.parametrize("text", QUERIES)
+    def test_agrees_with_general_engines(self, structure, text):
+        query = parse_query(text)
+        expected = count(query, structure)
+        assert count_homomorphisms_acyclic(query, structure) == expected
+        assert expected == brute_force_count(query, structure)
+
+    def test_with_constants(self):
+        d = Structure(
+            Schema.from_arities({"E": 2}),
+            {"E": [(0, 1), (0, 2), (1, 2)]},
+            constants={"a": 0},
+        )
+        query = parse_query("E(#a, x) & E(x, y)")
+        assert count_homomorphisms_acyclic(query, d) == count(query, d)
+
+    def test_unsatisfiable_counts_zero(self, structure):
+        query = parse_query("U(x) & E(x, y) & U(y) & E(y, z) & U(z)")
+        assert count_homomorphisms_acyclic(query, structure) == count(
+            query, structure
+        )
+
+    def test_empty_query_counts_one(self, structure):
+        assert count_homomorphisms_acyclic(parse_query("TRUE"), structure) == 1
+
+    def test_rejects_cyclic(self, structure):
+        with pytest.raises(EvaluationError):
+            count_homomorphisms_acyclic(
+                parse_query("E(x, y) & E(y, z) & E(z, x)"), structure
+            )
+
+    def test_rejects_inequalities(self, structure):
+        with pytest.raises(EvaluationError):
+            count_homomorphisms_acyclic(
+                parse_query("E(x, y) & x != y"), structure
+            )
+
+    def test_missing_relation_counts_zero(self, structure):
+        assert count_homomorphisms_acyclic(parse_query("F(x, y)"), structure) == 0
+
+
+class TestDifferential:
+    @pytest.mark.parametrize("seed", range(25))
+    def test_random_acyclic_queries(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        schema = Schema.from_arities({"E": 2, "U": 1})
+        n = rng.randint(1, 4)
+        d = Structure(
+            schema,
+            {
+                "E": {(rng.randint(0, n), rng.randint(0, n)) for _ in range(7)},
+                "U": {(rng.randint(0, n),) for _ in range(3)},
+            },
+            domain=range(n + 1),
+        )
+        # Build a random path/star mix (always acyclic).
+        from repro.queries import Atom, ConjunctiveQuery, Variable
+
+        variables = [Variable(f"v{i}") for i in range(rng.randint(2, 5))]
+        atoms = []
+        for i in range(1, len(variables)):
+            parent = variables[rng.randint(0, i - 1)]
+            atoms.append(Atom("E", (parent, variables[i])))
+        for _ in range(rng.randint(0, 2)):
+            atoms.append(Atom("U", (rng.choice(variables),)))
+        query = ConjunctiveQuery(atoms)
+        if not is_acyclic(query):
+            pytest.skip("tree-shaped construction should always be acyclic")
+        assert count_homomorphisms_acyclic(query, d) == brute_force_count(query, d)

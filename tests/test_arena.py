@@ -1,0 +1,130 @@
+"""Tests for the Arena (Sections 4.4/4.6) and Definition 13/14 machinery."""
+
+import pytest
+
+from repro.core import build_arena, build_pi_s
+from repro.core.arena import DatabaseKind, a_constant, b_constant
+from repro.core.pi import X_RELATION
+from repro.homomorphism import count
+from repro.naming import HEART, SPADE
+
+
+@pytest.fixture
+def arena(richer_lemma11):
+    return build_arena(richer_lemma11)
+
+
+class TestShape:
+    def test_arena_is_ground(self, arena):
+        assert arena.arena.is_ground()
+        assert arena.arena_pi.is_ground()
+        assert arena.arena_delta.is_ground()
+
+    def test_cycle_length(self, arena, richer_lemma11):
+        assert arena.cycle_length == richer_lemma11.m + richer_lemma11.n + 2
+
+    def test_delta_cycle_edges(self, arena):
+        # Self-loop at heart + one cycle of length 𝕝.
+        assert arena.arena_delta.atom_count == 1 + arena.cycle_length
+
+    def test_s_loops_for_all_pairs(self, arena, richer_lemma11):
+        m = richer_lemma11.m
+        for m_prime in range(1, m + 1):
+            loops = [
+                atom
+                for atom in arena.arena_pi.atoms
+                if atom.relation == f"S_{m_prime}"
+                and atom.terms[0] == atom.terms[1]
+                and atom.terms[0] != a_constant()
+            ]
+            assert len(loops) == m
+
+    def test_d_arena_satisfies_arena(self, arena):
+        assert count(arena.arena, arena.d_arena) == 1
+
+    def test_d_arena_nontrivial(self, arena):
+        assert arena.d_arena.is_nontrivial()
+
+    def test_sigma0_excludes_x(self, arena):
+        assert X_RELATION not in arena.sigma0
+        assert "E" in arena.sigma0
+
+    def test_rs_relations(self, arena, richer_lemma11):
+        assert len(arena.rs_relations) == richer_lemma11.m + richer_lemma11.d
+
+    def test_zeta_atom_counts_match_paper(self, arena, richer_lemma11):
+        """j^{S_m} = m + 2 and j^{R_d} = m in D_Arena."""
+        m = richer_lemma11.m
+        for m_index in range(1, m + 1):
+            assert arena.d_arena.fact_count(f"S_{m_index}") == m + 2
+        for d_index in range(1, richer_lemma11.d + 1):
+            assert arena.d_arena.fact_count(f"R_{d_index}") == m
+
+
+class TestValuations:
+    def test_roundtrip(self, arena):
+        valuation = {1: 3, 2: 0}
+        structure = arena.correct_database(valuation)
+        assert arena.valuation_of(structure) == valuation
+
+    def test_zero_valuation(self, arena):
+        structure = arena.correct_database({})
+        assert arena.valuation_of(structure) == {1: 0, 2: 0}
+
+    def test_negative_rejected(self, arena):
+        from repro.errors import ReductionError
+
+        with pytest.raises(ReductionError):
+            arena.correct_database({1: -1})
+
+    def test_definition14_counts_x_edges(self, arena):
+        structure = arena.correct_database({1: 2, 2: 1})
+        source = structure.interpret(b_constant(1).name)
+        outgoing = [v for v in structure.facts(X_RELATION) if v[0] == source]
+        assert len(outgoing) == 2
+
+
+class TestClassification:
+    def test_correct(self, arena):
+        assert arena.classify(arena.correct_database({1: 2, 2: 1})) is (
+            DatabaseKind.CORRECT
+        )
+
+    def test_d_arena_itself_correct(self, arena):
+        assert arena.classify(arena.d_arena) is DatabaseKind.CORRECT
+
+    def test_extra_x_atoms_stay_correct(self, arena):
+        structure = arena.d_arena.with_fact(
+            X_RELATION, (("anything",), ("else",))
+        )
+        assert arena.classify(structure) is DatabaseKind.CORRECT
+
+    def test_extra_sigma0_atom_slightly_incorrect(self, arena):
+        structure = arena.d_arena.with_fact("E", (("junk",), ("junk",)))
+        assert arena.classify(structure) is DatabaseKind.SLIGHTLY_INCORRECT
+
+    def test_extra_s_atom_slightly_incorrect(self, arena):
+        structure = arena.d_arena.with_fact(
+            "S_1", (arena.d_arena.interpret("a"), arena.d_arena.interpret("a_1"))
+        )
+        assert arena.classify(structure) is DatabaseKind.SLIGHTLY_INCORRECT
+
+    def test_identifying_constants_seriously_incorrect(self, arena):
+        d = arena.d_arena
+        merged = d.relabel({d.interpret("a_1"): d.interpret("a_2")})
+        assert arena.classify(merged) is DatabaseKind.SERIOUSLY_INCORRECT
+
+    def test_identifying_heart_seriously_incorrect(self, arena):
+        d = arena.d_arena
+        merged = d.relabel({d.interpret(HEART): d.interpret("a")})
+        assert arena.classify(merged) is DatabaseKind.SERIOUSLY_INCORRECT
+
+    def test_missing_fact_not_arena(self, arena):
+        d = arena.d_arena
+        heart = d.interpret(HEART)
+        broken = d.without_fact("E", (heart, heart))
+        assert arena.classify(broken) is DatabaseKind.NOT_ARENA
+
+    def test_missing_constant_not_arena(self, arena, richer_lemma11):
+        structure = build_pi_s(richer_lemma11).canonical_structure()
+        assert arena.classify(structure) is DatabaseKind.NOT_ARENA

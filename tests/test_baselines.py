@@ -1,0 +1,100 @@
+"""Tests for the baselines: UCQ encoding [14] and the JKV comparison [15]."""
+
+import pytest
+
+from repro.baselines import (
+    JKV_INEQUALITY_COUNT,
+    comparison_row,
+    format_comparison_table,
+    monomial_to_cq,
+    polynomial_to_ucq,
+    ucq_containment_instance,
+    valuation_structure,
+)
+from repro.errors import PolynomialError
+from repro.homomorphism import count, count_ucq
+from repro.polynomials import Monomial, Polynomial, linear, parity_obstruction
+
+
+class TestMonomialEncoding:
+    def test_monomial_count_is_product(self):
+        cq = monomial_to_cq(Monomial.of(1, 2))
+        structure = valuation_structure({1: 3, 2: 4})
+        assert count(cq, structure) == 12
+
+    def test_repeated_variable(self):
+        cq = monomial_to_cq(Monomial.of(1, 1))
+        structure = valuation_structure({1: 5})
+        assert count(cq, structure) == 25
+
+    def test_constant_monomial_counts_one(self):
+        cq = monomial_to_cq(Monomial.constant())
+        structure = valuation_structure({1: 7})
+        assert count(cq, structure) == 1
+
+    def test_zero_valuation(self):
+        cq = monomial_to_cq(Monomial.of(1))
+        structure = valuation_structure({1: 0})
+        assert count(cq, structure) == 0
+
+
+class TestPolynomialEncoding:
+    @pytest.mark.parametrize(
+        "valuation", [{1: 0, 2: 0}, {1: 1, 2: 2}, {1: 3, 2: 1}], ids=str
+    )
+    def test_ucq_value_equals_polynomial(self, valuation):
+        """The heart of [14]: UCQ bag-count = polynomial value."""
+        x, y = Polynomial.variable(1), Polynomial.variable(2)
+        p = 3 * x**2 + 2 * x * y + 1
+        ucq = polynomial_to_ucq(p)
+        structure = valuation_structure(valuation)
+        assert count_ucq(ucq, structure) == p.evaluate(valuation)
+
+    def test_negative_coefficients_rejected(self):
+        with pytest.raises(PolynomialError):
+            polynomial_to_ucq(Polynomial.variable(1) - 1)
+
+    def test_coefficients_become_multiplicities(self):
+        p = 5 * Polynomial.variable(1)
+        ucq = polynomial_to_ucq(p)
+        assert len(ucq) == 5
+        assert len(ucq.disjuncts) == 1
+
+
+class TestContainmentInstance:
+    def test_solvable_instance_violates_containment(self):
+        instance = ucq_containment_instance(linear(2, 3, 7).polynomial)
+        witness = linear(2, 3, 7).witness
+        assert witness is not None
+        renamed = {index + 1: value for index, value in witness.items()}
+        structure = valuation_structure(renamed)
+        lhs = count_ucq(instance.ucq_s, structure)
+        rhs = count_ucq(instance.ucq_b, structure)
+        assert lhs > rhs
+
+    def test_unsolvable_instance_contained_on_grid(self):
+        import itertools
+
+        instance = ucq_containment_instance(parity_obstruction().polynomial)
+        variables = sorted(instance.p1.variables | instance.p2.variables)
+        for values in itertools.product(range(4), repeat=len(variables)):
+            valuation = dict(zip(variables, values))
+            structure = valuation_structure(valuation)
+            assert count_ucq(instance.ucq_s, structure) <= count_ucq(
+                instance.ucq_b, structure
+            )
+
+
+class TestJKVComparison:
+    def test_constant(self):
+        assert JKV_INEQUALITY_COUNT == 59**10
+
+    def test_row_and_table(self, minimal_lemma11):
+        from repro.core import theorem3_reduction
+
+        row = comparison_row("minimal", theorem3_reduction(minimal_lemma11))
+        assert row.psi_s_inequalities == 0
+        assert row.psi_b_inequalities == 1
+        assert row.improvement_factor == 59**10
+        table = format_comparison_table([row])
+        assert "minimal" in table and str(59**10) in table

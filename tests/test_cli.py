@@ -1,0 +1,112 @@
+"""Tests for the ``bagcq`` command-line interface."""
+
+import pytest
+
+from repro.cli import _load_instance, _parse_facts, build_parser, main
+
+
+class TestInstanceLoading:
+    def test_named(self):
+        instance = _load_instance("markov")
+        assert instance.name == "markov"
+
+    def test_with_arguments(self):
+        instance = _load_instance("linear:2:3:7")
+        assert instance.solvable
+
+    def test_unknown_rejected(self):
+        with pytest.raises(SystemExit):
+            _load_instance("nonsense")
+
+
+class TestFactParsing:
+    def test_basic(self):
+        structure = _parse_facts("E(a,b) E(b,a)")
+        assert structure.fact_count("E") == 2
+
+    def test_constants(self):
+        structure = _parse_facts("E(#s,#h)")
+        assert structure.interpret("s") == "s"
+
+
+class TestCommands:
+    def test_evaluate(self, capsys):
+        exit_code = main(
+            ["evaluate", "--query", "E(x,y) & E(y,x)", "--facts", "E(a,b) E(b,a) E(a,a)"]
+        )
+        assert exit_code == 0
+        assert capsys.readouterr().out.strip() == "3"
+
+    def test_evaluate_treewidth_engine(self, capsys):
+        exit_code = main(
+            ["evaluate", "--query", "E(x,y)", "--facts", "E(a,b)", "--engine", "treewidth"]
+        )
+        assert exit_code == 0
+        assert capsys.readouterr().out.strip() == "1"
+
+    def test_reduce_unsolvable(self, capsys):
+        exit_code = main(["reduce", "--instance", "always_positive", "--grid", "2"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "Theorem 1 output" in out
+        assert "no counterexample" in out
+
+    def test_compare(self, capsys):
+        exit_code = main(["compare"])
+        assert exit_code == 0
+        assert str(59**10) in capsys.readouterr().out
+
+    def test_gadget(self, capsys):
+        exit_code = main(["gadget", "--c", "2"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "equality (=) verified: True" in out
+
+    def test_core(self, capsys):
+        exit_code = main(["core", "--query", "E(x, y) & E(x, z)"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "dropped 1 redundant" in out
+
+    def test_core_of_core(self, capsys):
+        exit_code = main(["core", "--query", "E(x, y) & E(y, x)"])
+        assert exit_code == 0
+        assert "already a core" in capsys.readouterr().out
+
+    def test_equivalent(self, capsys):
+        exit_code = main(
+            ["equivalent", "--left", "E(x, y)", "--right", "E(u, v)"]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "bag-equivalent (iff isomorphic): True" in out
+
+    def test_not_equivalent(self, capsys):
+        exit_code = main(
+            ["equivalent", "--left", "E(x, y)", "--right", "E(x, y) & E(u, v)"]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "bag-equivalent (iff isomorphic): False" in out
+        assert "set-equivalent (Chandra-Merlin): True" in out
+
+    def test_answers(self, capsys):
+        exit_code = main(
+            [
+                "answers",
+                "--query",
+                "E(x, y)",
+                "--head",
+                "x",
+                "--facts",
+                "E(a,b) E(a,c) E(b,c)",
+            ]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "(a) x2" in out
+        assert "(b) x1" in out
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

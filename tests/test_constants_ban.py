@@ -1,0 +1,97 @@
+"""Tests for the Section 2.3 constants-to-free-variables translation."""
+
+from collections import Counter
+
+import pytest
+
+from repro.core import free_constants, hard_ban, soft_ban
+from repro.homomorphism import count
+from repro.naming import HEART, SPADE
+from repro.queries import Constant, parse_query
+from repro.relational import Schema, Structure
+
+
+@pytest.fixture
+def structure():
+    return Structure(
+        Schema.from_arities({"E": 2}),
+        {"E": [(0, 1), (1, 0), (0, 0)]},
+        constants={"a": 0, "b": 1, SPADE: 0, HEART: 1},
+    )
+
+
+class TestFreeConstants:
+    def test_constants_become_head_variables(self):
+        query = parse_query("E(#a, x) & E(x, #b)")
+        freed = free_constants(query)
+        assert freed.arity == 2
+        assert not freed.body.constants
+
+    def test_selective_freeing(self):
+        query = parse_query("E(#a, x) & E(x, #b)")
+        freed = free_constants(query, names=("a",))
+        assert freed.arity == 1
+        assert Constant("b") in freed.body.constants
+
+    def test_section_2_3_observation(self, structure):
+        """Boolean count with constants = multiplicity of the pinned answer.
+
+        Reading the constants as free variables, the boolean value of the
+        original query equals the freed query's multiplicity at the tuple
+        of the constants' interpretations — the precise sense in which
+        'φ_b contains φ_s iff φ'_b contains φ'_s'.
+        """
+        query = parse_query("E(#a, x) & E(x, #b)")
+        freed = free_constants(query)
+        pinned_answer = (structure.interpret("a"), structure.interpret("b"))
+        answers = freed.answers(structure)
+        assert answers[pinned_answer] == count(query, structure)
+
+    def test_containment_transfers(self, structure):
+        """If the open queries are answer-contained, the originals are
+        count-contained (and vice versa at every interpretation)."""
+        phi_s = parse_query("E(#a, x) & E(x, #a)")
+        phi_b = parse_query("E(#a, x)")
+        freed_s = free_constants(phi_s)
+        freed_b = free_constants(phi_b)
+        answers_s = freed_s.answers(structure)
+        answers_b = freed_b.answers(structure)
+        for answer, multiplicity in answers_s.items():
+            assert multiplicity <= answers_b[answer]
+        assert count(phi_s, structure) <= count(phi_b, structure)
+
+
+class TestBans:
+    def test_soft_ban_keeps_nontriviality_pair(self):
+        query = parse_query("E(#spade, #a) & E(#a, #heart)")
+        freed = soft_ban(query)
+        names = {c.name for c in freed.body.constants}
+        assert names == {SPADE, HEART}
+        assert freed.arity == 1
+
+    def test_hard_ban_frees_everything(self):
+        query = parse_query("E(#spade, #a) & E(#a, #heart)")
+        freed = hard_ban(query)
+        assert not freed.body.constants
+        assert freed.arity == 3
+
+    def test_hard_ban_nontriviality_inequality(self):
+        query = parse_query("E(#spade, #a) & E(#a, #heart)")
+        freed = hard_ban(query, add_nontriviality_inequality=True)
+        assert freed.body.inequality_count == 1
+        # The inequality relates the freed spade and heart variables.
+        ineq = freed.body.inequalities[0]
+        names = {ineq.left.name, ineq.right.name}
+        assert any("spade" in name for name in names)
+        assert any("heart" in name for name in names)
+
+    def test_hard_ban_inequality_enforces_nontriviality(self, structure):
+        """With the ≠, answers where ♠ and ♥ coincide are filtered out."""
+        query = parse_query("E(#spade, #heart)")
+        strict = hard_ban(query, add_nontriviality_inequality=True)
+        loose = hard_ban(query)
+        strict_answers = strict.answers(structure)
+        loose_answers = loose.answers(structure)
+        assert sum(strict_answers.values()) < sum(loose_answers.values())
+        for (s_val, h_val), _ in strict_answers.items():
+            assert s_val != h_val

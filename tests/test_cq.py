@@ -1,0 +1,184 @@
+"""Unit tests for conjunctive queries and the paper's query algebra."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.homomorphism import count
+from repro.queries import (
+    TRUE,
+    Atom,
+    ConjunctiveQuery,
+    Constant,
+    Inequality,
+    Variable,
+    parse_query,
+)
+from repro.relational import Schema, Structure
+
+
+@pytest.fixture
+def structure():
+    return Structure(
+        Schema.from_arities({"E": 2}), {"E": [(0, 1), (1, 0), (0, 0)]}
+    )
+
+
+class TestBasics:
+    def test_variables_and_constants(self):
+        phi = parse_query("E(x, #a) & E(x, y)")
+        assert phi.variables == {Variable("x"), Variable("y")}
+        assert phi.constants == {Constant("a")}
+        assert phi.terms == {Variable("x"), Variable("y"), Constant("a")}
+
+    def test_duplicate_atoms_dropped(self):
+        phi = ConjunctiveQuery(
+            [Atom("E", (Variable("x"), Variable("y")))] * 3
+        )
+        assert phi.atom_count == 1
+
+    def test_schema_derived(self):
+        phi = parse_query("E(x, y) & U(x)")
+        assert phi.schema.arity("E") == 2
+        assert phi.schema.arity("U") == 1
+
+    def test_inconsistent_arity_rejected(self):
+        with pytest.raises(QueryError):
+            ConjunctiveQuery(
+                [
+                    Atom("E", (Variable("x"),)),
+                    Atom("E", (Variable("x"), Variable("y"))),
+                ]
+            )
+
+    def test_counts_and_size(self):
+        phi = parse_query("E(x, y) & E(y, z) & x != z")
+        assert phi.atom_count == 2
+        assert phi.inequality_count == 1
+        assert phi.variable_count == 3
+        assert phi.size == 6
+
+    def test_true_query(self):
+        assert TRUE.is_empty()
+        assert str(TRUE) == "TRUE"
+
+    def test_ground_query(self):
+        phi = parse_query("E(#a, #b)")
+        assert phi.is_ground()
+
+    def test_equality_is_order_insensitive(self):
+        one = parse_query("E(x, y) & U(x)")
+        two = parse_query("U(x) & E(x, y)")
+        assert one == two
+        assert hash(one) == hash(two)
+
+
+class TestConjunction:
+    def test_shared_scope_conjunction(self, structure):
+        left = parse_query("E(x, y)")
+        right = parse_query("E(y, x)")
+        both = left & right
+        assert both.variables == {Variable("x"), Variable("y")}
+        assert count(both, structure) == 3  # (0,1),(1,0),(0,0)
+
+    def test_disjoint_conjunction_renames(self, structure):
+        left = parse_query("E(x, y)")
+        right = parse_query("E(y, x)")
+        product_query = left * right
+        assert product_query.variable_count == 4
+
+    def test_lemma1_multiplicativity(self, structure):
+        """Lemma 1: (ρ ∧̄ ρ')(D) = ρ(D)·ρ'(D)."""
+        rho = parse_query("E(x, y)")
+        rho_prime = parse_query("E(u, u)")
+        assert count(rho * rho_prime, structure) == count(rho, structure) * count(
+            rho_prime, structure
+        )
+
+    def test_disjoint_conjunction_keeps_constants(self):
+        left = parse_query("E(x, #a)")
+        right = parse_query("E(x, #a)")
+        both = left * right
+        assert both.constants == {Constant("a")}
+        assert both.variable_count == 2
+
+
+class TestPower:
+    def test_power_zero_is_true(self):
+        assert parse_query("E(x, y)").power(0) == TRUE
+
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_definition2_identity(self, structure, k):
+        """Definition 2: (θ↑k)(D) = θ(D)^k."""
+        theta = parse_query("E(x, y)")
+        assert count(theta**k, structure) == count(theta, structure) ** k
+
+    def test_power_negative_rejected(self):
+        with pytest.raises(QueryError):
+            parse_query("E(x, y)").power(-1)
+
+
+class TestRenaming:
+    def test_rename_merges_variables(self):
+        phi = parse_query("E(x, y)")
+        merged = phi.rename({Variable("y"): Variable("x")})
+        assert merged == parse_query("E(x, x)")
+
+    def test_rename_apart_fresh_names(self):
+        from repro.naming import NameSupply
+
+        phi = parse_query("E(x, y)")
+        renamed = phi.rename_apart(NameSupply({"x", "y"}))
+        assert renamed.variables.isdisjoint(phi.variables)
+
+    def test_without_inequalities(self):
+        phi = parse_query("E(x, y) & x != y")
+        assert phi.without_inequalities() == parse_query("E(x, y)")
+
+
+class TestCanonicalStructure:
+    def test_roundtrip_counts(self, structure):
+        phi = parse_query("E(x, y) & E(y, x)")
+        canonical = phi.canonical_structure()
+        # The identity is always a homomorphism: phi(canonical) >= 1.
+        assert count(phi, canonical) >= 1
+
+    def test_constants_interpret_themselves(self):
+        phi = parse_query("E(#a, x)")
+        canonical = phi.canonical_structure()
+        assert canonical.interpret("a") == Constant("a")
+
+    def test_of_structure_roundtrip(self, structure):
+        phi = ConjunctiveQuery.of_structure(structure)
+        assert phi.atom_count == structure.fact_count()
+        assert count(phi, structure) >= 1
+
+
+class TestComponents:
+    def test_single_component(self):
+        phi = parse_query("E(x, y) & E(y, z)")
+        assert phi.is_connected()
+
+    def test_two_components(self):
+        phi = parse_query("E(x, y) & E(u, v)")
+        assert len(phi.connected_components()) == 2
+
+    def test_inequality_connects(self):
+        phi = parse_query("E(x, y) & E(u, v) & x != u")
+        assert phi.is_connected()
+
+    def test_constants_do_not_connect(self):
+        phi = parse_query("E(x, #a) & E(y, #a)")
+        assert len(phi.connected_components()) == 2
+
+    def test_ground_atoms_grouped_first(self):
+        phi = parse_query("E(#a, #b) & E(x, y)")
+        components = phi.connected_components()
+        assert len(components) == 2
+        assert components[0].is_ground()
+
+    def test_component_counts_multiply(self, structure):
+        phi = parse_query("E(x, y) & E(u, u)")
+        expected = count(parse_query("E(x, y)"), structure) * count(
+            parse_query("E(u, u)"), structure
+        )
+        assert count(phi, structure) == expected

@@ -1,0 +1,125 @@
+"""Tests for CYCLIQ queries and cyclique combinatorics (Section 3.1)."""
+
+import pytest
+
+from repro.core import (
+    CycliqueKind,
+    all_cycliques,
+    classify_cyclique,
+    cyclass,
+    cyclic_shift,
+    cycliq,
+    cycliq_u,
+    is_cyclique,
+    partition_cyclasses,
+    rotations,
+)
+from repro.errors import QueryError
+from repro.homomorphism import count
+from repro.queries import variables
+from repro.queries.terms import HEART_C, SPADE_C
+from repro.relational import Schema, Structure
+
+
+class TestQueries:
+    def test_cycliq_has_p_atoms(self):
+        terms = variables("a", "b", "c", "d")
+        query = cycliq("R", terms)
+        assert query.atom_count == 4
+        assert query.schema.arity("R") == 4
+
+    def test_cycliq_on_constant_tuple_collapses(self):
+        # All rotations of (h, h, h) are the same atom.
+        query = cycliq("R", (HEART_C,) * 3)
+        assert query.atom_count == 1
+
+    def test_cycliq_u_adds_unary_atoms(self):
+        terms = variables("a", "b", "c")
+        query = cycliq_u("P", "A", terms)
+        assert query.atom_count == 3 + 3
+
+    def test_empty_rejected(self):
+        with pytest.raises(QueryError):
+            cycliq("R", ())
+
+
+class TestShifts:
+    def test_rotations(self):
+        assert rotations((1, 2, 3)) == [(1, 2, 3), (2, 3, 1), (3, 1, 2)]
+
+    def test_cyclic_shift(self):
+        assert cyclic_shift((1, 2, 3, 4), 1) == (2, 3, 4, 1)
+        assert cyclic_shift((1, 2, 3, 4), 4) == (1, 2, 3, 4)
+        assert cyclic_shift((1, 2, 3, 4), 6) == (3, 4, 1, 2)
+
+    def test_cyclass_is_rotation_set(self):
+        assert cyclass((1, 2)) == {(1, 2), (2, 1)}
+        assert cyclass((1, 1)) == {(1, 1)}
+
+
+class TestClassification:
+    def test_homogeneous(self):
+        assert classify_cyclique((5, 5, 5)) is CycliqueKind.HOMOGENEOUS
+
+    def test_normal(self):
+        assert classify_cyclique((1, 2, 2)) is CycliqueKind.NORMAL
+
+    def test_degenerate(self):
+        assert classify_cyclique((1, 2, 1, 2)) is CycliqueKind.DEGENERATE
+
+    @pytest.mark.parametrize("p", [4, 6, 8, 9, 12])
+    def test_lemma8_bound(self, p):
+        """Lemma 8: a degenerate cyclique's orbit has at most p/2 members."""
+        import itertools
+
+        for values in itertools.product(range(3), repeat=p):
+            if classify_cyclique(values) is CycliqueKind.DEGENERATE:
+                assert len(cyclass(values)) <= p // 2
+
+    def test_paper_examples(self):
+        """[♥,♥̄] is homogeneous and [♠,♥̄] is normal (Section 3.1)."""
+        p = 5
+        heart_tuple = (HEART_C,) * p
+        spade_tuple = (SPADE_C,) + (HEART_C,) * (p - 1)
+        assert classify_cyclique(heart_tuple) is CycliqueKind.HOMOGENEOUS
+        assert classify_cyclique(spade_tuple) is CycliqueKind.NORMAL
+
+
+class TestStructureSide:
+    @pytest.fixture
+    def witness(self):
+        """The β witness: rotations of (s,h,h) plus the heart loop."""
+        schema = Schema.from_arities({"R": 3, "A": 1})
+        facts = {
+            "R": set(rotations(("s", "h", "h"))) | {("h", "h", "h")},
+            "A": {("s",), ("h",)},
+        }
+        return Structure(schema, facts)
+
+    def test_is_cyclique(self, witness):
+        assert is_cyclique(witness, "R", ("h", "h", "h"))
+        assert is_cyclique(witness, "R", ("s", "h", "h"))
+        assert not is_cyclique(witness, "R", ("h", "s", "s"))
+
+    def test_all_cycliques(self, witness):
+        found = all_cycliques(witness, "R")
+        assert len(found) == 4  # 3 rotations + the loop
+
+    def test_unary_filter(self, witness):
+        restricted = all_cycliques(witness, "R", unary="A")
+        assert len(restricted) == 4
+        no_a = Structure(
+            witness.schema,
+            {"R": witness.facts("R"), "A": {("h",)}},
+        )
+        assert len(all_cycliques(no_a, "R", unary="A")) == 1
+
+    def test_partition(self, witness):
+        classes = partition_cyclasses(all_cycliques(witness, "R"))
+        sizes = sorted(len(cls) for cls in classes)
+        assert sizes == [1, 3]
+
+    def test_count_matches_cycliques(self, witness):
+        """CYCLIQ(x⃗)(D) equals the number of cycliques in D."""
+        terms = variables("a", "b", "c")
+        assert count(cycliq("R", terms), witness) == 4

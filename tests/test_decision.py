@@ -1,0 +1,239 @@
+"""Tests for the decision package: search, bounded verification, certificates."""
+
+import pytest
+
+from repro.decision import (
+    Verdict,
+    amplified,
+    decide_bag_containment,
+    enumerate_structures,
+    find_counterexample,
+    random_structures,
+    verify_bounded,
+)
+from repro.errors import SearchBudgetExceeded
+from repro.naming import HEART, SPADE
+from repro.queries import parse_query
+from repro.relational import Schema, Structure
+
+
+@pytest.fixture
+def edge_schema():
+    return Schema.from_arities({"E": 2})
+
+
+class TestEnumeration:
+    def test_counts_all_structures(self, edge_schema):
+        # 1 element, binary relation: 2^1 = 2 structures.
+        assert sum(1 for _ in enumerate_structures(edge_schema, 1)) == 2
+        # 2 elements: 2^4 = 16 structures.
+        assert sum(1 for _ in enumerate_structures(edge_schema, 2)) == 16
+
+    def test_nontrivial_constants(self, edge_schema):
+        stream = enumerate_structures(edge_schema, 2, nontrivial_constants=True)
+        assert all(s.is_nontrivial() for s in stream)
+
+    def test_nontrivial_needs_two_elements(self, edge_schema):
+        with pytest.raises(ValueError):
+            next(enumerate_structures(edge_schema, 1, nontrivial_constants=True))
+
+    def test_max_facts_cap(self, edge_schema):
+        capped = sum(
+            1 for _ in enumerate_structures(edge_schema, 2, max_facts_per_relation=1)
+        )
+        assert capped == 1 + 4  # empty + four singletons
+
+    def test_pinned_constants(self, edge_schema):
+        stream = enumerate_structures(edge_schema, 2, constants={"a": 1})
+        assert all(s.interpret("a") == 1 for s in stream)
+
+
+class TestRandomStructures:
+    def test_reproducible(self, edge_schema):
+        one = list(random_structures(edge_schema, 3, count=5, seed=42))
+        two = list(random_structures(edge_schema, 3, count=5, seed=42))
+        assert one == two
+
+    def test_different_seeds_differ(self, edge_schema):
+        one = list(random_structures(edge_schema, 3, count=5, seed=1))
+        two = list(random_structures(edge_schema, 3, count=5, seed=2))
+        assert one != two
+
+    def test_density_extremes(self, edge_schema):
+        empty = next(iter(random_structures(edge_schema, 2, density=0.0, count=1)))
+        full = next(iter(random_structures(edge_schema, 2, density=1.0, count=1)))
+        assert empty.fact_count("E") == 0
+        assert full.fact_count("E") == 4
+
+
+class TestAmplified:
+    def test_yields_all_combinations(self, edge_schema):
+        base = Structure(edge_schema, {"E": [(0, 1)]})
+        family = list(amplified([base], powers=(1, 2), blowups=(1, 2)))
+        assert len(family) == 4
+        sizes = sorted(len(s.domain) for s in family)
+        assert sizes == [2, 4, 4, 8]
+
+
+class TestFindCounterexample:
+    def test_finds_violation(self, edge_schema):
+        phi_s = parse_query("E(x, y)")
+        phi_b = parse_query("E(x, x)")
+        outcome = find_counterexample(
+            phi_s, phi_b, enumerate_structures(edge_schema, 2)
+        )
+        assert outcome.found
+        assert outcome.lhs > outcome.rhs
+
+    def test_none_when_contained(self, edge_schema):
+        phi_s = parse_query("E(x, y) & E(y, x)")
+        phi_b = parse_query("E(x, y)")
+        outcome = find_counterexample(
+            phi_s, phi_b, enumerate_structures(edge_schema, 2)
+        )
+        assert not outcome.found
+        assert outcome.checked == 16
+
+    def test_budget(self, edge_schema):
+        with pytest.raises(SearchBudgetExceeded):
+            find_counterexample(
+                parse_query("E(x, y) & E(y, x)"),
+                parse_query("E(x, y)"),
+                enumerate_structures(edge_schema, 2),
+                max_candidates=3,
+            )
+
+    def test_predicate_filter(self, edge_schema):
+        outcome = find_counterexample(
+            parse_query("E(x, y)"),
+            parse_query("E(x, x)"),
+            enumerate_structures(edge_schema, 2),
+            predicate=lambda s: False,
+        )
+        assert outcome.checked == 0
+
+
+class TestVerifyBounded:
+    def test_contained_pair_passes(self):
+        verdict = verify_bounded(
+            parse_query("E(x, y) & E(y, x)"),
+            parse_query("E(x, y)"),
+            Schema.from_arities({"E": 2}),
+            domain_size=2,
+        )
+        assert verdict.holds_on_sample
+        assert verdict.counterexample is None
+        assert "no violation" in str(verdict)
+
+    def test_violated_pair_caught(self):
+        verdict = verify_bounded(
+            parse_query("E(x, y)"),
+            parse_query("E(x, x)"),
+            Schema.from_arities({"E": 2}),
+            domain_size=2,
+        )
+        assert not verdict.holds_on_sample
+        assert verdict.counterexample is not None
+
+    def test_multiplier_and_additive(self):
+        # 3·E(x,y) <= E(x,y) + 4 fails once E(x,y) > 2 (a 2-element domain
+        # admits up to 4 edges).
+        verdict = verify_bounded(
+            parse_query("E(x, y)"),
+            parse_query("E(x, y)"),
+            Schema.from_arities({"E": 2}),
+            domain_size=2,
+            multiplier=3,
+            additive=4,
+            require_nontrivial=False,
+        )
+        assert not verdict.holds_on_sample
+
+    def test_isomorphism_pruning_agrees(self):
+        """Iso-pruned sweeps reach the same verdict with fewer candidates."""
+        schema = Schema.from_arities({"E": 2})
+        for s_text, b_text in (
+            ("E(x, y) & E(y, x)", "E(x, y)"),
+            ("E(x, y)", "E(x, x)"),
+        ):
+            full = verify_bounded(
+                parse_query(s_text),
+                parse_query(b_text),
+                schema,
+                domain_size=2,
+                require_nontrivial=False,
+            )
+            pruned = verify_bounded(
+                parse_query(s_text),
+                parse_query(b_text),
+                schema,
+                domain_size=2,
+                require_nontrivial=False,
+                up_to_isomorphism=True,
+            )
+            assert full.holds_on_sample == pruned.holds_on_sample
+            assert pruned.checked <= full.checked
+
+    def test_additive_slack_absorbs_small_gaps(self):
+        # 1·E(x,y) <= E(x,x) + 4: at most 4 edges on 2 elements, so the
+        # additive constant alone closes every gap.
+        verdict = verify_bounded(
+            parse_query("E(x, y)"),
+            parse_query("E(x, x)"),
+            Schema.from_arities({"E": 2}),
+            domain_size=2,
+            additive=4,
+            require_nontrivial=False,
+        )
+        assert verdict.holds_on_sample
+
+
+class TestCertificates:
+    def test_surjection_certificate(self):
+        """π_s ≤ π_b shape: an onto hom certifies containment everywhere."""
+        phi_s = parse_query("E(x, y)")
+        phi_b = parse_query("E(x, y) & E(x, y')")
+        certificate = decide_bag_containment(phi_s, phi_b)
+        assert certificate.verdict is Verdict.CONTAINED
+        assert "Lemma 12" in certificate.reason
+
+    def test_chandra_merlin_refutation(self):
+        phi_s = parse_query("E(x, x)")
+        phi_b = parse_query("F(u, v)")
+        certificate = decide_bag_containment(phi_s, phi_b)
+        assert certificate.verdict is Verdict.NOT_CONTAINED
+        assert "Chandra-Merlin" in certificate.reason
+
+    def test_blowup_asymptotics_refutation(self):
+        # phi_s = two independent edges grows like k^4; phi_b = one edge like k^2;
+        # set-containment holds (hom exists), but bag containment fails.
+        phi_s = parse_query("E(x, y) & E(u, v)")
+        phi_b = parse_query("E(x, y)")
+        certificate = decide_bag_containment(phi_s, phi_b)
+        assert certificate.verdict is Verdict.NOT_CONTAINED
+        assert "blow-up" in certificate.reason
+
+    def test_search_refutation(self, edge_schema):
+        # An inequality in phi_s disables every static certificate, so the
+        # counterexample search is the only live path.
+        phi_s = parse_query("E(x, y) & x != y")
+        phi_b = parse_query("E(u, u)")
+        certificate = decide_bag_containment(
+            phi_s, phi_b, enumerate_structures(edge_schema, 2)
+        )
+        assert certificate.verdict is Verdict.NOT_CONTAINED
+        assert "counterexample" in certificate.reason
+
+    def test_unknown_for_uncertified_containment(self, edge_schema):
+        # E(x,y) ∧ x≠y is genuinely contained in E(u,v), but the static
+        # certificates skip inequality queries and search finds nothing:
+        # the honest answer for an open problem is UNKNOWN.
+        phi_s = parse_query("E(x, y) & x != y")
+        phi_b = parse_query("E(u, v)")
+        certificate = decide_bag_containment(
+            phi_s,
+            phi_b,
+            enumerate_structures(edge_schema, 2),
+        )
+        assert certificate.verdict is Verdict.UNKNOWN
+        assert "open problem" in certificate.reason

@@ -1,0 +1,120 @@
+"""Tests for query isomorphism, bag equivalence, and cores."""
+
+import pytest
+
+from repro.decision import enumerate_structures
+from repro.decision.equivalence import (
+    are_isomorphic,
+    bag_equivalent,
+    core,
+    find_isomorphism,
+    set_equivalent,
+)
+from repro.homomorphism import count
+from repro.queries import parse_query
+from repro.relational import Schema
+
+
+class TestIsomorphism:
+    def test_renaming_is_isomorphic(self):
+        assert are_isomorphic(
+            parse_query("E(x, y) & E(y, z)"), parse_query("E(a, b) & E(b, c)")
+        )
+
+    def test_witness_mapping(self):
+        mapping = find_isomorphism(parse_query("E(x, y)"), parse_query("E(u, v)"))
+        assert mapping is not None
+        assert {v.name for v in mapping.values()} == {"u", "v"}
+
+    def test_different_shapes_not_isomorphic(self):
+        assert not are_isomorphic(
+            parse_query("E(x, y) & E(y, x)"), parse_query("E(x, y) & E(x, z)")
+        )
+
+    def test_atom_count_mismatch(self):
+        assert not are_isomorphic(
+            parse_query("E(x, y)"), parse_query("E(x, y) & E(u, v)")
+        )
+
+    def test_constants_must_match_verbatim(self):
+        assert not are_isomorphic(parse_query("E(#a, x)"), parse_query("E(#b, x)"))
+        assert are_isomorphic(parse_query("E(#a, x)"), parse_query("E(#a, y)"))
+
+    def test_inequalities_respected(self):
+        assert are_isomorphic(
+            parse_query("E(x, y) & x != y"), parse_query("E(u, v) & u != v")
+        )
+        assert not are_isomorphic(
+            parse_query("E(x, y) & x != y"), parse_query("E(u, v)")
+        )
+
+    def test_inequality_only_variables(self):
+        assert are_isomorphic(
+            parse_query("E(x, x) & x != z"), parse_query("E(u, u) & u != w")
+        )
+
+    def test_cycle_automorphisms_found(self):
+        triangle = parse_query("E(x, y) & E(y, z) & E(z, x)")
+        rotated = parse_query("E(b, c) & E(c, a) & E(a, b)")
+        assert are_isomorphic(triangle, rotated)
+
+
+class TestBagEquivalence:
+    def test_chaudhuri_vardi_criterion(self):
+        """Set-equivalent but non-isomorphic queries are NOT bag-equivalent."""
+        edge = parse_query("E(x, y)")
+        double = parse_query("E(x, y) & E(u, v)")
+        assert set_equivalent(edge, double)
+        assert not bag_equivalent(edge, double)
+        # ...and indeed a database separates the counts:
+        schema = Schema.from_arities({"E": 2})
+        separated = any(
+            count(edge, d) != count(double, d)
+            for d in enumerate_structures(schema, 2)
+        )
+        assert separated
+
+    def test_isomorphic_queries_agree_everywhere(self):
+        left = parse_query("E(x, y) & E(y, x)")
+        right = parse_query("E(p, q) & E(q, p)")
+        assert bag_equivalent(left, right)
+        schema = Schema.from_arities({"E": 2})
+        for d in enumerate_structures(schema, 2):
+            assert count(left, d) == count(right, d)
+
+
+class TestCore:
+    def test_redundant_atom_folds(self):
+        # E(x,y) & E(x,z): z-branch folds onto the y-branch.
+        q = parse_query("E(x, y) & E(x, z)")
+        result = core(q)
+        assert result.atom_count == 1
+
+    def test_triangle_is_its_own_core(self):
+        triangle = parse_query("E(x, y) & E(y, z) & E(z, x)")
+        assert core(triangle) == triangle
+
+    def test_path_with_loop_collapses(self):
+        q = parse_query("E(x, x) & E(x, y) & E(y, z)")
+        result = core(q)
+        assert result == parse_query("E(x, x)")
+
+    def test_core_preserves_set_equivalence(self):
+        q = parse_query("E(x, y) & E(x, z) & E(u, v)")
+        assert set_equivalent(q, core(q))
+
+    def test_core_breaks_bag_equivalence(self):
+        """The Chaudhuri–Vardi moral: minimization is unsound for bags."""
+        q = parse_query("E(x, y) & E(u, v)")
+        minimized = core(q)
+        assert minimized.atom_count == 1
+        assert not bag_equivalent(q, minimized)
+
+    def test_inequalities_rejected(self):
+        with pytest.raises(ValueError):
+            core(parse_query("E(x, y) & x != y"))
+
+    def test_core_idempotent(self):
+        q = parse_query("E(x, y) & E(y, z) & E(x, w)")
+        once = core(q)
+        assert core(once) == once

@@ -1,0 +1,145 @@
+"""Tests for the multiplication gadgets of Section 3 (Lemmas 4, 5, 10).
+
+The (=) conditions are verified exactly on the packaged witnesses; the
+(≤) conditions are probed exhaustively over all small structures for the
+smallest β gadget and by randomized sweeps for the rest.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import alpha_gadget, beta_gadget, compose, gamma_gadget
+from repro.decision import enumerate_structures, random_structures
+from repro.errors import ReductionError
+from repro.homomorphism import count
+from repro.naming import HEART, SPADE
+
+
+class TestBeta:
+    @pytest.mark.parametrize("p", [3, 4, 5, 6])
+    def test_ratio(self, p):
+        assert beta_gadget(p).ratio == Fraction((p + 1) ** 2, 2 * p)
+
+    @pytest.mark.parametrize("p", [3, 4, 5, 6])
+    def test_equality_witness(self, p):
+        gadget = beta_gadget(p)
+        value_s, value_b = gadget.witness_counts()
+        assert (value_s, value_b) == ((p + 1) ** 2, 2 * p)
+        assert gadget.verify_equality()
+
+    def test_witness_is_nontrivial(self):
+        assert beta_gadget(3).witness.is_nontrivial()
+
+    def test_inequality_budget(self):
+        gadget = beta_gadget(3)
+        assert gadget.inequality_counts == (0, 1)
+
+    def test_arity_below_three_rejected(self):
+        with pytest.raises(ReductionError):
+            beta_gadget(2)
+
+    def test_upper_bound_exhaustive_p3(self):
+        """Lemma 5 (≤) on *every* 2-element structure, exhaustively.
+
+        The relation has arity 3 over 2 elements: 2^8 = 256 structures,
+        each checked exactly.  A violation anywhere would falsify Lemma 5.
+        """
+        gadget = beta_gadget(3)
+        schema = gadget.query_s.schema
+        stream = enumerate_structures(schema, 2, nontrivial_constants=True)
+        assert gadget.upper_bound_violation(stream) is None
+
+    def test_upper_bound_random_p4(self):
+        gadget = beta_gadget(4)
+        schema = gadget.query_s.schema
+        stream = random_structures(
+            schema, domain_size=3, count=150, nontrivial_constants=True, seed=11
+        )
+        assert gadget.upper_bound_violation(stream) is None
+
+    def test_trivial_structure_breaks_bound(self):
+        """The 'well of positivity' (Section 1.2): with ♠ = ♥ the (≤)
+        condition genuinely fails, which is why non-triviality is needed."""
+        gadget = beta_gadget(3)
+        well = gadget.witness.relabel(
+            {gadget.witness.interpret(SPADE): gadget.witness.interpret(HEART)}
+        )
+        assert not well.is_nontrivial()
+        value_s = count(gadget.query_s, well)
+        value_b = count(gadget.query_b, well)
+        assert value_s > 0 and value_b == 0  # inequality can't be satisfied
+
+
+class TestGamma:
+    @pytest.mark.parametrize("m", [3, 4, 5, 6])
+    def test_ratio_and_witness(self, m):
+        gadget = gamma_gadget(m)
+        assert gadget.ratio == Fraction(m - 1, m)
+        assert gadget.witness_counts() == (m - 1, m)
+        assert gadget.verify_equality()
+
+    def test_no_inequalities_at_all(self):
+        assert gamma_gadget(4).inequality_counts == (0, 0)
+
+    def test_arity_below_three_rejected(self):
+        with pytest.raises(ReductionError):
+            gamma_gadget(2)
+
+    def test_upper_bound_random(self):
+        gadget = gamma_gadget(3)
+        schema = gadget.query_s.schema.union(gadget.query_b.schema)
+        stream = random_structures(
+            schema, domain_size=3, count=200, nontrivial_constants=True, seed=7
+        )
+        assert gadget.upper_bound_violation(stream) is None
+
+
+class TestComposition:
+    def test_lemma4_ratio_multiplies(self):
+        beta = beta_gadget(3)
+        gamma = gamma_gadget(4)
+        combined = compose(beta, gamma)
+        assert combined.ratio == beta.ratio * gamma.ratio
+        assert combined.verify_equality()
+
+    def test_lemma4_requires_disjoint_schemas(self):
+        with pytest.raises(ReductionError):
+            compose(beta_gadget(3), beta_gadget(3))
+
+    def test_compose_distinct_relations_ok(self):
+        one = beta_gadget(3, relation="R_one")
+        two = beta_gadget(3, relation="R_two")
+        combined = compose(one, two)
+        assert combined.ratio == one.ratio**2
+        assert combined.verify_equality()
+
+
+class TestAlpha:
+    @pytest.mark.parametrize("c", [2, 3, 4])
+    def test_exact_natural_ratio(self, c):
+        gadget = alpha_gadget(c)
+        assert gadget.ratio == Fraction(c)
+        assert gadget.verify_equality()
+
+    def test_single_inequality(self):
+        assert alpha_gadget(2).inequality_counts == (0, 1)
+
+    def test_c_below_two_rejected(self):
+        with pytest.raises(ReductionError):
+            alpha_gadget(1)
+
+    def test_upper_bound_random(self):
+        gadget = alpha_gadget(2)
+        schema = gadget.query_s.schema.union(gadget.query_b.schema)
+        stream = random_structures(
+            schema, domain_size=2, count=60, nontrivial_constants=True, seed=3
+        )
+        assert gadget.upper_bound_violation(stream) is None
+
+    def test_name_suffix_disambiguates(self):
+        one = alpha_gadget(2, name_suffix="_a")
+        two = alpha_gadget(2, name_suffix="_b")
+        schema_one = one.query_s.schema.union(one.query_b.schema)
+        schema_two = two.query_s.schema.union(two.query_b.schema)
+        assert schema_one.is_disjoint_from(schema_two)

@@ -1,0 +1,79 @@
+"""Tests for homomorphism domination exponent estimation."""
+
+import math
+
+import pytest
+
+from repro.decision import enumerate_structures, random_structures
+from repro.decision.hde import HdeEstimate, hde_upper_bound, variable_ratio_bound
+from repro.queries import parse_query
+from repro.relational import Schema
+
+
+@pytest.fixture
+def schema():
+    return Schema.from_arities({"E": 2})
+
+
+def candidates(schema):
+    yield from enumerate_structures(schema, 2)
+    yield from random_structures(schema, domain_size=4, count=40, seed=3)
+
+
+class TestVariableRatio:
+    def test_edge_vs_double_edge(self):
+        """hom(edge)² = hom(double-edge): the ratio bound is tight at 2."""
+        edge = parse_query("E(x, y)")
+        double = parse_query("E(x, y) & E(u, v)")
+        assert variable_ratio_bound(edge, double) == 2.0
+
+    def test_double_vs_single(self):
+        double = parse_query("E(x, y) & E(u, v)")
+        edge = parse_query("E(x, y)")
+        assert variable_ratio_bound(double, edge) == 0.5
+
+    def test_inequalities_not_supported(self):
+        assert variable_ratio_bound(
+            parse_query("E(x, y) & x != y"), parse_query("E(x, y)")
+        ) is None
+
+    def test_unsatisfiable_means_no_bound(self):
+        # A query needing a loop AND loop-freeness can't anchor the blow-up.
+        ground = parse_query("E(#a, #a)")
+        assert variable_ratio_bound(ground, parse_query("E(x, y)")) is None
+
+
+class TestEmpirical:
+    def test_edge_vs_square(self, schema):
+        edge = parse_query("E(x, y)")
+        double = parse_query("E(x, y) & E(u, v)")
+        estimate = hde_upper_bound(edge, double, candidates(schema))
+        # hom(double) = hom(edge)², so every sample gives exactly 2.
+        assert math.isclose(estimate.upper_bound, 2.0)
+        assert estimate.samples_used > 0
+
+    def test_refutation(self, schema):
+        double = parse_query("E(x, y) & E(u, v)")
+        edge = parse_query("E(x, y)")
+        estimate = hde_upper_bound(double, edge, candidates(schema))
+        assert math.isclose(estimate.upper_bound, 0.5)
+        assert estimate.refutes_containment()
+
+    def test_zero_side_gives_minus_infinity(self, schema):
+        edge = parse_query("E(x, y)")
+        loop = parse_query("E(x, x)")
+        estimate = hde_upper_bound(edge, loop, candidates(schema))
+        assert estimate.upper_bound == -math.inf
+        assert estimate.witness is not None
+
+    def test_no_informative_samples(self, schema):
+        edge = parse_query("E(x, y)")
+        estimate = hde_upper_bound(edge, edge, [])
+        assert estimate.upper_bound == math.inf
+        assert estimate.samples_used == 0
+
+    def test_self_domination_is_at_least_one(self, schema):
+        edge = parse_query("E(x, y)")
+        estimate = hde_upper_bound(edge, edge, candidates(schema))
+        assert math.isclose(estimate.upper_bound, 1.0)
+        assert not estimate.refutes_containment()

@@ -1,0 +1,165 @@
+"""Tests for the Appendix B pipeline (Hilbert's 10th → Lemma 11).
+
+Pins the numbered lemmas of Appendix B on concrete instances:
+
+* Lemma 25: ``Q(Ξ) = 0 ⟺ P₁(Ξ) > P₂(Ξ)``;
+* Lemmas 26–28 via their consequences on concrete valuations;
+* Lemma 29: the grid-level equivalence between a root of ``Q`` and a
+  violation of the produced Lemma 11 inequality.
+"""
+
+import itertools
+
+import pytest
+
+from repro.polynomials import (
+    Polynomial,
+    always_positive,
+    fermat_cubes,
+    hilbert_to_lemma11,
+    linear,
+    markov,
+    parity_obstruction,
+    pell,
+    pell_nontrivial,
+    standard_suite,
+    sum_of_squares,
+)
+
+
+def grid_valuations(variables, max_value):
+    indices = sorted(variables)
+    for values in itertools.product(range(max_value + 1), repeat=len(indices)):
+        yield dict(zip(indices, values))
+
+
+class TestDiophantineInstances:
+    def test_witnesses_check_out(self):
+        for instance in standard_suite():
+            if instance.witness is not None:
+                assert instance.polynomial.evaluate(instance.witness) == 0
+
+    def test_solvability_flags(self):
+        names = {i.name: i.solvable for i in standard_suite()}
+        assert names["pell(2)"] is True
+        assert names["pell_nontrivial(4)"] is False
+        assert names["always_positive"] is False
+
+    def test_linear_decision_is_exact(self):
+        assert linear(3, 5, 8).solvable
+        assert not linear(2, 4, 7).solvable
+
+    def test_pell_square_unsolvable(self):
+        assert not pell_nontrivial(9).solvable
+
+    def test_sum_of_squares(self):
+        assert sum_of_squares(13).solvable
+        assert not sum_of_squares(7).solvable
+
+    def test_fermat_cubes_has_no_small_roots(self):
+        q = fermat_cubes().polynomial
+        for valuation in grid_valuations(q.variables, 5):
+            assert q.evaluate(valuation) != 0
+
+    def test_markov_witness(self):
+        assert markov().polynomial.evaluate({1: 1, 2: 1, 3: 1}) == 0
+
+
+class TestPipelineStructure:
+    @pytest.mark.parametrize("instance", standard_suite(), ids=lambda i: i.name)
+    def test_output_is_valid_lemma11(self, instance):
+        reduction = hilbert_to_lemma11(instance.polynomial)
+        lemma11 = reduction.instance  # construction validates everything
+        assert lemma11.c >= 2
+        assert all(m.indices[0] == 1 for m in lemma11.monomials)
+        assert lemma11.p_s.is_homogeneous()
+
+    def test_variables_renamed_from_two(self):
+        reduction = hilbert_to_lemma11(pell(2).polynomial)
+        assert 1 not in reduction.q.variables
+        assert min(reduction.q.variables) == 2
+
+    def test_degree_is_one_more_than_max(self):
+        reduction = hilbert_to_lemma11(pell(2).polynomial)
+        max_degree = max(m.degree for m in reduction.p1_prime.monomials)
+        assert reduction.d == max_degree + 1
+
+    def test_describe_runs(self):
+        text = hilbert_to_lemma11(pell(2).polynomial).describe()
+        assert "P_s" in text and "P_b" in text
+
+
+class TestLemma25:
+    @pytest.mark.parametrize(
+        "instance",
+        [linear(2, 3, 7), parity_obstruction(), pell(2), always_positive()],
+        ids=lambda i: i.name,
+    )
+    def test_root_iff_p1_exceeds_p2(self, instance):
+        reduction = hilbert_to_lemma11(instance.polynomial)
+        for valuation in grid_valuations(reduction.q.variables, 4):
+            has_root = reduction.q.evaluate(valuation) == 0
+            dominates = reduction.p1.evaluate(valuation) > reduction.p2.evaluate(
+                valuation
+            )
+            assert has_root == dominates
+
+
+class TestLemma29:
+    """Grid-level equivalence: Q has a root iff the Lemma 11 inequality fails."""
+
+    @pytest.mark.parametrize(
+        "instance",
+        [linear(2, 3, 7), linear(2, 4, 5), parity_obstruction(), always_positive()],
+        ids=lambda i: i.name,
+    )
+    def test_equivalence_on_grid(self, instance):
+        reduction = hilbert_to_lemma11(instance.polynomial)
+        lemma11 = reduction.instance
+        grid_violation = lemma11.find_counterexample(3) is not None
+        if instance.solvable and all(
+            value <= 3 for value in (instance.witness or {}).values()
+        ):
+            assert grid_violation
+        if not instance.solvable:
+            assert not grid_violation
+
+    def test_witness_lifts_to_violation(self):
+        """A root of Q at Ξ yields a violation at [1, Ξ] (Lemma 27/29)."""
+        instance = linear(2, 3, 7)
+        reduction = hilbert_to_lemma11(instance.polynomial)
+        witness = instance.witness
+        assert witness is not None
+        lifted = {1: 1}
+        lifted.update(
+            {reduction.variable_renaming[old]: value for old, value in witness.items()}
+        )
+        assert not reduction.instance.holds_for(lifted)
+
+    def test_unsolvable_holds_everywhere_on_grid(self):
+        reduction = hilbert_to_lemma11(parity_obstruction().polynomial)
+        for valuation in grid_valuations(range(1, reduction.instance.n + 1), 3):
+            assert reduction.instance.holds_for(valuation)
+
+
+class TestPaddingCollision:
+    def test_colliding_monomials_are_merged(self):
+        # x2 and x2*x3 pad to x1^2*x2 and x1*x2*x3 at d = 3 — no collision;
+        # engineer one: Q = x - x*y (monomials x and x*y; squared gives
+        # x^2, x^2*y, x^2*y^2 — padding x^2 to degree 3 gives x1*x2^2 while
+        # x^2*y stays distinct).  Use a crafted polynomial where collision
+        # provably occurs: monomial sets {x2} and {x1-padded} cannot collide
+        # through the pipeline (x1 is fresh), so check instead that the
+        # instance stays valid and Lemma 29 survives on a polynomial with
+        # same-degree-after-padding monomials.
+        x, y = Polynomial.variable(1), Polynomial.variable(2)
+        q = x * y - y - 1
+        reduction = hilbert_to_lemma11(q)
+        lemma11 = reduction.instance
+        canonical = [m.canonical() for m in lemma11.monomials]
+        assert len(set(canonical)) == len(canonical)
+        # Values agree with the unmerged polynomials.
+        for valuation in grid_valuations(range(1, lemma11.n + 1), 2):
+            assert lemma11.p_s.evaluate(valuation) == reduction.p1_doubleprime.evaluate(
+                valuation
+            )

@@ -1,0 +1,210 @@
+"""Tests for the homomorphism engines: counting, enumeration, existence.
+
+Includes the differential tests that pin the two engines (backtracking and
+tree-decomposition DP) against the brute-force reference counter.
+"""
+
+import pytest
+
+from repro.errors import ConstantError, EvaluationError
+from repro.homomorphism import (
+    count,
+    count_homomorphisms,
+    count_homomorphisms_td,
+    enumerate_homomorphisms,
+    exists_homomorphism,
+    is_homomorphism,
+    query_treewidth,
+)
+from repro.queries import Atom, ConjunctiveQuery, Constant, Inequality, Variable, parse_query
+from repro.relational import Schema, Structure
+
+from tests.conftest import brute_force_count
+
+
+@pytest.fixture
+def structure():
+    return Structure(
+        Schema.from_arities({"E": 2, "U": 1}),
+        {"E": [(0, 1), (1, 2), (2, 0), (0, 0)], "U": [(0,), (2,)]},
+    )
+
+
+class TestCounting:
+    def test_single_edge(self, structure):
+        assert count(parse_query("E(x, y)"), structure) == 4
+
+    def test_loop(self, structure):
+        assert count(parse_query("E(x, x)"), structure) == 1
+
+    def test_triangle(self, structure):
+        assert count(parse_query("E(x, y) & E(y, z) & E(z, x)"), structure) == 4
+
+    def test_with_unary(self, structure):
+        assert count(parse_query("E(x, y) & U(x)"), structure) == 3
+
+    def test_with_constant(self):
+        d = Structure(
+            Schema.from_arities({"E": 2}),
+            {"E": [(0, 1), (0, 2)]},
+            constants={"a": 0},
+        )
+        assert count(parse_query("E(#a, z)"), d) == 2
+
+    def test_missing_constant_raises(self, structure):
+        with pytest.raises(ConstantError):
+            count(parse_query("E(#nope, x)"), structure)
+
+    def test_acyclic_engine_dispatch(self, structure):
+        query = parse_query("E(x, y) & E(y, z)")
+        assert count(query, structure, engine="acyclic") == count(query, structure)
+
+    def test_unknown_relation_is_empty(self, structure):
+        """A relation the structure does not declare is interpreted as empty."""
+        assert count(parse_query("F(x, y)"), structure) == 0
+        assert count(parse_query("F(x, y)"), structure, engine="treewidth") == 0
+
+    def test_arity_mismatch_raises(self, structure):
+        query = ConjunctiveQuery([Atom("E", (Variable("x"),))])
+        with pytest.raises(EvaluationError):
+            count(query, structure)
+
+    def test_empty_query_counts_one(self, structure):
+        assert count(parse_query("TRUE"), structure) == 1
+
+    def test_inequality_only_query(self, structure):
+        # Three elements: ordered pairs with distinct members = 3*2 = 6.
+        assert count(parse_query("x != y"), structure) == 6
+
+    def test_unconstrained_variable(self, structure):
+        # z ranges over the whole domain.
+        assert count(parse_query("E(x, x), z != x"), structure) == 2
+
+    def test_duplicate_variable_in_atom(self, structure):
+        query = parse_query("E(x, x) & E(x, y)")
+        assert count(query, structure) == 2  # x=0, y in {0,1}
+
+
+class TestInequalities:
+    def test_simple(self, structure):
+        with_ineq = count(parse_query("E(x, y) & x != y"), structure)
+        without = count(parse_query("E(x, y)"), structure)
+        assert with_ineq == without - 1  # only the loop is excluded
+
+    def test_constant_inequality(self):
+        d = Structure(
+            Schema.from_arities({"E": 2}),
+            {"E": [(0, 1), (0, 0)]},
+            constants={"a": 0},
+        )
+        assert count(parse_query("E(#a, y) & y != #a"), d) == 1
+
+    def test_trivially_false(self, structure):
+        query = ConjunctiveQuery(
+            [Atom("E", (Variable("x"), Variable("y")))],
+            [Inequality(Variable("x"), Variable("x"))],
+        )
+        assert count(query, structure) == 0
+
+    def test_ground_inequality_between_constants(self):
+        d = Structure(
+            Schema.from_arities({"E": 2}),
+            {"E": [(0, 1)]},
+            constants={"a": 0, "b": 0},
+        )
+        assert count(parse_query("E(x, y) & #a != #b"), d) == 0
+
+    def test_many_inequalities_fall_back(self, structure):
+        # 13 inequalities exceed the inclusion-exclusion limit; the direct
+        # engine must still agree with brute force.
+        variables = [Variable(f"v{i}") for i in range(5)]
+        atoms = [Atom("E", (variables[i], variables[(i + 1) % 5])) for i in range(5)]
+        inequalities = [
+            Inequality(variables[i], variables[j])
+            for i in range(5)
+            for j in range(i + 1, 5)
+        ][:13]
+        query = ConjunctiveQuery(atoms, inequalities)
+        assert count(query, structure) == brute_force_count(query, structure)
+
+
+class TestEnumeration:
+    def test_enumeration_matches_count(self, structure):
+        query = parse_query("E(x, y) & U(y) & x != y")
+        homs = list(enumerate_homomorphisms(query, structure))
+        assert len(homs) == count(query, structure)
+        assert all(is_homomorphism(h, query, structure) for h in homs)
+
+    def test_enumeration_distinct(self, structure):
+        query = parse_query("E(x, y)")
+        homs = [tuple(sorted(h.items())) for h in enumerate_homomorphisms(query, structure)]
+        assert len(homs) == len(set(homs))
+
+    def test_exists(self, structure):
+        assert exists_homomorphism(parse_query("E(x, x)"), structure)
+        assert not exists_homomorphism(parse_query("U(x) & E(x, x) & U(y) & E(y, y) & x != y"), structure)
+
+
+class TestTreewidthEngine:
+    def test_agrees_on_cycles(self, structure):
+        for length in (2, 3, 4, 6):
+            variables = [Variable(f"c{i}") for i in range(length)]
+            query = ConjunctiveQuery(
+                Atom("E", (variables[i], variables[(i + 1) % length]))
+                for i in range(length)
+            )
+            assert count_homomorphisms_td(query, structure) == count_homomorphisms(
+                query, structure
+            )
+
+    def test_treewidth_of_path_is_one(self):
+        assert query_treewidth(parse_query("E(x, y) & E(y, z) & E(z, w)")) == 1
+
+    def test_treewidth_of_triangle_is_two(self):
+        assert query_treewidth(parse_query("E(x, y) & E(y, z) & E(z, x)")) == 2
+
+    def test_empty_query(self, structure):
+        assert count_homomorphisms_td(parse_query("TRUE"), structure) == 1
+
+
+class TestDifferential:
+    """Randomized cross-validation of all engines against brute force."""
+
+    @pytest.mark.parametrize("seed", range(40))
+    def test_engines_agree(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        schema = Schema.from_arities({"E": 2, "U": 1})
+        n = rng.randint(1, 4)
+        d = Structure(
+            schema,
+            {
+                "E": {(rng.randint(0, n), rng.randint(0, n)) for _ in range(6)},
+                "U": {(rng.randint(0, n),) for _ in range(3)},
+            },
+            domain=range(n + 1),
+        )
+        variables = [Variable(f"v{i}") for i in range(rng.randint(1, 4))]
+        atoms = [
+            Atom("E", (rng.choice(variables), rng.choice(variables)))
+            for _ in range(rng.randint(0, 4))
+        ]
+        atoms += [Atom("U", (rng.choice(variables),)) for _ in range(rng.randint(0, 2))]
+        inequalities = [
+            Inequality(rng.choice(variables), rng.choice(variables))
+            for _ in range(rng.randint(0, 2))
+        ]
+        query = ConjunctiveQuery(atoms, inequalities)
+        expected = brute_force_count(query, d)
+        assert count(query, d) == expected
+        assert count(query, d, engine="treewidth") == expected
+        assert count(query, d, use_inclusion_exclusion=True) == expected
+        assert sum(1 for _ in enumerate_homomorphisms(query, d)) == expected
+        for flags in (
+            dict(subtree_memo=False),
+            dict(component_split=False),
+            dict(private_counting=False),
+            dict(subtree_memo=False, component_split=False, private_counting=False),
+        ):
+            assert count_homomorphisms(query, d, **flags) == expected

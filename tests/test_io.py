@@ -1,0 +1,103 @@
+"""Tests for JSON serialization of queries and structures."""
+
+import pytest
+
+from repro.io import (
+    SerializationError,
+    dumps,
+    loads,
+    open_query_from_dict,
+    open_query_to_dict,
+    product_from_dict,
+    product_to_dict,
+    query_from_dict,
+    query_to_dict,
+    schema_from_dict,
+    schema_to_dict,
+    structure_from_dict,
+    structure_to_dict,
+)
+from repro.queries import OpenQuery, QueryProduct, parse_query
+from repro.relational import Schema, Structure
+
+
+class TestRoundTrips:
+    def test_schema(self):
+        schema = Schema.from_arities({"E": 2, "R": 7})
+        assert schema_from_dict(schema_to_dict(schema)) == schema
+
+    def test_structure_with_mixed_elements(self):
+        schema = Schema.from_arities({"E": 2})
+        structure = Structure(
+            schema,
+            {"E": [(1, "a"), (("t", 1), 2)]},
+            constants={"spade": 1, "heart": ("t", 1)},
+            domain=[99],
+        )
+        assert structure_from_dict(structure_to_dict(structure)) == structure
+
+    def test_query_with_inequalities_and_constants(self):
+        query = parse_query("E(x, #a) & E(x, y) & x != y & y != #a")
+        assert query_from_dict(query_to_dict(query)) == query
+
+    def test_open_query(self):
+        query = OpenQuery(parse_query("E(x, y) & E(y, z)"), ("x", "z"))
+        assert open_query_from_dict(open_query_to_dict(query)) == query
+
+    def test_query_product_with_big_exponent(self):
+        product = QueryProduct.of(parse_query("E(x, y)"), 10**60)
+        assert product_from_dict(product_to_dict(product)) == product
+
+    def test_dumps_loads_every_type(self):
+        objects = [
+            Schema.from_arities({"E": 2}),
+            Structure(Schema.from_arities({"E": 2}), {"E": [(0, 1)]}),
+            parse_query("E(x, y) & x != y"),
+            OpenQuery(parse_query("E(x, y)"), ("x",)),
+            QueryProduct.of(parse_query("E(x, y)"), 3),
+        ]
+        for obj in objects:
+            assert loads(dumps(obj)) == obj
+
+    def test_counterexample_database_roundtrip(self, minimal_lemma11):
+        """A Theorem 1 counterexample survives serialization with its counts."""
+        from repro.core import theorem1_reduction
+        from repro.homomorphism import count
+
+        reduction = theorem1_reduction(minimal_lemma11)
+        witness = reduction.find_counterexample(2)
+        assert witness is not None
+        restored = loads(dumps(witness))
+        assert restored == witness
+        assert count(reduction.pi_s, restored) == count(reduction.pi_s, witness)
+
+
+class TestErrors:
+    def test_unsupported_element(self):
+        schema = Schema.from_arities({"E": 2})
+        structure = Structure(schema, {"E": [(object(), 1)]})
+        with pytest.raises(SerializationError):
+            structure_to_dict(structure)
+
+    def test_unsupported_object(self):
+        with pytest.raises(SerializationError):
+            dumps(42)
+
+    def test_malformed_envelope(self):
+        with pytest.raises(SerializationError):
+            loads("not json at all {")
+        with pytest.raises(SerializationError):
+            loads('{"type": "nonsense", "payload": {}}')
+
+    def test_malformed_term(self):
+        with pytest.raises(SerializationError):
+            query_from_dict({"atoms": [{"relation": "E", "terms": [{"x": 1}]}]})
+
+    def test_malformed_element(self):
+        with pytest.raises(SerializationError):
+            structure_from_dict(
+                {
+                    "schema": {"relations": {"E": 2}},
+                    "facts": {"E": [[{"bad": 1}, 2]]},
+                }
+            )

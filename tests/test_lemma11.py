@@ -1,0 +1,119 @@
+"""Tests for the Lemma 11 normal form and its validation."""
+
+import pytest
+
+from repro.errors import Lemma11ViolationError
+from repro.polynomials import Lemma11Instance, Monomial
+
+
+class TestValidation:
+    def test_minimal_instance(self, minimal_lemma11):
+        assert minimal_lemma11.n == 1
+        assert minimal_lemma11.m == 1
+        assert minimal_lemma11.d == 1
+
+    def test_c_below_two_rejected(self):
+        with pytest.raises(Lemma11ViolationError):
+            Lemma11Instance(
+                c=1,
+                monomials=(Monomial.of(1),),
+                s_coefficients=(1,),
+                b_coefficients=(1,),
+            )
+
+    def test_empty_monomials_rejected(self):
+        with pytest.raises(Lemma11ViolationError):
+            Lemma11Instance(c=2, monomials=(), s_coefficients=(), b_coefficients=())
+
+    def test_mixed_degrees_rejected(self):
+        with pytest.raises(Lemma11ViolationError):
+            Lemma11Instance(
+                c=2,
+                monomials=(Monomial.of(1), Monomial.of(1, 2)),
+                s_coefficients=(1, 1),
+                b_coefficients=(1, 1),
+            )
+
+    def test_x1_must_lead_each_monomial(self):
+        with pytest.raises(Lemma11ViolationError):
+            Lemma11Instance(
+                c=2,
+                monomials=(Monomial.of(2, 1),),
+                s_coefficients=(1,),
+                b_coefficients=(1,),
+            )
+
+    def test_coefficient_domination_enforced(self):
+        with pytest.raises(Lemma11ViolationError):
+            Lemma11Instance(
+                c=2,
+                monomials=(Monomial.of(1),),
+                s_coefficients=(3,),
+                b_coefficients=(2,),
+            )
+
+    def test_zero_s_coefficient_rejected(self):
+        with pytest.raises(Lemma11ViolationError):
+            Lemma11Instance(
+                c=2,
+                monomials=(Monomial.of(1),),
+                s_coefficients=(0,),
+                b_coefficients=(2,),
+            )
+
+    def test_duplicate_monomials_rejected(self):
+        with pytest.raises(Lemma11ViolationError):
+            Lemma11Instance(
+                c=2,
+                monomials=(Monomial.of(1, 2), Monomial.of(1, 2)),
+                s_coefficients=(1, 1),
+                b_coefficients=(1, 1),
+            )
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(Lemma11ViolationError):
+            Lemma11Instance(
+                c=2,
+                monomials=(Monomial.of(1),),
+                s_coefficients=(1, 2),
+                b_coefficients=(1,),
+            )
+
+
+class TestSemantics:
+    def test_polynomials(self, richer_lemma11):
+        p_s = richer_lemma11.p_s
+        assert p_s.coefficient(Monomial.of(1, 2)) == 2
+        assert p_s.coefficient(Monomial.of(1, 1)) == 1
+        p_b = richer_lemma11.p_b
+        assert p_b.coefficient(Monomial.of(1, 2)) == 3
+
+    def test_position_relation(self, richer_lemma11):
+        relation = richer_lemma11.position_relation()
+        # T_1 = x1*x2: x1 is 1st variable, x2 is 2nd.
+        assert (1, 1, 1) in relation
+        assert (2, 2, 1) in relation
+        # T_2 = x1*x1: x1 is both variables.
+        assert (1, 1, 2) in relation and (1, 2, 2) in relation
+
+    def test_inequality_sides(self, richer_lemma11):
+        valuation = {1: 2, 2: 3}
+        assert richer_lemma11.lhs(valuation) == 3 * (2 * 6 + 4)
+        assert richer_lemma11.rhs(valuation) == 4 * (3 * 6 + 4 * 4)
+
+    def test_holds_for(self, minimal_lemma11):
+        # 2·x1 <= x1·x1 holds iff x1 = 0 or x1 >= 2.
+        assert minimal_lemma11.holds_for({1: 0})
+        assert not minimal_lemma11.holds_for({1: 1})
+        assert minimal_lemma11.holds_for({1: 2})
+
+    def test_find_counterexample(self, minimal_lemma11):
+        assert minimal_lemma11.find_counterexample(0) is None
+        assert minimal_lemma11.find_counterexample(2) == {1: 1}
+
+    def test_valuation_grid_size(self, richer_lemma11):
+        assert sum(1 for _ in richer_lemma11.valuations(2)) == 9
+
+    def test_sequence_valuations(self, richer_lemma11):
+        assert richer_lemma11.holds_for([0, 0])
+        assert richer_lemma11.lhs([2, 3]) == richer_lemma11.lhs({1: 2, 2: 3})

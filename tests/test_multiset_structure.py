@@ -1,0 +1,120 @@
+"""Tests for multiset databases and bag semantics proper."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.homomorphism import count
+from repro.queries import parse_query
+from repro.relational import Schema, Structure
+from repro.relational.multiset_structure import MultisetStructure, count_weighted
+
+
+@pytest.fixture
+def schema():
+    return Schema.from_arities({"E": 2, "U": 1})
+
+
+@pytest.fixture
+def multiset(schema):
+    return MultisetStructure(
+        schema,
+        {"E": {(0, 1): 3, (1, 0): 1, (1, 1): 2}, "U": {(0,): 5}},
+    )
+
+
+class TestConstruction:
+    def test_multiplicities(self, multiset):
+        assert multiset.multiplicity("E", (0, 1)) == 3
+        assert multiset.multiplicity("E", (9, 9)) == 0
+
+    def test_total(self, multiset):
+        assert multiset.total_multiplicity("E") == 6
+        assert multiset.total_multiplicity() == 11
+
+    def test_zero_multiplicity_dropped(self, schema):
+        d = MultisetStructure(schema, {"E": {(0, 1): 0}})
+        assert d.multiplicity("E", (0, 1)) == 0
+        assert d.total_multiplicity() == 0
+
+    def test_negative_rejected(self, schema):
+        with pytest.raises(SchemaError):
+            MultisetStructure(schema, {"E": {(0, 1): -1}})
+
+    def test_undeclared_relation_rejected(self, schema):
+        with pytest.raises(SchemaError):
+            MultisetStructure(schema, {"F": {(0, 1): 1}})
+
+    def test_support(self, multiset):
+        support = multiset.support()
+        assert support.facts("E") == {(0, 1), (1, 0), (1, 1)}
+
+    def test_lift_roundtrip(self, schema):
+        base = Structure(schema, {"E": [(0, 1), (1, 2)]})
+        lifted = MultisetStructure.from_structure(base)
+        assert lifted.support() == base
+
+    def test_scale(self, multiset):
+        scaled = multiset.scale("E", (0, 1), 2)
+        assert scaled.multiplicity("E", (0, 1)) == 6
+        assert multiset.multiplicity("E", (0, 1)) == 3  # original untouched
+
+    def test_scale_missing_fact(self, multiset):
+        with pytest.raises(SchemaError):
+            multiset.scale("E", (7, 7), 2)
+
+
+class TestWeightedCounting:
+    def test_single_atom_counts_tuples_with_duplicates(self, multiset):
+        """SELECT COUNT(*) FROM E."""
+        assert count_weighted(parse_query("E(x, y)"), multiset) == 6
+
+    def test_join_weights_multiply(self, multiset):
+        # E(x,y) & E(y,z): each length-2 walk weighted by both legs.
+        # Walks: 0→1→0 (3·1), 0→1→1 (3·2), 1→0→1 (1·3), 1→1→0 (2·1),
+        #        1→1→1 (2·2).
+        expected = 3 * 1 + 3 * 2 + 1 * 3 + 2 * 1 + 2 * 2
+        assert count_weighted(parse_query("E(x, y) & E(y, z)"), multiset) == expected
+
+    def test_multiplicity_one_matches_set_semantics(self, schema):
+        base = Structure(schema, {"E": [(0, 1), (1, 0), (1, 1)], "U": [(0,)]})
+        lifted = MultisetStructure.from_structure(base)
+        for text in ("E(x, y)", "E(x, y) & E(y, x)", "E(x, y) & U(x)"):
+            query = parse_query(text)
+            assert count_weighted(query, lifted) == count(query, base)
+
+    def test_linearity_in_a_fact(self, multiset):
+        """Doubling one fact's multiplicity adds exactly the homs through it."""
+        query = parse_query("E(x, y)")
+        base_value = count_weighted(query, multiset)
+        doubled = multiset.scale("E", (1, 0), 2)
+        assert count_weighted(query, doubled) == base_value + 1
+
+    def test_repeated_atom_occurrences_square_the_weight(self, schema):
+        d = MultisetStructure(schema, {"E": {(0, 0): 3}})
+        # Two distinct atoms both mapping to the same fact: weight 3·3.
+        assert count_weighted(parse_query("E(x, x) & E(x, y)"), d) == 9
+
+    def test_inequalities_respected(self, multiset):
+        with_ineq = count_weighted(parse_query("E(x, y) & x != y"), multiset)
+        assert with_ineq == 3 + 1  # loops excluded, weights kept
+
+    def test_disjoint_conjunction_multiplies(self, multiset):
+        """The Lemma 1 analogue survives under bag semantics proper."""
+        rho = parse_query("E(x, y)")
+        rho_prime = parse_query("U(u)")
+        assert count_weighted(rho * rho_prime, multiset) == count_weighted(
+            rho, multiset
+        ) * count_weighted(rho_prime, multiset)
+
+    def test_constants(self, schema):
+        d = MultisetStructure(
+            schema, {"E": {(0, 1): 4}}, constants={"a": 0}
+        )
+        assert count_weighted(parse_query("E(#a, x)"), d) == 4
+
+    def test_bag_vs_bagset_divergence(self, schema):
+        """The two semantics disagree as soon as a base table repeats rows."""
+        d = MultisetStructure(schema, {"E": {(0, 1): 2}})
+        query = parse_query("E(x, y)")
+        assert count_weighted(query, d) == 2       # bag semantics proper
+        assert count(query, d.support()) == 1      # bag-set semantics

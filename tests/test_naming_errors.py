@@ -1,0 +1,78 @@
+"""Tests for the naming utilities and the error hierarchy."""
+
+import pytest
+
+from repro import errors
+from repro.naming import HEART, SPADE, NameSupply
+
+
+class TestNameSupply:
+    def test_fresh_unreserved_name_is_itself(self):
+        supply = NameSupply()
+        assert supply.fresh("x") == "x"
+
+    def test_collision_gets_suffix(self):
+        supply = NameSupply({"x"})
+        assert supply.fresh("x") == "x_1"
+        assert supply.fresh("x") == "x_2"
+
+    def test_suffixes_skip_reserved(self):
+        supply = NameSupply({"x", "x_1", "x_2"})
+        assert supply.fresh("x") == "x_3"
+
+    def test_fresh_names_are_reserved(self):
+        supply = NameSupply()
+        first = supply.fresh("y")
+        second = supply.fresh("y")
+        assert first != second
+
+    def test_reserve(self):
+        supply = NameSupply()
+        supply.reserve("z")
+        assert supply.fresh("z") == "z_1"
+
+    def test_independent_bases(self):
+        supply = NameSupply({"a", "b"})
+        assert supply.fresh("a") == "a_1"
+        assert supply.fresh("b") == "b_1"
+
+
+class TestSpecialConstants:
+    def test_distinct(self):
+        assert SPADE != HEART
+
+    def test_stable_names(self):
+        # The gadgets and the Arena hard-code these; changing them would
+        # silently invalidate serialized artifacts.
+        assert SPADE == "spade"
+        assert HEART == "heart"
+
+
+class TestErrorHierarchy:
+    def test_all_errors_derive_from_base(self):
+        leaves = [
+            errors.SchemaError,
+            errors.ArityError,
+            errors.ConstantError,
+            errors.QueryError,
+            errors.ParseError,
+            errors.PolynomialError,
+            errors.Lemma11ViolationError,
+            errors.ReductionError,
+            errors.EvaluationError,
+            errors.MaterializationError,
+            errors.SearchBudgetExceeded,
+        ]
+        for leaf in leaves:
+            assert issubclass(leaf, errors.BagCQError)
+
+    def test_specializations(self):
+        assert issubclass(errors.ArityError, errors.SchemaError)
+        assert issubclass(errors.ParseError, errors.QueryError)
+        assert issubclass(errors.Lemma11ViolationError, errors.PolynomialError)
+
+    def test_single_catch_at_api_boundary(self):
+        from repro.queries import parse_query
+
+        with pytest.raises(errors.BagCQError):
+            parse_query("not ( valid")

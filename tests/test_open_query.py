@@ -1,0 +1,143 @@
+"""Tests for non-boolean CQs: answer multisets and bag containment."""
+
+from collections import Counter
+
+import pytest
+
+from repro.errors import QueryError
+from repro.queries import (
+    OpenQuery,
+    Variable,
+    bag_answer_contained,
+    bag_answer_counterexample,
+    parse_query,
+)
+from repro.relational import Schema, Structure
+
+
+@pytest.fixture
+def graph():
+    return Structure(
+        Schema.from_arities({"E": 2}),
+        {"E": [(0, 1), (1, 2), (0, 2), (2, 2)]},
+    )
+
+
+class TestConstruction:
+    def test_head_variables(self):
+        q = OpenQuery(parse_query("E(x, y)"), ("x",))
+        assert q.arity == 1
+        assert q.head == (Variable("x"),)
+
+    def test_head_must_occur_in_body(self):
+        with pytest.raises(QueryError):
+            OpenQuery(parse_query("E(x, y)"), ("z",))
+
+    def test_head_must_be_variables(self):
+        from repro.queries import Constant
+
+        with pytest.raises(QueryError):
+            OpenQuery(parse_query("E(x, y)"), (Constant("a"),))  # type: ignore[arg-type]
+
+    def test_boolean_query(self):
+        q = OpenQuery(parse_query("E(x, y)"), ())
+        assert q.is_boolean()
+
+    def test_projection_free(self):
+        assert OpenQuery(parse_query("E(x, y)"), ("x", "y")).is_projection_free()
+        assert not OpenQuery(parse_query("E(x, y)"), ("x",)).is_projection_free()
+
+    def test_str(self):
+        q = OpenQuery(parse_query("E(x, y)"), ("x", "y"))
+        assert str(q) == "(x, y) <- E(x, y)"
+
+
+class TestAnswers:
+    def test_projection_free_answers(self, graph):
+        q = OpenQuery(parse_query("E(x, y)"), ("x", "y"))
+        assert q.answers(graph) == Counter(
+            {(0, 1): 1, (1, 2): 1, (0, 2): 1, (2, 2): 1}
+        )
+
+    def test_projection_multiplicities(self, graph):
+        """SQL without DISTINCT: projecting keeps duplicates."""
+        q = OpenQuery(parse_query("E(x, y)"), ("x",))
+        assert q.answers(graph) == Counter({(0,): 2, (1,): 1, (2,): 1})
+
+    def test_join_multiplicities(self, graph):
+        # (x, z) connected by a path of length 2.
+        q = OpenQuery(parse_query("E(x, y) & E(y, z)"), ("x", "z"))
+        answers = q.answers(graph)
+        # 0→1→2, 0→2→2, 2→2→2 and 1→2→2.
+        assert answers == Counter({(0, 2): 2, (1, 2): 1, (2, 2): 1})
+
+    def test_boolean_answers(self, graph):
+        q = OpenQuery(parse_query("E(x, y)"), ())
+        assert q.answers(graph) == Counter({(): 4})
+
+    def test_ground(self, graph):
+        q = OpenQuery(parse_query("E(x, y) & E(y, z)"), ("x", "z"))
+        grounded, fragment = q.ground((0, 2))
+        assert grounded.is_ground() is False  # y stays existential
+        structure = graph
+        for name, element in fragment.constants.items():
+            structure = structure.with_constant(name, element)
+        from repro.homomorphism import count
+
+        assert count(grounded, structure) == 2  # multiplicity of (0, 2)
+
+    def test_ground_arity_checked(self):
+        q = OpenQuery(parse_query("E(x, y)"), ("x",))
+        with pytest.raises(QueryError):
+            q.ground((1, 2))
+
+
+class TestContainment:
+    def test_contained_pair(self, graph):
+        small = OpenQuery(parse_query("E(x, y) & E(y, y)"), ("x", "y"))
+        big = OpenQuery(parse_query("E(x, y)"), ("x", "y"))
+        assert bag_answer_contained(small, big, graph)
+
+    def test_projection_breaks_containment(self, graph):
+        # Projected edge endpoints vs loops at x: (0,) has multiplicity 2
+        # in the projection but no loop.
+        small = OpenQuery(parse_query("E(x, y)"), ("x",))
+        big = OpenQuery(parse_query("E(x, x)"), ("x",))
+        assert not bag_answer_contained(small, big, graph)
+
+    def test_arity_mismatch_rejected(self, graph):
+        with pytest.raises(QueryError):
+            bag_answer_contained(
+                OpenQuery(parse_query("E(x, y)"), ("x",)),
+                OpenQuery(parse_query("E(x, y)"), ("x", "y")),
+                graph,
+            )
+
+    def test_counterexample_search(self):
+        from repro.decision import enumerate_structures
+
+        small = OpenQuery(parse_query("E(x, y)"), ("x",))
+        big = OpenQuery(parse_query("E(x, x)"), ("x",))
+        schema = Schema.from_arities({"E": 2})
+        hit = bag_answer_counterexample(
+            small, big, enumerate_structures(schema, 2)
+        )
+        assert hit is not None
+        structure, answer = hit
+        assert small.answers(structure)[answer] > big.answers(structure)[answer]
+
+    def test_chaudhuri_vardi_example_in_answer_world(self):
+        """Projection duplicates are what separate bag from set semantics."""
+        from repro.decision import enumerate_structures
+
+        schema = Schema.from_arities({"E": 2})
+        # Ψ_s(x) = x has an out-edge (projected); Ψ_b(x) = x has an
+        # out-edge to a *specific* witness... same query: containment both
+        # ways under set semantics; with duplicates the two-edge fanout
+        # breaks equality but not containment.  Use fanout-squared instead:
+        small = OpenQuery(parse_query("E(x, y) & E(x, z)"), ("x",))
+        big = OpenQuery(parse_query("E(x, y)"), ("x",))
+        hit = bag_answer_counterexample(
+            small, big, enumerate_structures(schema, 2)
+        )
+        assert hit is not None  # fanout² > fanout once fanout ≥ 2

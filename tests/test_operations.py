@@ -1,0 +1,129 @@
+"""Tests for structure operations: union, product, power, blow-up.
+
+The quantitative facts pinned here are Lemma 22 of the paper:
+``φ(blowup(D,k)) = k^j·φ(D)`` (``j`` = number of variables) and
+``φ(D^{×k}) = φ(D)^k``, for CQs without inequality.
+"""
+
+import pytest
+
+from repro.errors import ConstantError
+from repro.homomorphism import count
+from repro.naming import HEART, SPADE
+from repro.queries import parse_query
+from repro.relational import (
+    Schema,
+    Structure,
+    blowup,
+    disjoint_union,
+    power,
+    product,
+)
+
+
+@pytest.fixture
+def schema():
+    return Schema.from_arities({"E": 2})
+
+
+@pytest.fixture
+def two_cycle(schema):
+    return Structure(schema, {"E": [(0, 1), (1, 0)]})
+
+
+class TestDisjointUnion:
+    def test_merges_schemas_and_facts(self, schema):
+        left = Structure(schema, {"E": [(0, 1)]})
+        right = Structure(Schema.from_arities({"U": 1}), {"U": [(0,)]})
+        union = disjoint_union(left, right)
+        assert union.fact_count("E") == 1
+        assert union.fact_count("U") == 1
+        assert len(union.domain) == 3  # elements are kept apart
+
+    def test_shared_constants_identified(self, schema):
+        left = Structure(schema, {"E": [(0, 1)]}, constants={SPADE: 0, HEART: 1})
+        right = Structure(
+            Schema.from_arities({"U": 1}), {"U": [(5,)]}, constants={SPADE: 5}
+        )
+        union = disjoint_union(left, right)
+        assert union.is_nontrivial()
+        # The spade elements of both sides became one element.
+        assert union.has_fact("U", (union.interpret(SPADE),))
+        assert union.has_fact("E", (union.interpret(SPADE), union.interpret(HEART)))
+
+    def test_ambiguous_constant_grouping_rejected(self, schema):
+        left = Structure(schema, constants={"a": 0})
+        right = Structure(schema, constants={"a": 0, "b": 0})
+        with pytest.raises(ConstantError):
+            disjoint_union(left, right)
+
+    def test_count_multiplies_across_disjoint_schemas(self, schema):
+        left = Structure(schema, {"E": [(0, 1), (1, 0)]})
+        right = Structure(Schema.from_arities({"F": 2}), {"F": [(0, 1)]})
+        union = disjoint_union(left, right)
+        phi = parse_query("E(x, y)")
+        psi = parse_query("F(u, v)")
+        assert count(phi, union) == 2
+        assert count(psi, union) == 1
+        assert count(phi & psi, union) == 2
+
+
+class TestProduct:
+    def test_product_facts(self, two_cycle):
+        squared = product(two_cycle, two_cycle)
+        assert squared.fact_count("E") == 4
+        assert ((0, 0), (1, 1)) in squared.facts("E")
+
+    def test_count_multiplies(self, two_cycle):
+        phi = parse_query("E(x, y) & E(y, x)")
+        assert count(phi, product(two_cycle, two_cycle)) == count(phi, two_cycle) ** 2
+
+    def test_constants_componentwise(self, schema):
+        d = Structure(schema, {"E": [(0, 1)]}, constants={"a": 0})
+        squared = product(d, d)
+        assert squared.interpret("a") == (0, 0)
+
+    def test_constant_dropped_when_one_side_lacks_it(self, schema):
+        left = Structure(schema, {"E": [(0, 1)]}, constants={"a": 0})
+        right = Structure(schema, {"E": [(0, 1)]})
+        assert not product(left, right).interprets("a")
+
+
+class TestPower:
+    def test_power_one_matches_base_counts(self, two_cycle):
+        phi = parse_query("E(x, y)")
+        assert count(phi, power(two_cycle, 1)) == count(phi, two_cycle)
+
+    @pytest.mark.parametrize("k", [2, 3])
+    def test_lemma22_ii(self, two_cycle, k):
+        phi = parse_query("E(x, y) & E(y, x)")
+        assert count(phi, power(two_cycle, k)) == count(phi, two_cycle) ** k
+
+    def test_power_constants(self, schema):
+        d = Structure(schema, {"E": [(0, 0)]}, constants={"a": 0})
+        assert power(d, 3).interpret("a") == (0, 0, 0)
+
+    def test_power_requires_positive(self, two_cycle):
+        with pytest.raises(ValueError):
+            power(two_cycle, 0)
+
+
+class TestBlowup:
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_lemma22_i(self, two_cycle, k):
+        phi = parse_query("E(x, y) & E(y, x)")
+        expected = k ** phi.variable_count * count(phi, two_cycle)
+        assert count(phi, blowup(two_cycle, k)) == expected
+
+    def test_blowup_with_constants_scales_by_variables_only(self, schema):
+        d = Structure(schema, {"E": [(0, 1)]}, constants={"a": 0})
+        phi = parse_query("E(#a, y)")
+        # One variable: blowing up by 3 triples the count (the constant is pinned).
+        assert count(phi, blowup(d, 3)) == 3 * count(phi, d)
+
+    def test_domain_size(self, two_cycle):
+        assert len(blowup(two_cycle, 4).domain) == 4 * len(two_cycle.domain)
+
+    def test_blowup_requires_positive(self, two_cycle):
+        with pytest.raises(ValueError):
+            blowup(two_cycle, 0)

@@ -1,0 +1,23 @@
+"""Run the executable paper-claims registry, one claim per test."""
+
+import pytest
+
+from repro.paper import CLAIMS, claims_by_id
+
+
+@pytest.mark.parametrize("claim", CLAIMS, ids=lambda c: c.claim_id)
+def test_claim(claim):
+    assert claim.verify(), f"{claim.claim_id}: {claim.statement}"
+
+
+def test_registry_ids_unique():
+    assert len(claims_by_id()) == len(CLAIMS)
+
+
+def test_every_claim_names_modules():
+    import importlib
+
+    for claim in CLAIMS:
+        assert claim.modules
+        for module in claim.modules:
+            importlib.import_module(module)

@@ -1,0 +1,73 @@
+"""Unit tests for the query parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.queries import Constant, Variable, parse_query, parse_term
+
+
+class TestTerms:
+    def test_variable(self):
+        assert parse_term("x") == Variable("x")
+
+    def test_constant(self):
+        assert parse_term("#a") == Constant("a")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_term("x y")
+
+
+class TestQueries:
+    def test_single_atom(self):
+        phi = parse_query("E(x, y)")
+        assert phi.atom_count == 1
+        assert phi.schema.arity("E") == 2
+
+    def test_ampersand_and_comma_separators(self):
+        assert parse_query("E(x, y) & U(x)") == parse_query("E(x, y), U(x)")
+
+    def test_unicode_conjunction(self):
+        assert parse_query("E(x, y) ∧ U(x)") == parse_query("E(x, y) & U(x)")
+
+    def test_inequality(self):
+        phi = parse_query("E(x, y) & x != y")
+        assert phi.inequality_count == 1
+
+    def test_unicode_inequality(self):
+        assert parse_query("x ≠ y, E(x, y)") == parse_query("x != y & E(x, y)")
+
+    def test_constants_in_atoms(self):
+        phi = parse_query("E(#a, x)")
+        assert Constant("a") in phi.constants
+
+    def test_true_literal(self):
+        assert parse_query("TRUE").is_empty()
+
+    def test_high_arity(self):
+        phi = parse_query("R(a, b, c, d, e)")
+        assert phi.schema.arity("R") == 5
+
+    def test_roundtrip_through_str(self):
+        phi = parse_query("E(x, y) & U(#a) & x != y")
+        assert parse_query(str(phi)) == phi
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "E(x",          # unterminated atom
+            "E()",          # empty atom
+            "E(x,)",        # dangling comma
+            "x !=",         # missing right operand
+            "E(x, y) &",    # dangling conjunction
+            "E(x, y) U(x)", # missing separator
+            "TRUE & E(x,y)",  # TRUE cannot be combined
+            "@",            # bad character
+            "",             # empty input
+        ],
+    )
+    def test_rejected(self, text):
+        with pytest.raises(ParseError):
+            parse_query(text)

@@ -1,0 +1,106 @@
+"""Tests for π_s/π_b (Section 4.3), Lemma 12, and Lemma 15 (Appendix A)."""
+
+import pytest
+
+from repro.core import (
+    build_arena,
+    build_pi_b,
+    build_pi_s,
+    lemma12_homomorphism,
+)
+from repro.core.pi import CENTER
+from repro.decision import random_structures
+from repro.homomorphism import count, is_homomorphism
+from repro.polynomials import Lemma11Instance, Monomial
+from repro.queries import Variable
+
+
+class TestShape:
+    def test_pi_s_atom_count(self, richer_lemma11):
+        pi_s = build_pi_s(richer_lemma11)
+        # Per monomial: 1 loop + (c_s,m − 1) ray edges; plus 2 atoms per degree.
+        expected = sum(
+            1 + (c - 1) for c in richer_lemma11.s_coefficients
+        ) + 2 * richer_lemma11.d
+        assert pi_s.atom_count == expected
+
+    def test_pi_b_has_extra_r1_rays(self, richer_lemma11):
+        pi_b = build_pi_b(richer_lemma11)
+        r1_atoms = [atom for atom in pi_b.atoms if atom.relation == "R_1"]
+        # d valuation rays via R_1 plus d extra primed rays... R_1 appears
+        # once among the valuation rays (d=2: R_1, R_2) and twice primed.
+        assert len(r1_atoms) == 1 + richer_lemma11.d
+
+    def test_coefficient_one_ray_is_just_loop(self, minimal_lemma11):
+        pi_s = build_pi_s(minimal_lemma11)
+        s_atoms = [atom for atom in pi_s.atoms if atom.relation == "S_1"]
+        assert len(s_atoms) == 1
+        assert s_atoms[0].terms == (CENTER, CENTER)
+
+    def test_pi_queries_are_connected(self, richer_lemma11):
+        assert build_pi_s(richer_lemma11).is_connected()
+        assert build_pi_b(richer_lemma11).is_connected()
+
+    def test_no_inequalities(self, richer_lemma11):
+        assert build_pi_s(richer_lemma11).inequality_count == 0
+        assert build_pi_b(richer_lemma11).inequality_count == 0
+
+
+class TestLemma12:
+    def test_mapping_is_onto_homomorphism(self, richer_lemma11):
+        """The explicit h: Var(π_b) → Var(π_s) is a hom and is onto."""
+        pi_s = build_pi_s(richer_lemma11)
+        pi_b = build_pi_b(richer_lemma11)
+        mapping = lemma12_homomorphism(richer_lemma11)
+        canonical = pi_s.canonical_structure()
+        assert is_homomorphism(dict(mapping), pi_b, canonical)
+        image = {term for term in mapping.values() if isinstance(term, Variable)}
+        assert pi_s.variables <= image
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_pi_s_below_pi_b_on_random_structures(self, richer_lemma11, seed):
+        """Lemma 12's conclusion, checked by exact counting."""
+        pi_s = build_pi_s(richer_lemma11)
+        pi_b = build_pi_b(richer_lemma11)
+        schema = pi_b.schema
+        for structure in random_structures(
+            schema, domain_size=3, count=6, density=0.4, seed=seed
+        ):
+            assert count(pi_s, structure) <= count(pi_b, structure)
+
+
+class TestLemma15:
+    @pytest.mark.parametrize(
+        "valuation",
+        [{1: 0, 2: 0}, {1: 1, 2: 0}, {1: 1, 2: 2}, {1: 3, 2: 1}, {1: 2, 2: 3}],
+        ids=str,
+    )
+    def test_exact_identities_on_correct_databases(self, richer_lemma11, valuation):
+        """π_s(D) = P_s(Ξ_D) and π_b(D) = Ξ_D(x₁)^d · P_b(Ξ_D)."""
+        arena = build_arena(richer_lemma11)
+        structure = arena.correct_database(valuation)
+        pi_s = build_pi_s(richer_lemma11)
+        pi_b = build_pi_b(richer_lemma11)
+        assert count(pi_s, structure) == richer_lemma11.p_s.evaluate(valuation)
+        expected_b = valuation[1] ** richer_lemma11.d * richer_lemma11.p_b.evaluate(
+            valuation
+        )
+        assert count(pi_b, structure) == expected_b
+
+    def test_identity_with_unit_coefficients(self, minimal_lemma11):
+        arena = build_arena(minimal_lemma11)
+        structure = arena.correct_database({1: 5})
+        assert count(build_pi_s(minimal_lemma11), structure) == 5
+        assert count(build_pi_b(minimal_lemma11), structure) == 25
+
+    def test_large_coefficients(self):
+        instance = Lemma11Instance(
+            c=2,
+            monomials=(Monomial.of(1),),
+            s_coefficients=(7,),
+            b_coefficients=(30,),
+        )
+        arena = build_arena(instance)
+        structure = arena.correct_database({1: 4})
+        assert count(build_pi_s(instance), structure) == 7 * 4
+        assert count(build_pi_b(instance), structure) == 4 * 30 * 4

@@ -1,0 +1,128 @@
+"""Unit tests for monomials and polynomials."""
+
+import pytest
+
+from repro.errors import PolynomialError
+from repro.polynomials import Monomial, Polynomial
+
+
+class TestMonomial:
+    def test_degree_and_variables(self):
+        t = Monomial.of(1, 2, 2)
+        assert t.degree == 3
+        assert t.variables == {1, 2}
+        assert t.exponent_of(2) == 2
+
+    def test_evaluate_mapping_and_sequence(self):
+        t = Monomial.of(1, 2)
+        assert t.evaluate({1: 3, 2: 4}) == 12
+        assert t.evaluate([3, 4]) == 12
+
+    def test_constant_monomial(self):
+        assert Monomial.constant().evaluate({}) == 1
+        assert Monomial.constant().degree == 0
+
+    def test_canonical_sorts(self):
+        assert Monomial.of(2, 1).canonical() == Monomial.of(1, 2)
+
+    def test_prepend(self):
+        assert Monomial.of(2).prepend_variable(1, 2) == Monomial.of(1, 1, 2)
+
+    def test_negative_value_rejected(self):
+        with pytest.raises(PolynomialError):
+            Monomial.of(1).evaluate({1: -1})
+
+    def test_missing_variable_rejected(self):
+        with pytest.raises(PolynomialError):
+            Monomial.of(3).evaluate({1: 1})
+
+    def test_invalid_index_rejected(self):
+        with pytest.raises(PolynomialError):
+            Monomial.of(0)
+
+    def test_str(self):
+        assert str(Monomial.of(1, 2, 2)) == "x1*x2^2"
+        assert str(Monomial.constant()) == "1"
+
+
+class TestPolynomialArithmetic:
+    def test_add_and_subtract(self):
+        x, y = Polynomial.variable(1), Polynomial.variable(2)
+        p = x + y - x
+        assert p == y
+
+    def test_multiplication(self):
+        x, y = Polynomial.variable(1), Polynomial.variable(2)
+        p = (x + y) * (x - y)
+        assert p == x**2 - y**2
+
+    def test_power(self):
+        x = Polynomial.variable(1)
+        assert (x + 1) ** 2 == x**2 + 2 * x + 1
+
+    def test_integer_coercion(self):
+        x = Polynomial.variable(1)
+        assert 2 + x - 2 == x
+        assert (3 * x).coefficient(Monomial.of(1)) == 3
+
+    def test_zero(self):
+        assert Polynomial.zero().is_zero()
+        assert (Polynomial.variable(1) * 0).is_zero()
+
+    def test_evaluate(self):
+        x, y = Polynomial.variable(1), Polynomial.variable(2)
+        q = x**2 - 2 * y**2 - 1
+        assert q.evaluate({1: 3, 2: 2}) == 0
+        assert q.evaluate({1: 1, 2: 0}) == 0
+        assert q.evaluate({1: 2, 2: 1}) == 1
+
+    def test_degree(self):
+        x, y = Polynomial.variable(1), Polynomial.variable(2)
+        assert (x**2 * y + x).degree == 3
+        assert Polynomial.constant(5).degree == 0
+
+    def test_variables(self):
+        x, z = Polynomial.variable(1), Polynomial.variable(3)
+        assert (x * z + 1).variables == {1, 3}
+
+    def test_split_signs(self):
+        x, y = Polynomial.variable(1), Polynomial.variable(2)
+        positive, negative = (x**2 - 2 * y).split_signs()
+        assert positive == x**2
+        assert negative == 2 * y
+        assert positive - negative == x**2 - 2 * y
+
+    def test_natural_coefficients(self):
+        x = Polynomial.variable(1)
+        assert (2 * x + 1).has_natural_coefficients()
+        assert not (x - 1).has_natural_coefficients()
+
+    def test_homogeneous(self):
+        x, y = Polynomial.variable(1), Polynomial.variable(2)
+        assert (x * y + x**2).is_homogeneous()
+        assert not (x * y + x).is_homogeneous()
+
+    def test_rename_variables(self):
+        x = Polynomial.variable(1)
+        renamed = x.rename_variables({1: 5})
+        assert renamed.variables == {5}
+
+    def test_rename_must_be_injective(self):
+        x, y = Polynomial.variable(1), Polynomial.variable(2)
+        with pytest.raises(PolynomialError):
+            (x + y).rename_variables({1: 2})
+
+    def test_str(self):
+        x, y = Polynomial.variable(1), Polynomial.variable(2)
+        assert str(x**2 - 2 * y**2 - 1) == "-1 + x1^2 - 2*x2^2"
+        assert str(Polynomial.zero()) == "0"
+
+    def test_from_terms(self):
+        p = Polynomial.from_terms((3, [1, 1]), (-1, [2]))
+        assert p.coefficient(Monomial.of(1, 1)) == 3
+        assert p.coefficient(Monomial.of(2)) == -1
+
+    def test_equality_hash(self):
+        x = Polynomial.variable(1)
+        assert x + x == 2 * x
+        assert hash(x + x) == hash(2 * x)

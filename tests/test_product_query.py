@@ -1,0 +1,109 @@
+"""Unit tests for factorized query products."""
+
+import pytest
+
+from repro.errors import MaterializationError, QueryError
+from repro.homomorphism import count, count_at_least
+from repro.queries import QueryProduct, parse_query
+from repro.relational import Schema, Structure
+
+
+@pytest.fixture
+def structure():
+    return Structure(
+        Schema.from_arities({"E": 2}), {"E": [(0, 1), (1, 0), (0, 0)]}
+    )
+
+
+class TestConstruction:
+    def test_of_splits_components(self):
+        phi = parse_query("E(x, y) & E(u, v)")
+        product = QueryProduct.of(phi)
+        assert len(product.factors) == 2
+
+    def test_zero_exponent_dropped(self):
+        phi = parse_query("E(x, y)")
+        assert QueryProduct([(phi, 0)]).is_empty()
+
+    def test_negative_exponent_rejected(self):
+        with pytest.raises(QueryError):
+            QueryProduct([(parse_query("E(x, y)"), -1)])
+
+    def test_equal_factors_merge(self):
+        phi = parse_query("E(x, y)")
+        product = QueryProduct([(phi, 2), (phi, 3)])
+        assert product.exponents == (5,)
+
+
+class TestAlgebra:
+    def test_power_scales_exponents(self):
+        phi = parse_query("E(x, y)")
+        assert (QueryProduct.of(phi) ** 7).exponents == (7,)
+
+    def test_disjoint_conj_concatenates(self):
+        product = QueryProduct.of(parse_query("E(x, y)")) * parse_query("E(u, u)")
+        assert len(product.factors) == 2
+
+    def test_totals(self):
+        phi = parse_query("E(x, y) & E(y, z)")
+        product = QueryProduct.of(phi, 5)
+        assert product.total_atom_count == 10
+        assert product.total_variable_count == 15
+
+    def test_huge_exponents_stay_symbolic(self):
+        product = QueryProduct.of(parse_query("E(x, y)"), 10**100)
+        assert product.total_atom_count == 10**100
+
+
+class TestEvaluation:
+    def test_counts_match_materialization(self, structure):
+        phi = parse_query("E(x, y)")
+        product = QueryProduct.of(phi, 3)
+        assert count(product, structure) == count(product.materialize(), structure)
+
+    def test_definition2_for_products(self, structure):
+        phi = parse_query("E(x, y)")
+        product = QueryProduct.of(phi, 20)
+        assert count(product, structure) == count(phi, structure) ** 20
+
+    def test_zero_factor_short_circuits(self, structure):
+        product = QueryProduct.of(parse_query("F(x, y)"), 10**50) * parse_query(
+            "E(x, y)"
+        )
+        extended = Structure(
+            Schema.from_arities({"E": 2, "F": 2}), {"E": [(0, 1)]}
+        )
+        assert count(product, extended) == 0
+
+
+class TestCountAtLeast:
+    def test_exact_on_small(self, structure):
+        phi = QueryProduct.of(parse_query("E(x, y)"), 2)  # 3^2 = 9
+        assert count_at_least(phi, structure, 9)
+        assert not count_at_least(phi, structure, 10)
+
+    def test_astronomical_exponent(self, structure):
+        product = QueryProduct.of(parse_query("E(x, y)"), 10**100)
+        # 3^(10^100) certainly clears any human-sized bound, without being built.
+        assert count_at_least(product, structure, 10**500)
+
+    def test_zero_bound(self, structure):
+        assert count_at_least(QueryProduct(), structure, 0)
+
+    def test_zero_count(self, structure):
+        product = QueryProduct.of(parse_query("E(x, x) & E(y, y) & E(x, y) & E(y, x)"), 10**9)
+        # Only (0,0) satisfies all four atoms with x=y=0 → value 1, 1^n = 1 < 2
+        assert not count_at_least(product, structure, 2)
+
+
+class TestMaterialization:
+    def test_budget_enforced(self):
+        product = QueryProduct.of(parse_query("E(x, y)"), 10**9)
+        with pytest.raises(MaterializationError):
+            product.materialize(max_atoms=100)
+
+    def test_small_expansion(self, structure):
+        product = QueryProduct.of(parse_query("E(x, y)"), 4)
+        materialized = product.materialize()
+        assert materialized.atom_count == 4
+        assert materialized.variable_count == 8

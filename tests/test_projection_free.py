@@ -1,0 +1,86 @@
+"""Tests for the projection-free decidable fragment ([7])."""
+
+import pytest
+
+from repro.decision import enumerate_structures
+from repro.decision.projection_free import projection_free_contained
+from repro.errors import QueryError
+from repro.queries import OpenQuery, bag_answer_contained, parse_query
+from repro.relational import Schema
+
+
+def pf(text: str, head: tuple[str, ...]) -> OpenQuery:
+    return OpenQuery(parse_query(text), head)
+
+
+class TestDecision:
+    def test_positive(self):
+        assert projection_free_contained(
+            pf("E(x, y) & E(y, x)", ("x", "y")), pf("E(x, y)", ("x", "y"))
+        )
+
+    def test_negative(self):
+        assert not projection_free_contained(
+            pf("E(x, y)", ("x", "y")), pf("E(x, y) & E(y, x)", ("x", "y"))
+        )
+
+    def test_reflexive(self):
+        q = pf("E(x, y) & E(y, z)", ("x", "y", "z"))
+        assert projection_free_contained(q, q)
+
+    def test_head_must_be_fixed_pointwise(self):
+        # E(x,y) vs E(y,x): as unordered sets of atoms a hom exists, but
+        # with the head fixed pointwise the swapped query is NOT entailed.
+        assert not projection_free_contained(
+            pf("E(x, y)", ("x", "y")), pf("E(y, x)", ("x", "y"))
+        )
+
+    def test_rejects_projections(self):
+        with pytest.raises(QueryError):
+            projection_free_contained(
+                pf("E(x, y)", ("x",)), pf("E(x, y)", ("x",))
+            )
+
+    def test_rejects_inequalities(self):
+        with pytest.raises(QueryError):
+            projection_free_contained(
+                OpenQuery(parse_query("E(x, y) & x != y"), ("x", "y")),
+                pf("E(x, y)", ("x", "y")),
+            )
+
+    def test_rejects_head_mismatch(self):
+        with pytest.raises(QueryError):
+            projection_free_contained(
+                pf("E(x, y)", ("x", "y")), pf("E(x, y)", ("y", "x"))
+            )
+
+
+class TestSoundnessAndCompleteness:
+    """The decision procedure agrees with exhaustive answer-multiset checks."""
+
+    PAIRS = [
+        ("E(x, y) & E(y, x)", "E(x, y)"),
+        ("E(x, y)", "E(x, y) & E(y, x)"),
+        ("E(x, y) & E(y, z)", "E(x, y) & E(y, z) & E(x, z)"),
+        ("E(x, y) & E(x, x) & E(y, y)", "E(x, x) & E(y, y)"),
+        ("E(x, x) & E(y, y)", "E(x, y) & E(y, x)"),
+        ("E(x, y)", "E(y, x)"),
+    ]
+
+    @pytest.mark.parametrize("s_text,b_text", PAIRS)
+    def test_agreement_on_small_structures(self, s_text, b_text):
+        variables = tuple(
+            sorted(
+                {v.name for v in parse_query(s_text).variables}
+                | {v.name for v in parse_query(b_text).variables}
+            )
+        )
+        query_s = OpenQuery(parse_query(s_text), variables)
+        query_b = OpenQuery(parse_query(b_text), variables)
+        decided = projection_free_contained(query_s, query_b)
+        schema = Schema.from_arities({"E": 2})
+        exhaustive = all(
+            bag_answer_contained(query_s, query_b, structure)
+            for structure in enumerate_structures(schema, 2)
+        )
+        assert decided == exhaustive

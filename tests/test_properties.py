@@ -1,0 +1,266 @@
+"""Property-based tests (hypothesis) for the core algebraic laws.
+
+Each property is one of the paper's counting identities quantified over
+random queries and structures:
+
+* Lemma 1 — disjoint conjunction multiplies counts;
+* Definition 2 — query powers exponentiate counts;
+* Lemma 22 — blow-up and product identities;
+* engine agreement — backtracking = tree-decomposition DP = brute force;
+* monotonicity — adding facts never decreases a count;
+* parser round-trips and polynomial evaluation being a ring homomorphism.
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.homomorphism import count, count_homomorphisms_td
+from repro.polynomials import Monomial, Polynomial
+from repro.queries import Atom, ConjunctiveQuery, Inequality, Variable, parse_query
+from repro.relational import Schema, Structure, blowup, power
+
+from tests.conftest import brute_force_count
+
+SCHEMA = Schema.from_arities({"E": 2, "U": 1})
+
+elements = st.integers(min_value=0, max_value=3)
+
+
+@st.composite
+def structures(draw) -> Structure:
+    edge_facts = draw(
+        st.sets(st.tuples(elements, elements), min_size=0, max_size=7)
+    )
+    unary_facts = draw(st.sets(st.tuples(elements), min_size=0, max_size=3))
+    return Structure(
+        SCHEMA, {"E": edge_facts, "U": unary_facts}, domain=range(4)
+    )
+
+
+@st.composite
+def queries(draw, max_variables: int = 4, max_inequalities: int = 2) -> ConjunctiveQuery:
+    variable_count = draw(st.integers(1, max_variables))
+    variables = [Variable(f"v{i}") for i in range(variable_count)]
+    pick = st.sampled_from(variables)
+    atom_count = draw(st.integers(1, 4))
+    atoms = []
+    for _ in range(atom_count):
+        if draw(st.booleans()):
+            atoms.append(Atom("E", (draw(pick), draw(pick))))
+        else:
+            atoms.append(Atom("U", (draw(pick),)))
+    inequality_count = draw(st.integers(0, max_inequalities))
+    inequalities = [
+        Inequality(draw(pick), draw(pick)) for _ in range(inequality_count)
+    ]
+    return ConjunctiveQuery(atoms, inequalities)
+
+
+@settings(max_examples=60, deadline=None)
+@given(queries(max_inequalities=0), queries(max_inequalities=0), structures())
+def test_lemma1_disjoint_conjunction_multiplies(rho, rho_prime, structure):
+    assert count(rho * rho_prime, structure) == count(rho, structure) * count(
+        rho_prime, structure
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(queries(), structures(), st.integers(0, 3))
+def test_definition2_power(theta, structure, k):
+    assert count(theta**k, structure) == count(theta, structure) ** k
+
+
+@settings(max_examples=40, deadline=None)
+@given(queries(max_inequalities=0), structures(), st.integers(1, 3))
+def test_lemma22_blowup(phi, structure, k):
+    expected = k**phi.variable_count * count(phi, structure)
+    assert count(phi, blowup(structure, k)) == expected
+
+
+@settings(max_examples=25, deadline=None)
+@given(queries(max_inequalities=0), structures(), st.integers(1, 2))
+def test_lemma22_product_power(phi, structure, k):
+    assert count(phi, power(structure, k)) == count(phi, structure) ** k
+
+
+@settings(max_examples=60, deadline=None)
+@given(queries(), structures())
+def test_engines_agree_with_brute_force(query, structure):
+    expected = brute_force_count(query, structure)
+    assert count(query, structure) == expected
+    assert count_homomorphisms_td(query, structure) == expected
+    assert count(query, structure, use_inclusion_exclusion=True) == expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(queries(max_inequalities=0), structures(), st.tuples(elements, elements))
+def test_monotone_in_facts(query, structure, extra_edge):
+    richer = structure.with_fact("E", extra_edge)
+    assert count(query, structure) <= count(query, richer)
+
+
+@settings(max_examples=60, deadline=None)
+@given(queries())
+def test_parser_roundtrip(query):
+    assert parse_query(str(query)) == query
+
+
+@settings(max_examples=40, deadline=None)
+@given(queries(), structures())
+def test_component_factorization(query, structure):
+    total = 1
+    for component in query.connected_components():
+        total *= count(component, structure)
+    assert count(query, structure) == total
+
+
+# -- polynomial laws ---------------------------------------------------------
+
+coefficients = st.integers(min_value=-4, max_value=4)
+
+
+@st.composite
+def polynomials(draw) -> Polynomial:
+    term_count = draw(st.integers(0, 4))
+    terms = []
+    for _ in range(term_count):
+        indices = draw(st.lists(st.integers(1, 3), min_size=0, max_size=3))
+        terms.append((Monomial(tuple(sorted(indices))), draw(coefficients)))
+    return Polynomial(terms)
+
+
+@st.composite
+def valuations(draw) -> dict[int, int]:
+    return {index: draw(st.integers(0, 4)) for index in (1, 2, 3)}
+
+
+@settings(max_examples=60, deadline=None)
+@given(polynomials(), polynomials(), valuations())
+def test_evaluation_is_ring_homomorphism(p, q, valuation):
+    assert (p + q).evaluate(valuation) == p.evaluate(valuation) + q.evaluate(valuation)
+    assert (p * q).evaluate(valuation) == p.evaluate(valuation) * q.evaluate(valuation)
+    assert (-p).evaluate(valuation) == -p.evaluate(valuation)
+
+
+@settings(max_examples=60, deadline=None)
+@given(polynomials(), valuations())
+def test_sign_split_reassembles(p, valuation):
+    positive, negative = p.split_signs()
+    assert positive.has_natural_coefficients() or positive.is_zero()
+    assert negative.has_natural_coefficients() or negative.is_zero()
+    assert positive - negative == p
+
+
+@settings(max_examples=30, deadline=None)
+@given(polynomials(), valuations())
+def test_lemma25_on_random_polynomials(q, valuation):
+    """Q(Ξ)=0 ⟺ P₁(Ξ) > P₂(Ξ) for the Appendix B split of Q² ."""
+    from repro.polynomials import hilbert_to_lemma11
+
+    reduction = hilbert_to_lemma11(q)
+    renamed = {
+        reduction.variable_renaming.get(index, index): value
+        for index, value in valuation.items()
+    }
+    renamed.setdefault(1, 1)
+    has_root = reduction.q.evaluate(renamed) == 0
+    dominates = reduction.p1.evaluate(renamed) > reduction.p2.evaluate(renamed)
+    assert has_root == dominates
+
+
+# -- cyclique combinatorics ----------------------------------------------------
+
+@settings(max_examples=80, deadline=None)
+@given(st.lists(st.integers(0, 2), min_size=3, max_size=8), st.integers(0, 10))
+def test_cyclique_classification_shift_invariant(values, k):
+    from repro.core import classify_cyclique, cyclass, cyclic_shift
+
+    tup = tuple(values)
+    shifted = cyclic_shift(tup, k)
+    assert classify_cyclique(tup) == classify_cyclique(shifted)
+    assert cyclass(tup) == cyclass(shifted)
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.lists(st.integers(0, 2), min_size=3, max_size=9))
+def test_cyclass_size_divides_length(values):
+    from repro.core import cyclass
+
+    tup = tuple(values)
+    assert len(tup) % len(cyclass(tup)) == 0
+
+
+# -- answer multisets -----------------------------------------------------------
+
+
+@settings(max_examples=40, deadline=None)
+@given(queries(max_inequalities=1), structures())
+def test_answer_multiset_sums_to_boolean_count(query, structure):
+    """Σ over answers of Ψ(D) equals the boolean count of the body."""
+    from repro.queries import OpenQuery
+
+    head = tuple(sorted(query.variables))[:2]
+    open_query = OpenQuery(query, head)
+    answers = open_query.answers(structure)
+    assert sum(answers.values()) == count(query, structure)
+
+
+@settings(max_examples=40, deadline=None)
+@given(queries(max_inequalities=0), structures())
+def test_grounded_answer_multiplicity(query, structure):
+    """Grounding the head at an answer reproduces its multiplicity."""
+    from repro.queries import OpenQuery
+
+    head = tuple(sorted(query.variables))[:1]
+    open_query = OpenQuery(query, head)
+    answers = open_query.answers(structure)
+    for answer, multiplicity in list(answers.items())[:3]:
+        grounded, fragment = open_query.ground(answer)
+        enriched = structure
+        for name, element in fragment.constants.items():
+            enriched = enriched.with_constant(name, element)
+        assert count(grounded, enriched) == multiplicity
+
+
+# -- serialization and equivalence ---------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(queries())
+def test_serialization_roundtrip(query):
+    from repro.io import dumps, loads
+
+    assert loads(dumps(query)) == query
+
+
+@settings(max_examples=40, deadline=None)
+@given(structures())
+def test_structure_serialization_roundtrip(structure):
+    from repro.io import dumps, loads
+
+    assert loads(dumps(structure)) == structure
+
+
+@settings(max_examples=30, deadline=None)
+@given(queries(max_inequalities=0), structures())
+def test_renamed_queries_are_bag_equivalent(query, structure):
+    """Alpha-renaming is an isomorphism, so counts agree (Chaudhuri–Vardi)."""
+    from repro.decision import bag_equivalent
+    from repro.naming import NameSupply
+
+    renamed = query.rename_apart(NameSupply({v.name for v in query.variables}))
+    assert bag_equivalent(query, renamed)
+    assert count(query, structure) == count(renamed, structure)
+
+
+@settings(max_examples=25, deadline=None)
+@given(queries(max_inequalities=0))
+def test_core_is_set_equivalent_retract(query):
+    from repro.decision import core, set_equivalent
+
+    minimized = core(query)
+    assert minimized.atom_count <= query.atom_count
+    assert set_equivalent(query, minimized)
+    assert core(minimized) == minimized

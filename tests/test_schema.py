@@ -1,0 +1,85 @@
+"""Unit tests for relational schemas."""
+
+import pytest
+
+from repro.errors import ArityError, SchemaError
+from repro.relational import RelationSymbol, Schema
+
+
+class TestRelationSymbol:
+    def test_str(self):
+        assert str(RelationSymbol("E", 2)) == "E/2"
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(SchemaError):
+            RelationSymbol("", 2)
+
+    def test_rejects_zero_arity(self):
+        with pytest.raises(SchemaError):
+            RelationSymbol("E", 0)
+
+    def test_equality(self):
+        assert RelationSymbol("E", 2) == RelationSymbol("E", 2)
+        assert RelationSymbol("E", 2) != RelationSymbol("E", 3)
+
+
+class TestSchema:
+    def test_lookup(self):
+        schema = Schema.from_arities({"E": 2, "U": 1})
+        assert schema.arity("E") == 2
+        assert "U" in schema
+        assert "V" not in schema
+        assert len(schema) == 2
+
+    def test_unknown_relation_raises(self):
+        schema = Schema.from_arities({"E": 2})
+        with pytest.raises(SchemaError):
+            schema.arity("F")
+
+    def test_conflicting_arity_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([RelationSymbol("E", 2), RelationSymbol("E", 3)])
+
+    def test_duplicate_consistent_declaration_ok(self):
+        schema = Schema([RelationSymbol("E", 2), RelationSymbol("E", 2)])
+        assert len(schema) == 1
+
+    def test_check_tuple(self):
+        schema = Schema.from_arities({"E": 2})
+        schema.check_tuple("E", (1, 2))
+        with pytest.raises(ArityError):
+            schema.check_tuple("E", (1, 2, 3))
+
+    def test_union_merges(self):
+        left = Schema.from_arities({"E": 2})
+        right = Schema.from_arities({"U": 1})
+        union = left.union(right)
+        assert set(union.relation_names) == {"E", "U"}
+
+    def test_union_conflicting_arity_raises(self):
+        left = Schema.from_arities({"E": 2})
+        right = Schema.from_arities({"E": 3})
+        with pytest.raises(SchemaError):
+            left.union(right)
+
+    def test_disjointness(self):
+        left = Schema.from_arities({"E": 2})
+        right = Schema.from_arities({"U": 1})
+        assert left.is_disjoint_from(right)
+        assert not left.is_disjoint_from(left)
+
+    def test_restrict(self):
+        schema = Schema.from_arities({"E": 2, "U": 1})
+        restricted = schema.restrict(["E"])
+        assert "U" not in restricted
+        assert restricted.arity("E") == 2
+
+    def test_value_semantics(self):
+        one = Schema.from_arities({"E": 2, "U": 1})
+        two = Schema.from_arities({"U": 1, "E": 2})
+        assert one == two
+        assert hash(one) == hash(two)
+
+    def test_iteration_is_sorted(self):
+        schema = Schema.from_arities({"Z": 1, "A": 2})
+        assert [symbol.name for symbol in schema] == ["A", "Z"]

@@ -1,0 +1,166 @@
+"""Unit tests for finite relational structures."""
+
+import pytest
+
+from repro.errors import ArityError, ConstantError, SchemaError
+from repro.naming import HEART, SPADE
+from repro.relational import Schema, Structure, StructureBuilder
+
+
+@pytest.fixture
+def schema() -> Schema:
+    return Schema.from_arities({"E": 2, "U": 1})
+
+
+class TestConstruction:
+    def test_domain_collects_fact_elements(self, schema):
+        d = Structure(schema, {"E": [(1, 2)], "U": [(3,)]})
+        assert d.domain == {1, 2, 3}
+
+    def test_explicit_domain_elements(self, schema):
+        d = Structure(schema, domain=[7])
+        assert d.domain == {7}
+        assert d.fact_count() == 0
+
+    def test_constants_join_domain(self, schema):
+        d = Structure(schema, constants={"a": 42})
+        assert 42 in d.domain
+        assert d.interpret("a") == 42
+
+    def test_undeclared_relation_rejected(self, schema):
+        with pytest.raises(SchemaError):
+            Structure(schema, {"F": [(1, 2)]})
+
+    def test_wrong_arity_rejected(self, schema):
+        with pytest.raises(ArityError):
+            Structure(schema, {"E": [(1, 2, 3)]})
+
+    def test_missing_constant_raises(self, schema):
+        d = Structure(schema)
+        with pytest.raises(ConstantError):
+            d.interpret("nope")
+
+
+class TestFacts:
+    def test_fact_count(self, schema):
+        d = Structure(schema, {"E": [(1, 2), (2, 1)], "U": [(1,)]})
+        assert d.fact_count("E") == 2
+        assert d.fact_count() == 3
+
+    def test_has_fact(self, schema):
+        d = Structure(schema, {"E": [(1, 2)]})
+        assert d.has_fact("E", (1, 2))
+        assert not d.has_fact("E", (2, 1))
+
+    def test_all_facts_sorted_by_relation(self, schema):
+        d = Structure(schema, {"U": [(1,)], "E": [(1, 2)]})
+        assert [name for name, _ in d.all_facts()] == ["E", "U"]
+
+
+class TestNonTriviality:
+    def test_distinct_constants_nontrivial(self, schema):
+        d = Structure(schema, constants={SPADE: 0, HEART: 1})
+        assert d.is_nontrivial()
+
+    def test_identified_constants_trivial(self, schema):
+        d = Structure(schema, constants={SPADE: 0, HEART: 0})
+        assert not d.is_nontrivial()
+
+    def test_missing_constants_trivial(self, schema):
+        assert not Structure(schema).is_nontrivial()
+
+
+class TestFunctionalUpdates:
+    def test_with_fact(self, schema):
+        d = Structure(schema).with_fact("E", (1, 2))
+        assert d.has_fact("E", (1, 2))
+
+    def test_without_fact(self, schema):
+        d = Structure(schema, {"E": [(1, 2)]}).without_fact("E", (1, 2))
+        assert not d.has_fact("E", (1, 2))
+
+    def test_updates_do_not_mutate(self, schema):
+        original = Structure(schema, {"E": [(1, 2)]})
+        original.with_fact("E", (3, 4))
+        assert not original.has_fact("E", (3, 4))
+
+    def test_with_constant(self, schema):
+        d = Structure(schema).with_constant("a", 5)
+        assert d.interpret("a") == 5
+
+
+class TestRestrictAndRelabel:
+    def test_restrict_drops_facts_keeps_domain(self, schema):
+        d = Structure(schema, {"E": [(1, 2)], "U": [(3,)]})
+        restricted = d.restrict(["E"])
+        assert "U" not in restricted.schema
+        assert restricted.domain == {1, 2, 3}
+
+    def test_relabel_injective(self, schema):
+        d = Structure(schema, {"E": [(1, 2)]})
+        relabeled = d.relabel({1: "a", 2: "b"})
+        assert relabeled.has_fact("E", ("a", "b"))
+
+    def test_relabel_quotient_merges(self, schema):
+        d = Structure(schema, {"E": [(1, 2), (2, 1)]})
+        quotient = d.relabel({2: 1})
+        assert quotient.facts("E") == {(1, 1)}
+        assert quotient.domain == {1}
+
+
+class TestComparisons:
+    def test_extends(self, schema):
+        small = Structure(schema, {"E": [(1, 2)]})
+        big = Structure(schema, {"E": [(1, 2), (2, 1)]})
+        assert big.extends(small)
+        assert not small.extends(big)
+
+    def test_extends_checks_constants(self, schema):
+        small = Structure(schema, {"E": [(1, 2)]}, constants={"a": 1})
+        big = Structure(schema, {"E": [(1, 2), (2, 1)]}, constants={"a": 2})
+        assert not big.extends(small)
+
+    def test_equality_and_hash(self, schema):
+        one = Structure(schema, {"E": [(1, 2)]}, constants={"a": 1})
+        two = Structure(schema, {"E": [(1, 2)]}, constants={"a": 1})
+        assert one == two
+        assert hash(one) == hash(two)
+
+    def test_empty_bucket_is_normalized(self, schema):
+        one = Structure(schema, {"E": []})
+        two = Structure(schema)
+        assert one == two
+
+
+class TestBuilder:
+    def test_builds_structure(self, schema):
+        built = (
+            StructureBuilder(schema)
+            .add_fact("E", (0, 1))
+            .add_constant(SPADE, 0)
+            .add_constant(HEART, 1)
+            .add_element(9)
+            .build()
+        )
+        assert built.has_fact("E", (0, 1))
+        assert built.is_nontrivial()
+        assert 9 in built.domain
+
+    def test_add_relation_extends_schema(self):
+        built = (
+            StructureBuilder(Schema())
+            .add_relation("R", 3)
+            .add_fact("R", (1, 2, 3))
+            .build()
+        )
+        assert built.fact_count("R") == 1
+
+    def test_conflicting_constant_rejected(self, schema):
+        builder = StructureBuilder(schema).add_constant("a", 1)
+        with pytest.raises(ConstantError):
+            builder.add_constant("a", 2)
+
+    def test_describe_mentions_everything(self, schema):
+        d = Structure(schema, {"E": [(1, 2)]}, constants={"a": 1})
+        text = d.describe()
+        assert "E" in text and "a" in text

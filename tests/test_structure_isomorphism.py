@@ -1,0 +1,94 @@
+"""Tests for structure isomorphism and iso-pruned enumeration."""
+
+import pytest
+
+from repro.decision import enumerate_structures
+from repro.homomorphism import count
+from repro.queries import parse_query
+from repro.relational import Schema, Structure
+from repro.relational.isomorphism import (
+    are_isomorphic,
+    distinct_up_to_isomorphism,
+    find_isomorphism,
+)
+
+
+@pytest.fixture
+def schema():
+    return Schema.from_arities({"E": 2})
+
+
+class TestIsomorphism:
+    def test_relabeled_structures(self, schema):
+        left = Structure(schema, {"E": [(0, 1), (1, 2)]})
+        right = Structure(schema, {"E": [("a", "b"), ("b", "c")]})
+        mapping = find_isomorphism(left, right)
+        assert mapping is not None
+        assert mapping[0] == "a" and mapping[1] == "b" and mapping[2] == "c"
+
+    def test_non_isomorphic_same_size(self, schema):
+        path = Structure(schema, {"E": [(0, 1), (1, 2)]})
+        fan = Structure(schema, {"E": [(0, 1), (0, 2)]})
+        assert not are_isomorphic(path, fan)
+
+    def test_fact_count_mismatch(self, schema):
+        one = Structure(schema, {"E": [(0, 1)]}, domain=range(2))
+        two = Structure(schema, {"E": [(0, 1), (1, 0)]})
+        assert not are_isomorphic(one, two)
+
+    def test_isolated_elements_matter(self, schema):
+        bare = Structure(schema, {"E": [(0, 1)]})
+        padded = Structure(schema, {"E": [(0, 1)]}, domain=range(3))
+        assert not are_isomorphic(bare, padded)
+
+    def test_constants_pin_elements(self, schema):
+        left = Structure(schema, {"E": [(0, 1)]}, constants={"a": 0})
+        right = Structure(schema, {"E": [(0, 1)]}, constants={"a": 1})
+        assert not are_isomorphic(left, right)
+        agreeing = Structure(schema, {"E": [(5, 6)]}, constants={"a": 5})
+        assert are_isomorphic(left, agreeing)
+
+    def test_schema_mismatch(self, schema):
+        left = Structure(schema, {"E": [(0, 1)]})
+        right = Structure(Schema.from_arities({"F": 2}), {"F": [(0, 1)]})
+        assert not are_isomorphic(left, right)
+
+    def test_automorphic_cycle(self, schema):
+        cycle = Structure(schema, {"E": [(0, 1), (1, 2), (2, 0)]})
+        rotated = Structure(schema, {"E": [(1, 2), (2, 0), (0, 1)]})
+        assert are_isomorphic(cycle, rotated)
+
+    def test_counts_invariant_under_isomorphism(self, schema):
+        left = Structure(schema, {"E": [(0, 1), (1, 0), (1, 1)]})
+        right = Structure(schema, {"E": [("x", "y"), ("y", "x"), ("x", "x")]})
+        # These two are isomorphic via 0↦y, 1↦x.
+        assert are_isomorphic(left, right)
+        for text in ("E(x, y)", "E(x, y) & E(y, x)", "E(x, x)"):
+            assert count(parse_query(text), left) == count(parse_query(text), right)
+
+
+class TestDistinctUpToIsomorphism:
+    def test_prunes_the_two_element_stream(self, schema):
+        full = list(enumerate_structures(schema, 2))
+        pruned = list(distinct_up_to_isomorphism(full))
+        # 16 labeled digraphs on 2 nodes, 10 up to isomorphism.
+        assert len(full) == 16
+        assert len(pruned) == 10
+
+    def test_classes_are_pairwise_non_isomorphic(self, schema):
+        pruned = list(distinct_up_to_isomorphism(enumerate_structures(schema, 2)))
+        for i, left in enumerate(pruned):
+            for right in pruned[i + 1 :]:
+                assert not are_isomorphic(left, right)
+
+    def test_query_counts_cover_all_classes(self, schema):
+        """Iso-pruning is sound for count-based searches."""
+        query = parse_query("E(x, y) & E(y, x)")
+        full_counts = sorted(
+            count(query, d) for d in enumerate_structures(schema, 2)
+        )
+        pruned_counts = {
+            count(query, d)
+            for d in distinct_up_to_isomorphism(enumerate_structures(schema, 2))
+        }
+        assert set(full_counts) == pruned_counts

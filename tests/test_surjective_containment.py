@@ -1,0 +1,110 @@
+"""Tests for surjective homomorphisms and set-semantics containment."""
+
+import pytest
+
+from repro.decision import enumerate_structures
+from repro.homomorphism import (
+    bag_contained_on,
+    bag_counterexample_on,
+    count,
+    find_surjective_homomorphism,
+    has_surjective_homomorphism,
+    query_homomorphisms,
+    set_contained,
+)
+from repro.queries import Variable, parse_query
+from repro.relational import Schema
+
+
+class TestQueryHomomorphisms:
+    def test_identity_always_present(self):
+        phi = parse_query("E(x, y)")
+        mappings = list(query_homomorphisms(phi, phi))
+        assert {Variable("x"): Variable("x"), Variable("y"): Variable("y")} in mappings
+
+    def test_collapse_homomorphism(self):
+        path = parse_query("E(x, y) & E(y, z)")
+        loop = parse_query("E(u, u)")
+        mappings = list(query_homomorphisms(path, loop))
+        assert len(mappings) == 1
+        assert set(mappings[0].values()) == {Variable("u")}
+
+    def test_no_homomorphism(self):
+        loop = parse_query("E(u, u)")
+        edge = parse_query("E(x, y) & x != y")
+        # Hom from loop into canonical(edge) needs a self-loop atom: none.
+        assert list(query_homomorphisms(loop, edge.without_inequalities())) == []
+
+
+class TestSurjective:
+    def test_lemma12_shape(self):
+        """π_b-style query maps onto π_s-style query."""
+        pi_b_like = parse_query("S(x, x) & S(x, r2) & S(r2, r1) & R(x, y)")
+        pi_s_like = parse_query("S(x, x) & S(x, r1) & R(x, y)")
+        assert has_surjective_homomorphism(pi_b_like, pi_s_like)
+
+    def test_surjection_implies_containment_everywhere(self):
+        source = parse_query("E(x, y) & E(x, y')")
+        target = parse_query("E(x, y)")
+        mapping = find_surjective_homomorphism(source, target)
+        assert mapping is not None
+        schema = Schema.from_arities({"E": 2})
+        for structure in enumerate_structures(schema, 2):
+            assert count(target, structure) <= count(source, structure)
+
+    def test_no_surjection_between_incomparable(self):
+        triangle = parse_query("E(x, y) & E(y, z) & E(z, x)")
+        two_cycle = parse_query("E(u, v) & E(v, u)")
+        assert not has_surjective_homomorphism(two_cycle, triangle)
+
+
+class TestSetContainment:
+    def test_classical_positive(self):
+        # Every 2-cycle is an edge (set semantics).
+        assert set_contained(parse_query("E(x, y) & E(y, x)"), parse_query("E(u, v)"))
+
+    def test_classical_negative(self):
+        assert not set_contained(
+            parse_query("E(u, v)"), parse_query("E(x, y) & E(y, x)")
+        )
+
+    def test_rejects_inequalities(self):
+        with pytest.raises(ValueError):
+            set_contained(parse_query("E(x, y) & x != y"), parse_query("E(u, v)"))
+
+    def test_chaudhuri_vardi_gap(self):
+        """[1]'s observation: set containment does NOT imply bag containment.
+
+        φ_s = one edge, φ_b = two independent edges: set-equivalent
+        (homomorphisms both ways), but under bag semantics φ_b(D) = φ_s(D)²
+        — so φ_b exceeds φ_s as soon as the count passes 1, while on a
+        single-edge database φ_s(D) = 1 = φ_b(D).  Containment of φ_b in
+        φ_s fails in bags despite holding in sets.
+        """
+        phi_s = parse_query("E(x, y)")
+        phi_b = parse_query("E(x, y) & E(u, v)")
+        assert set_contained(phi_b, phi_s)  # set semantics: equivalent
+        schema = Schema.from_arities({"E": 2})
+        violation = bag_counterexample_on(
+            phi_b, phi_s, enumerate_structures(schema, 2)
+        )
+        assert violation is not None
+
+
+class TestBagContainedOn:
+    def test_contained_sample(self):
+        schema = Schema.from_arities({"E": 2})
+        assert bag_contained_on(
+            parse_query("E(x, y) & E(y, x)"),
+            parse_query("E(x, y)"),
+            enumerate_structures(schema, 2),
+        )
+
+    def test_with_multiplier(self):
+        schema = Schema.from_arities({"E": 2})
+        assert not bag_contained_on(
+            parse_query("E(x, y)"),
+            parse_query("E(x, y)"),
+            enumerate_structures(schema, 2),
+            multiplier=2,
+        )

@@ -1,0 +1,95 @@
+"""Unit tests for terms, atoms, and inequalities."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.queries import Atom, Constant, Inequality, Variable
+from repro.queries.terms import HEART_C, SPADE_C, constants, variables
+
+
+class TestTerms:
+    def test_kind_predicates(self):
+        assert Variable("x").is_variable()
+        assert not Variable("x").is_constant()
+        assert Constant("a").is_constant()
+
+    def test_equality_distinguishes_kinds(self):
+        assert Variable("a") != Constant("a")
+        assert Variable("a") == Variable("a")
+
+    def test_hash_stability(self):
+        assert hash(Variable("x")) == hash(Variable("x"))
+        assert hash(Variable("x")) != hash(Constant("x"))
+
+    def test_ordering_within_kind(self):
+        assert Variable("a") < Variable("b")
+        assert sorted([Variable("b"), Variable("a")])[0].name == "a"
+
+    def test_immutability(self):
+        with pytest.raises(AttributeError):
+            Variable("x").name = "y"
+
+    def test_str(self):
+        assert str(Variable("x")) == "x"
+        assert str(Constant("a")) == "#a"
+
+    def test_convenience_constructors(self):
+        x, y = variables("x", "y")
+        a, = constants("a")
+        assert x == Variable("x") and y == Variable("y") and a == Constant("a")
+
+    def test_nontriviality_constants(self):
+        assert SPADE_C != HEART_C
+
+
+class TestAtom:
+    def test_basic(self):
+        atom = Atom("E", (Variable("x"), Constant("a")))
+        assert atom.arity == 2
+        assert list(atom.variables()) == [Variable("x")]
+        assert list(atom.constants()) == [Constant("a")]
+        assert str(atom) == "E(x, #a)"
+
+    def test_rejects_empty_terms(self):
+        with pytest.raises(QueryError):
+            Atom("E", ())
+
+    def test_rejects_non_terms(self):
+        with pytest.raises(QueryError):
+            Atom("E", ("x",))  # plain strings are not terms
+
+    def test_rename(self):
+        atom = Atom("E", (Variable("x"), Variable("y")))
+        renamed = atom.rename({Variable("x"): Variable("z")})
+        assert renamed == Atom("E", (Variable("z"), Variable("y")))
+
+    def test_rename_to_constant(self):
+        atom = Atom("E", (Variable("x"), Variable("x")))
+        renamed = atom.rename({Variable("x"): Constant("a")})
+        assert renamed == Atom("E", (Constant("a"), Constant("a")))
+
+
+class TestInequality:
+    def test_symmetric_normalization(self):
+        assert Inequality(Variable("y"), Variable("x")) == Inequality(
+            Variable("x"), Variable("y")
+        )
+
+    def test_trivially_false(self):
+        assert Inequality(Variable("x"), Variable("x")).is_trivially_false()
+        assert not Inequality(Variable("x"), Variable("y")).is_trivially_false()
+
+    def test_variables_and_constants(self):
+        ineq = Inequality(Variable("x"), Constant("a"))
+        assert list(ineq.variables()) == [Variable("x")]
+        assert list(ineq.constants()) == [Constant("a")]
+
+    def test_rename(self):
+        ineq = Inequality(Variable("x"), Variable("y"))
+        renamed = ineq.rename({Variable("x"): Variable("z")})
+        assert renamed == Inequality(Variable("z"), Variable("y"))
+
+    def test_variables_sort_before_constants(self):
+        ineq = Inequality(Constant("a"), Variable("z"))
+        assert ineq.left == Variable("z")
+        assert ineq.right == Constant("a")

@@ -1,0 +1,131 @@
+"""End-to-end tests for the Theorem 1 reduction (Section 4.7)."""
+
+import pytest
+
+from repro.core import theorem1_reduction, reduce_polynomial
+from repro.core.arena import DatabaseKind
+from repro.errors import ReductionError
+from repro.polynomials import (
+    Lemma11Instance,
+    Monomial,
+    always_positive,
+    parity_obstruction,
+    pell,
+)
+
+
+@pytest.fixture
+def reduction(minimal_lemma11):
+    return theorem1_reduction(minimal_lemma11)
+
+
+class TestAssembly:
+    def test_big_c_is_c_times_c1(self, reduction, minimal_lemma11):
+        assert reduction.big_c == minimal_lemma11.c * reduction.zeta.c1
+
+    def test_minimal_constants(self, reduction):
+        # m=1, d=1: j^{S_1} = 3, j^{R_1} = 1, j = 3, k = 3, C1 = 27, C = 54.
+        assert reduction.zeta.j == 3
+        assert reduction.zeta.k == 3
+        assert reduction.zeta.c1 == 27
+        assert reduction.big_c == 54
+
+    def test_phi_s_has_no_inequalities(self, reduction):
+        assert reduction.phi_s.total_inequality_count == 0
+
+    def test_phi_b_has_no_inequalities(self, reduction):
+        assert reduction.phi_b.total_inequality_count == 0
+
+    def test_size_report(self, reduction):
+        report = reduction.size_report()
+        assert report["C"] == 54
+        assert report["phi_b_atoms"] > report["phi_s_atoms"]
+
+
+class TestCorrectDatabases:
+    @pytest.mark.parametrize("value", [0, 2, 3])
+    def test_inequality_holds_when_lemma11_holds(self, reduction, value):
+        # 2·x1 <= x1² holds for x1 = 0 and x1 >= 2.
+        structure = reduction.correct_database({1: value})
+        assert reduction.holds_on(structure)
+
+    def test_violation_at_one(self, reduction):
+        structure = reduction.correct_database({1: 1})
+        assert not reduction.holds_on(structure)
+        assert reduction.lhs(structure) > reduction.rhs(structure)
+
+    def test_lhs_rhs_values(self, reduction):
+        structure = reduction.correct_database({1: 3})
+        # lhs = 54·(1·3) = 162; rhs = (3·3)·27·1 = 243.
+        assert reduction.lhs(structure) == 162
+        assert reduction.rhs(structure) == 243
+
+
+class TestCounterexamples:
+    def test_find_counterexample_minimal(self, reduction):
+        witness = reduction.find_counterexample(2)
+        assert witness is not None
+        assert witness.is_nontrivial()
+        assert reduction.classify(witness) is DatabaseKind.CORRECT
+
+    def test_counterexample_from_bad_valuation_rejected(self, reduction):
+        with pytest.raises(ReductionError):
+            reduction.counterexample_from_valuation({1: 0})
+
+    def test_unsolvable_no_grid_counterexample(self):
+        _, reduction = reduce_polynomial(always_positive().polynomial)
+        assert reduction.instance.find_counterexample(3) is None
+
+    def test_solvable_full_pipeline(self):
+        """pell(2) is solvable: the reduction yields a verified witness."""
+        _, reduction = reduce_polynomial(pell(2).polynomial)
+        witness = reduction.find_counterexample(2)
+        assert witness is not None
+        assert reduction.valuation_of(witness)[1] >= 1
+
+
+class TestCheatingDatabases:
+    """The anti-cheating layers of Sections 4.5/4.6, end to end."""
+
+    def test_slightly_incorrect_holds(self, reduction):
+        structure = reduction.correct_database({1: 1})
+        # Valuation 1 violates on the correct database...
+        assert not reduction.holds_on(structure)
+        # ...but any extra Σ_RS atom re-establishes the inequality (ζ_b ≥ c·C₁).
+        cheating = structure.with_fact("S_1", (("junk",), ("junk",)))
+        assert reduction.classify(cheating) is DatabaseKind.SLIGHTLY_INCORRECT
+        assert reduction.holds_on(cheating)
+
+    def test_seriously_incorrect_holds(self, reduction):
+        structure = reduction.correct_database({1: 1})
+        merged = structure.relabel(
+            {structure.interpret("a_1"): structure.interpret("a")}
+        )
+        assert reduction.classify(merged) is DatabaseKind.SERIOUSLY_INCORRECT
+        assert reduction.holds_on(merged)
+
+    def test_not_arena_holds_trivially(self, reduction):
+        """A database not modelling Arena has φ_s = 0: nothing to prove."""
+        from repro.relational import Structure
+
+        constants = {c.name: 0 for c in reduction.arena.constants}
+        bare = Structure(reduction.arena.d_arena.schema, constants=constants)
+        assert reduction.classify(bare) is DatabaseKind.NOT_ARENA
+        assert reduction.lhs(bare) == 0
+
+
+class TestRicherInstance:
+    def test_two_variable_instance(self, richer_lemma11):
+        reduction = theorem1_reduction(richer_lemma11)
+        good = reduction.correct_database({1: 2, 2: 2})
+        # c·P_s = 3(2·4+2) vs x1^2·P_b = 4(3·4+4·2) = 80: holds.
+        assert reduction.holds_on(good)
+
+    def test_lemma16_equivalence_on_grid(self, richer_lemma11):
+        """Correct databases violate iff their valuation violates Lemma 11."""
+        reduction = theorem1_reduction(richer_lemma11)
+        for valuation in richer_lemma11.valuations(2):
+            structure = reduction.correct_database(valuation)
+            assert reduction.holds_on(structure) == richer_lemma11.holds_for(
+                valuation
+            )

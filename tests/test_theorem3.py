@@ -1,0 +1,72 @@
+"""End-to-end tests for the Theorem 3 reduction (Section 3).
+
+These materialize the α gadget for the minimal instance's ℂ = 54, i.e. a
+relation of arity 107 — the counting engine's high-arity path is exercised
+for real.  Marked slow-ish but kept in the default suite: the whole class
+runs in well under a minute.
+"""
+
+import pytest
+
+from repro.core import theorem3_reduction
+from repro.errors import ReductionError
+from repro.relational import disjoint_union
+
+
+@pytest.fixture(scope="module")
+def reduction(request):
+    from repro.polynomials import Lemma11Instance, Monomial
+
+    instance = Lemma11Instance(
+        c=2,
+        monomials=(Monomial.of(1),),
+        s_coefficients=(1,),
+        b_coefficients=(1,),
+    )
+    return theorem3_reduction(instance)
+
+
+class TestShape:
+    def test_inequality_budget_is_zero_one(self, reduction):
+        """The paper's headline: ψ_s none, ψ_b exactly one inequality."""
+        assert reduction.inequality_counts == (0, 1)
+
+    def test_gadget_multiplies_by_big_c(self, reduction):
+        assert reduction.gadget.ratio == reduction.theorem1.big_c
+
+    def test_gadget_equality_witness(self, reduction):
+        assert reduction.gadget.verify_equality()
+
+    def test_arity_budget_enforced(self, richer_lemma11):
+        with pytest.raises(ReductionError):
+            theorem3_reduction(richer_lemma11, arity_budget=10)
+
+
+class TestEquivalence:
+    def test_counterexample_transfers(self, reduction):
+        """(i) ⇒ (ii): a Theorem 1 violation becomes a ψ_s > ψ_b violation."""
+        witness = reduction.find_counterexample(1)
+        assert witness is not None
+        assert witness.is_nontrivial()
+        assert reduction.lhs(witness) > reduction.rhs(witness)
+
+    def test_no_violation_on_good_databases(self, reduction):
+        """¬(i) ⇒ ¬(ii) on a database where the Lemma 11 inequality holds."""
+        good = disjoint_union(
+            reduction.theorem1.correct_database({1: 3}),
+            reduction.gadget.witness,
+        )
+        assert reduction.holds_on(good)
+
+    def test_gadget_witness_alone_satisfies(self, reduction):
+        """On the gadget witness (arena constants pinned but Arena not
+        modelled) ψ_s counts zero: the φ_s factor vanishes."""
+        witness = reduction.gadget.witness.with_schema(
+            reduction.gadget.witness.schema.union(
+                reduction.theorem1.arena.d_arena.schema
+            )
+        )
+        for constant in reduction.theorem1.arena.constants:
+            if not witness.interprets(constant.name):
+                witness = witness.with_constant(constant.name, constant.name)
+        assert reduction.lhs(witness) == 0

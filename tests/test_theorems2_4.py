@@ -1,0 +1,147 @@
+"""Tests for the Theorem 2/4 problem shapes and the well of positivity."""
+
+import pytest
+
+from repro.core import (
+    Theorem2Instance,
+    Theorem4Instance,
+    verify_instance_bounded,
+    well_of_positivity,
+)
+from repro.errors import ReductionError
+from repro.homomorphism import count
+from repro.naming import HEART, SPADE
+from repro.queries import parse_query
+from repro.relational import Schema
+
+
+@pytest.fixture
+def schema():
+    return Schema.from_arities({"E": 2, "U": 1})
+
+
+class TestWellOfPositivity:
+    def test_every_query_counts_one(self, schema):
+        """Section 1.2: on the well, any inequality-free CQ counts exactly 1."""
+        well = well_of_positivity(schema)
+        for text in ("E(x, y)", "E(x, y) & E(y, z) & U(x)", "E(x, x) & U(y)"):
+            assert count(parse_query(text), well) == 1
+
+    def test_well_is_trivial(self, schema):
+        well = well_of_positivity(schema, constants=(SPADE, HEART))
+        assert not well.is_nontrivial()
+        assert well.interpret(SPADE) == well.interpret(HEART)
+
+    def test_inequality_queries_count_zero(self, schema):
+        """The 'well of positivity' argument: x ≠ x' can never fire."""
+        well = well_of_positivity(schema)
+        assert count(parse_query("E(x, y) & x != y"), well) == 0
+
+    def test_theorem1_needs_nontriviality(self, schema):
+        """c·φ_s ≤ φ_b fails on the well for ANY c > 1 (footnote argument)."""
+        well = well_of_positivity(schema)
+        phi_s = parse_query("E(x, y)")
+        phi_b = parse_query("E(x, y) & E(y, z)")
+        assert 2 * count(phi_s, well) > count(phi_b, well)
+
+
+class TestTheorem2Instance:
+    def test_additive_constant_absorbs_the_well(self, schema):
+        """Theorem 2's c' is exactly what survives trivial databases."""
+        instance = Theorem2Instance(
+            phi_s=parse_query("E(x, y)"),
+            phi_b=parse_query("E(x, y) & E(u, v)"),
+            c=3,
+            c_prime=2,
+        )
+        well = well_of_positivity(schema)
+        # On the well: 3·1 ≤ 1 + 2 — the constant saves the day exactly.
+        assert instance.holds_on(well)
+        tighter = Theorem2Instance(
+            phi_s=instance.phi_s, phi_b=instance.phi_b, c=3, c_prime=1
+        )
+        assert not tighter.holds_on(well)
+
+    def test_minimal_c_prime(self, schema):
+        instance = Theorem2Instance(
+            phi_s=parse_query("E(x, y)"),
+            phi_b=parse_query("E(x, y) & E(u, v)"),
+            c=3,
+            c_prime=0,
+        )
+        assert instance.minimal_c_prime_on([well_of_positivity(schema)]) == 2
+
+    def test_bounded_verification(self, schema):
+        # E(x,y) <= E(x,y)^2 + 1 holds: n <= n² + 1 for all n >= 0.
+        instance = Theorem2Instance(
+            phi_s=parse_query("E(x, y)"),
+            phi_b=parse_query("E(x, y) & E(u, v)"),
+            c=1,
+            c_prime=1,
+        )
+        assert verify_instance_bounded(instance, Schema.from_arities({"E": 2})) is None
+
+    def test_bounded_verification_finds_violation(self):
+        # 2·E(x,y) <= E(x,x) + 1 fails on a 2-edge loopless database.
+        instance = Theorem2Instance(
+            phi_s=parse_query("E(x, y)"),
+            phi_b=parse_query("E(x, x)"),
+            c=2,
+            c_prime=1,
+        )
+        violation = verify_instance_bounded(instance, Schema.from_arities({"E": 2}))
+        assert violation is not None
+        assert not instance.holds_on(violation)
+
+    def test_inequalities_rejected(self):
+        with pytest.raises(ReductionError):
+            Theorem2Instance(
+                phi_s=parse_query("E(x, y) & x != y"),
+                phi_b=parse_query("E(x, y)"),
+                c=2,
+                c_prime=0,
+            )
+
+
+class TestTheorem4Instance:
+    def test_max_guard_on_the_well(self, schema):
+        """ρ_b ∧ (x≠x') never contains ρ_s without the guard (Section 1.2)."""
+        instance = Theorem4Instance(
+            rho_s=parse_query("E(x, y)"),
+            rho_b=parse_query("E(u, v) & u != v"),
+        )
+        well = well_of_positivity(schema)
+        # ρ_b(well) = 0, ρ_s(well) = 1: only max(1, ·) keeps this alive.
+        assert instance.max_guard_fires_on(well)
+        assert instance.holds_on(well)
+
+    def test_violation_without_guard_effect(self):
+        instance = Theorem4Instance(
+            rho_s=parse_query("E(x, y) & E(u, v)"),
+            rho_b=parse_query("E(x, y)"),
+        )
+        from repro.relational import Structure
+
+        two_edges = Structure(
+            Schema.from_arities({"E": 2}), {"E": [(0, 1), (1, 0)]}
+        )
+        assert not instance.holds_on(two_edges)  # 4 > max(1, 2)
+
+    def test_b_query_inequality_budget(self):
+        with pytest.raises(ReductionError):
+            Theorem4Instance(
+                rho_s=parse_query("E(x, y)"),
+                rho_b=parse_query("E(u, v) & u != v & v != w"),
+            )
+        with pytest.raises(ReductionError):
+            Theorem4Instance(
+                rho_s=parse_query("E(x, y) & x != y"),
+                rho_b=parse_query("E(u, v)"),
+            )
+
+    def test_bounded_verification(self):
+        instance = Theorem4Instance(
+            rho_s=parse_query("E(x, y) & E(y, x)"),
+            rho_b=parse_query("E(u, v)"),
+        )
+        assert verify_instance_bounded(instance, Schema.from_arities({"E": 2})) is None

@@ -1,0 +1,58 @@
+"""Tests for workload generators."""
+
+import pytest
+
+from repro.homomorphism import count
+from repro.relational import Schema, Structure
+from repro.workloads import path_query, random_queries, random_query, star_query
+
+
+@pytest.fixture
+def schema():
+    return Schema.from_arities({"E": 2, "U": 1})
+
+
+class TestRandomQueries:
+    def test_shape_respected(self, schema):
+        query = random_query(schema, variable_count=4, atom_count=6, seed=1)
+        assert query.atom_count <= 6  # duplicates may collapse
+        assert query.variable_count <= 4
+
+    def test_reproducible(self, schema):
+        assert random_query(schema, 3, 4, seed=9) == random_query(schema, 3, 4, seed=9)
+
+    def test_stream_distinct_seeds(self, schema):
+        stream = list(random_queries(schema, count=5, seed=0))
+        assert len(stream) == 5
+
+    def test_inequalities(self, schema):
+        query = random_query(schema, 3, 3, inequality_count=2, seed=4)
+        assert query.inequality_count <= 2
+
+
+class TestShapes:
+    def test_path(self):
+        query = path_query(3)
+        assert query.atom_count == 3
+        assert query.variable_count == 4
+        assert query.is_connected()
+
+    def test_path_counts_walks(self):
+        loop = Structure(Schema.from_arities({"E": 2}), {"E": [(0, 0)]})
+        assert count(path_query(5), loop) == 1
+
+    def test_star(self):
+        query = star_query(4)
+        assert query.atom_count == 4
+        assert query.variable_count == 5
+
+    def test_star_counts(self):
+        d = Structure(Schema.from_arities({"E": 2}), {"E": [(0, 1), (0, 2)]})
+        # centre must be 0; each of 3 rays picks one of 2 targets.
+        assert count(star_query(3), d) == 8
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            path_query(0)
+        with pytest.raises(ValueError):
+            star_query(0)

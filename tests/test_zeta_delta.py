@@ -1,0 +1,137 @@
+"""Tests for the anti-cheating queries ζ_b (Lemmas 17–18) and δ_b (Lemmas 19–21)."""
+
+import pytest
+
+from repro.core import build_arena, build_delta, build_zeta, cycle_query
+from repro.core.zeta import smallest_k
+from repro.errors import ReductionError
+from repro.homomorphism import count
+from repro.naming import HEART
+from repro.relational import Schema, Structure
+
+
+@pytest.fixture
+def arena(richer_lemma11):
+    return build_arena(richer_lemma11)
+
+
+@pytest.fixture
+def zeta(arena, richer_lemma11):
+    return build_zeta(arena, richer_lemma11.c)
+
+
+class TestSmallestK:
+    def test_examples(self):
+        assert smallest_k(1, 2) == 1   # 2^1 >= 2
+        assert smallest_k(3, 2) == 3   # (4/3)^3 = 64/27 >= 2
+        assert smallest_k(3, 7) == 7   # (4/3)^7 ≈ 7.49
+
+    def test_definition(self):
+        for j in (1, 2, 5, 9):
+            for c in (2, 3, 10):
+                k = smallest_k(j, c)
+                assert (j + 1) ** k >= c * j**k
+                if k > 0:
+                    assert (j + 1) ** (k - 1) < c * j ** (k - 1)
+
+    def test_invalid_j(self):
+        with pytest.raises(ReductionError):
+            smallest_k(0, 2)
+
+
+class TestZeta:
+    def test_j_is_max_atom_count(self, zeta, richer_lemma11):
+        assert zeta.j == richer_lemma11.m + 2
+
+    def test_lemma17_correct_value(self, arena, zeta):
+        """ζ_b(D) = C₁ on every correct database."""
+        for valuation in ({}, {1: 2, 2: 1}, {1: 0, 2: 5}):
+            structure = arena.correct_database(valuation)
+            assert count(zeta.zeta_b, structure) == zeta.c1
+
+    def test_lemma17_at_least_one_on_arena_models(self, arena, zeta):
+        structure = arena.d_arena.with_fact("E", (("j",), ("j",)))
+        assert count(zeta.zeta_b, structure) >= 1
+
+    def test_lemma18_slightly_incorrect_punished(self, arena, zeta, richer_lemma11):
+        """One extra Σ_RS atom pushes ζ_b to at least c·C₁."""
+        for relation in arena.rs_relations:
+            structure = arena.d_arena.with_fact(relation, (("junk",), ("junk",)))
+            assert count(zeta.zeta_b, structure) >= richer_lemma11.c * zeta.c1
+
+    def test_c1_formula(self, zeta):
+        expected = 1
+        for atoms in zeta.atoms_per_relation.values():
+            expected *= atoms**zeta.k
+        assert zeta.c1 == expected
+
+    def test_factorized_not_materialized(self, zeta):
+        assert zeta.zeta_b.total_atom_count == len(zeta.atoms_per_relation) * zeta.k
+
+    def test_invalid_c_rejected(self, arena):
+        with pytest.raises(ReductionError):
+            build_zeta(arena, 1)
+
+
+class TestCycleQuery:
+    def test_loop(self):
+        query = cycle_query(1)
+        assert query.atom_count == 1
+
+    def test_cycle_counts_homomorphic_images(self):
+        # Homomorphic 3-cycles in a triangle: 3 (rotations of the one cycle).
+        triangle = Structure(
+            Schema.from_arities({"E": 2}), {"E": [(0, 1), (1, 2), (2, 0)]}
+        )
+        assert count(cycle_query(3), triangle) == 3
+        # Length-6 walks closing on the triangle: each start + direction...
+        assert count(cycle_query(6), triangle) == 3
+
+    def test_loop_absorbs_all_lengths(self):
+        loop = Structure(Schema.from_arities({"E": 2}), {"E": [(0, 0)]})
+        for length in (1, 2, 5):
+            assert count(cycle_query(length), loop) == 1
+
+    def test_invalid_length(self):
+        with pytest.raises(ReductionError):
+            cycle_query(0)
+
+
+class TestDelta:
+    @pytest.fixture
+    def delta(self, arena):
+        return build_delta(arena, big_c=10)
+
+    def test_labels_omit_exactly_l(self, delta, arena):
+        labels = set(delta.labels)
+        assert arena.cycle_length not in labels
+        assert labels == set(range(1, arena.cycle_length + 2)) - {arena.cycle_length}
+
+    def test_lemma20_correct_database(self, arena, delta):
+        """δ_b(D) = 1 on every correct database."""
+        for valuation in ({}, {1: 1, 2: 3}):
+            structure = arena.correct_database(valuation)
+            assert count(delta.delta_b, structure) == 1
+
+    def test_lemma19_at_least_one(self, arena, delta):
+        structure = arena.d_arena.with_fact("E", (("extra",), ("extra2",)))
+        assert count(delta.delta_b, structure) >= 1
+
+    def test_lemma21_case1_heart_identified(self, arena, delta):
+        """Identifying ♥ with an arena constant creates an (𝕝+1)-cycle."""
+        d = arena.d_arena
+        merged = d.relabel({d.interpret(HEART): d.interpret("a")})
+        assert count(delta.delta_b, merged) >= 2**delta.big_c
+
+    def test_lemma21_case2_cycle_shortened(self, arena, delta):
+        """Identifying two cycle constants creates a shorter cycle."""
+        d = arena.d_arena
+        merged = d.relabel({d.interpret("a_1"): d.interpret("a_2")})
+        assert count(delta.delta_b, merged) >= 2**delta.big_c
+
+    def test_delta_factorized(self, delta):
+        assert all(exponent == delta.big_c for exponent in delta.delta_b.exponents)
+
+    def test_invalid_exponent(self, arena):
+        with pytest.raises(ReductionError):
+            build_delta(arena, 0)
