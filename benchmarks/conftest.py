@@ -3,9 +3,26 @@
 Every benchmark regenerates one experiment table from EXPERIMENTS.md
 (printed to stdout; run with ``-s`` to see them) and times a
 representative computation via pytest-benchmark.
+
+Setting the ``BENCH_OBS`` environment variable to a path makes every
+bench test run under an :func:`repro.obs.observe` scope and appends its
+observability report (engine counters, memo hit rates, spans) to that
+JSON artifact, keyed by test id::
+
+    BENCH_OBS=BENCH_obs.json PYTHONPATH=src pytest benchmarks/ -q
+
+The artifact is a single JSON object ``{test_id: report}``; reports have
+the stable shape documented in ``docs/OBSERVABILITY.md``.
 """
 
 from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.obs import observe
 
 
 def print_table(title: str, header: list[str], rows: list[list]) -> None:
@@ -21,3 +38,30 @@ def print_table(title: str, header: list[str], rows: list[list]) -> None:
     print("-" * len(line))
     for row in rows:
         print("  ".join(str(cell).ljust(w) for cell, w in zip(row, widths)))
+
+
+@pytest.fixture(autouse=True)
+def bench_obs(request):
+    """Emit a per-test observability report when ``BENCH_OBS`` is set.
+
+    Off by default so the benchmarks keep measuring the uninstrumented
+    fast path (the E13 acceptance bar: no measurable overhead while
+    disabled).
+    """
+    artifact = os.environ.get("BENCH_OBS")
+    if not artifact:
+        yield
+        return
+    with observe() as observation:
+        yield observation
+    payload: dict = {}
+    if os.path.exists(artifact):
+        try:
+            with open(artifact, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            payload = {}
+    payload[request.node.nodeid] = observation.report()
+    with open(artifact, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True, default=str)
+        handle.write("\n")

@@ -105,6 +105,43 @@ def test_e13_scaling_series(benchmark):
     assert benchmark(count, cycle_query(8), GRAPH) > 0
 
 
+def test_e13_engine_obs_profile():
+    """The per-engine cost counters behind the E13 table, via ``repro.obs``.
+
+    Memo hit rate and DP table size used to be *inferred* from wall time;
+    the observability layer measures them directly (EXPERIMENTS.md E13).
+    """
+    from repro.obs import observe
+
+    rows = []
+    for name, query in WORKLOAD.items():
+        with observe() as bt_obs:
+            bt_value = count(query, GRAPH)
+        with observe() as td_obs:
+            td_value = count_homomorphisms_td(query, GRAPH)
+        bt_metrics = bt_obs.report()["metrics"]
+        td_metrics = td_obs.report()["metrics"]
+        hits = bt_metrics["bt.memo_hits"]["value"]
+        misses = bt_metrics["bt.memo_misses"]["value"]
+        hit_rate = hits / (hits + misses) if hits + misses else 0.0
+        rows.append(
+            [
+                name,
+                bt_value,
+                bt_metrics["bt.nodes"]["value"],
+                f"{100 * hit_rate:.0f}%",
+                td_metrics["td.table_entries"]["value"],
+                bt_value == td_value,
+            ]
+        )
+    print_table(
+        "E13c — engine observability profile (measured, not inferred)",
+        ["query", "count", "bt nodes", "bt memo hit rate", "td DP entries", "agree"],
+        rows,
+    )
+    assert all(row[-1] for row in rows)
+
+
 @pytest.mark.parametrize("name", list(WORKLOAD))
 def test_e13_backtracking_speed(benchmark, name):
     query = WORKLOAD[name]

@@ -112,6 +112,50 @@ def _inclusion_exclusion_rows() -> list[list]:
     return rows
 
 
+def test_e14_obs_ablation_counters():
+    """Ablation effects measured by counters, not wall time (E14).
+
+    The subtree memo's value on the coefficient-ray shape shows up
+    directly as the node-count gap between variants; the IE transform's
+    cost shows up as its term count (``2^q`` for ``q`` inequalities).
+    """
+    from repro.obs import observe
+
+    _, query, structure = _ray_case()
+    with observe() as full:
+        with_memo = count_homomorphisms(query, structure)
+    with observe() as ablated:
+        without_memo = count_homomorphisms(query, structure, subtree_memo=False)
+    assert with_memo == without_memo
+    full_metrics = full.report()["metrics"]
+    ablated_metrics = ablated.report()["metrics"]
+    assert full_metrics["bt.memo_hits"]["value"] > 0
+    assert ablated_metrics["bt.memo_hits"]["value"] == 0
+    assert (
+        ablated_metrics["bt.nodes"]["value"] > full_metrics["bt.nodes"]["value"]
+    )
+
+    gadget = beta_gadget(13)
+    with observe() as ie_obs:
+        direct = count(gadget.query_b, gadget.witness, use_inclusion_exclusion=True)
+    assert direct == count(gadget.query_b, gadget.witness)
+    ie_metrics = ie_obs.report()["metrics"]
+    ie_terms = ie_metrics["engine.ie_terms"]["value"]
+    # One inequality → the empty subset and the singleton: 2 terms.
+    assert ie_terms == 2
+
+    print_table(
+        "E14b — ablations by counter (memo node gap, IE term count)",
+        ["measurement", "value"],
+        [
+            ["ray: bt nodes, full engine", full_metrics["bt.nodes"]["value"]],
+            ["ray: bt nodes, no subtree memo", ablated_metrics["bt.nodes"]["value"]],
+            ["ray: memo hits, full engine", full_metrics["bt.memo_hits"]["value"]],
+            ["β_b p=13: IE terms evaluated", ie_terms],
+        ],
+    )
+
+
 def test_e14_ablations(benchmark):
     rows = []
     for case in (_cycliq_case(), _ray_case(), _star_case()):

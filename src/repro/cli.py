@@ -16,6 +16,11 @@ Subcommands::
 
     bagcq compare --instance linear:2:3:7
         Print the inequality-budget comparison against Jayram-Kolaitis-Vee.
+
+Every subcommand accepts ``--stats`` (print an observability report —
+per-step spans plus engine/search counters — to stderr) and
+``--stats-json PATH`` (write the same report as stable JSON).  See
+``docs/OBSERVABILITY.md`` for the metric glossary.
 """
 
 from __future__ import annotations
@@ -101,6 +106,21 @@ def _command_reduce(args: argparse.Namespace) -> int:
     print(
         f"  phi_b: {report['phi_b_atoms']} atoms, "
         f"{report['phi_b_variables']} variables"
+    )
+    # Sanity-check the reduction by exact counting on one correct
+    # database (the all-ones valuation): ℂ·φ_s(D) ≤ φ_b(D) must hold.
+    # This also exercises the counting engines, so a --stats run shows
+    # real backtracking/memo numbers even when the grid search is empty.
+    from repro.obs.trace import span as obs_span
+
+    with obs_span("reduce.baseline_check") as step:
+        baseline = {index: 1 for index in range(1, reduction.instance.n + 1)}
+        database = reduction.correct_database(baseline)
+        holds = reduction.holds_on(database)
+        step.set(holds=holds, domain=len(database.domain))
+    print(
+        f"baseline check (all-ones valuation, |domain| = "
+        f"{len(database.domain)}): C*phi_s <= phi_b {'holds' if holds else 'VIOLATED'}"
     )
     if args.grid >= 0:
         witness = reduction.find_counterexample(args.grid)
@@ -241,52 +261,84 @@ def build_parser() -> argparse.ArgumentParser:
         description="Bag-semantics CQ containment: gadgets and reductions "
         "from Marcinkowski & Orda, PODS 2024.",
     )
+    # Observability flags are shared by every subcommand (argparse parents),
+    # so both ``bagcq reduce … --stats`` and ``bagcq evaluate … --stats``
+    # parse naturally.
+    obs_flags = argparse.ArgumentParser(add_help=False)
+    obs_flags.add_argument(
+        "--stats",
+        action="store_true",
+        help="print an observability report (spans + counters) to stderr",
+    )
+    obs_flags.add_argument(
+        "--stats-json",
+        metavar="PATH",
+        default=None,
+        help="write the observability report as stable JSON to PATH",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    reduce_parser = sub.add_parser("reduce", help="run the full reduction pipeline")
+    reduce_parser = sub.add_parser(
+        "reduce", help="run the full reduction pipeline", parents=[obs_flags]
+    )
     reduce_parser.add_argument("--instance", required=True, help="e.g. pell_nontrivial:2")
     reduce_parser.add_argument("--grid", type=int, default=2, help="valuation grid bound")
     reduce_parser.set_defaults(handler=_command_reduce)
 
-    gadget_parser = sub.add_parser("gadget", help="build and verify an alpha gadget")
+    gadget_parser = sub.add_parser(
+        "gadget", help="build and verify an alpha gadget", parents=[obs_flags]
+    )
     gadget_parser.add_argument("--c", type=int, required=True)
     gadget_parser.add_argument("--check-structures", type=int, default=0)
     gadget_parser.set_defaults(handler=_command_gadget)
 
-    evaluate_parser = sub.add_parser("evaluate", help="count homomorphisms")
+    evaluate_parser = sub.add_parser(
+        "evaluate", help="count homomorphisms", parents=[obs_flags]
+    )
     evaluate_parser.add_argument("--query", required=True)
     evaluate_parser.add_argument("--facts", required=True)
     evaluate_parser.add_argument(
-        "--engine", choices=("backtracking", "treewidth"), default="backtracking"
+        "--engine",
+        choices=("backtracking", "treewidth", "acyclic"),
+        default="backtracking",
     )
     evaluate_parser.set_defaults(handler=_command_evaluate)
 
     compare_parser = sub.add_parser(
-        "compare", help="inequality budget vs Jayram-Kolaitis-Vee"
+        "compare",
+        help="inequality budget vs Jayram-Kolaitis-Vee",
+        parents=[obs_flags],
     )
     compare_parser.set_defaults(handler=_command_compare)
 
     verify_parser = sub.add_parser(
         "verify-paper",
         help="run the executable registry of the paper's claims",
+        parents=[obs_flags],
     )
     verify_parser.set_defaults(handler=_command_verify_paper)
 
     core_parser = sub.add_parser(
-        "core", help="set-semantics core of a conjunctive query"
+        "core",
+        help="set-semantics core of a conjunctive query",
+        parents=[obs_flags],
     )
     core_parser.add_argument("--query", required=True)
     core_parser.set_defaults(handler=_command_core)
 
     equivalent_parser = sub.add_parser(
-        "equivalent", help="bag/set equivalence of two queries"
+        "equivalent",
+        help="bag/set equivalence of two queries",
+        parents=[obs_flags],
     )
     equivalent_parser.add_argument("--left", required=True)
     equivalent_parser.add_argument("--right", required=True)
     equivalent_parser.set_defaults(handler=_command_equivalent)
 
     answers_parser = sub.add_parser(
-        "answers", help="answer multiset of an open query on an inline database"
+        "answers",
+        help="answer multiset of an open query on an inline database",
+        parents=[obs_flags],
     )
     answers_parser.add_argument("--query", required=True)
     answers_parser.add_argument("--head", required=True, help="e.g. 'x,y'")
@@ -298,11 +350,33 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Sequence[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    try:
-        return args.handler(args)
-    except BagCQError as error:
-        print(f"error: {error}", file=sys.stderr)
-        return 1
+    stats_json = getattr(args, "stats_json", None)
+    if not (getattr(args, "stats", False) or stats_json):
+        try:
+            return args.handler(args)
+        except BagCQError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+
+    from repro.obs import observe, span
+
+    # The report is emitted even when the command fails — budget
+    # exhaustion and mid-evaluation errors are exactly when the counters
+    # explain what happened.
+    with observe() as observation:
+        with span(f"cli.{args.command}"):
+            try:
+                exit_code = args.handler(args)
+            except BagCQError as error:
+                print(f"error: {error}", file=sys.stderr)
+                exit_code = 1
+    if getattr(args, "stats", False):
+        print(observation.render_text(), file=sys.stderr)
+    if stats_json:
+        with open(stats_json, "w", encoding="utf-8") as handle:
+            handle.write(observation.render_json())
+            handle.write("\n")
+    return exit_code
 
 
 if __name__ == "__main__":

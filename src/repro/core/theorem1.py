@@ -24,6 +24,7 @@ from repro.core.pi import build_pi_b, build_pi_s
 from repro.core.zeta import ZetaComponents, build_zeta
 from repro.errors import ReductionError
 from repro.homomorphism.engine import count, count_at_least
+from repro.obs.trace import span
 from repro.polynomials.hilbert import HilbertReduction, hilbert_to_lemma11
 from repro.polynomials.lemma11 import Lemma11Instance
 from repro.polynomials.polynomial import Polynomial
@@ -105,10 +106,13 @@ class Theorem1Reduction:
         Lemma 11 instance is violated somewhere, a large enough grid finds
         the violation and the returned database witnesses **𝔇**.
         """
-        violation = self.instance.find_counterexample(max_value)
-        if violation is None:
-            return None
-        return self.counterexample_from_valuation(violation)
+        with span("reduce.grid_search", grid=max_value) as current:
+            violation = self.instance.find_counterexample(max_value)
+            if violation is None:
+                current.set(found=False)
+                return None
+            current.set(found=True, valuation=dict(violation))
+            return self.counterexample_from_valuation(violation)
 
     # -- the 𝔇 ⇒ ℛ direction ----------------------------------------------------
 
@@ -149,12 +153,43 @@ def theorem1_reduction(instance: Lemma11Instance) -> Theorem1Reduction:
     >>> reduction.big_c > 0
     True
     """
-    arena = build_arena(instance)
-    pi_s = build_pi_s(instance)
-    pi_b = build_pi_b(instance)
-    zeta = build_zeta(arena, instance.c)
+    # The four construction steps each get a span carrying the sizes of
+    # the gadget they emit (atoms / variables / inequalities), so a
+    # ``--stats`` run shows where reduction time and query bulk come from.
+    with span("reduce.arena") as step:
+        arena = build_arena(instance)
+        step.set(
+            atoms=arena.arena.atom_count,
+            variables=arena.arena.variable_count,
+            inequalities=arena.arena.inequality_count,
+        )
+    with span("reduce.pi") as step:
+        pi_s = build_pi_s(instance)
+        pi_b = build_pi_b(instance)
+        step.set(
+            pi_s_atoms=pi_s.atom_count,
+            pi_s_variables=pi_s.variable_count,
+            pi_b_atoms=pi_b.atom_count,
+            pi_b_variables=pi_b.variable_count,
+            inequalities=pi_s.inequality_count + pi_b.inequality_count,
+        )
+    with span("reduce.zeta") as step:
+        zeta = build_zeta(arena, instance.c)
+        step.set(
+            c1=zeta.c1,
+            atoms=zeta.zeta_b.total_atom_count,
+            variables=zeta.zeta_b.total_variable_count,
+            inequalities=zeta.zeta_b.total_inequality_count,
+        )
     big_c = instance.c * zeta.c1
-    delta = build_delta(arena, big_c)
+    with span("reduce.delta") as step:
+        delta = build_delta(arena, big_c)
+        step.set(
+            big_c=big_c,
+            atoms=delta.delta_b.total_atom_count,
+            variables=delta.delta_b.total_variable_count,
+            inequalities=delta.delta_b.total_inequality_count,
+        )
 
     phi_s = QueryProduct.of(arena.arena).disjoint_conj(QueryProduct.of(pi_s))
     phi_b = (
@@ -179,5 +214,14 @@ def reduce_polynomial(
     q: Polynomial,
 ) -> tuple[HilbertReduction, Theorem1Reduction]:
     """Full pipeline: Hilbert-10 polynomial → Lemma 11 → Theorem 1 queries."""
-    hilbert = hilbert_to_lemma11(q)
-    return hilbert, theorem1_reduction(hilbert.instance)
+    with span("reduce.pipeline"):
+        with span("reduce.hilbert") as step:
+            hilbert = hilbert_to_lemma11(q)
+            step.set(
+                c=hilbert.instance.c,
+                monomials=len(hilbert.instance.monomials),
+            )
+        with span("reduce.theorem1") as step:
+            reduction = theorem1_reduction(hilbert.instance)
+            step.set(big_c=reduction.big_c)
+    return hilbert, reduction

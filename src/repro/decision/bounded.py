@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.decision.search import enumerate_structures, find_counterexample
+from repro.obs.trace import span
 from repro.relational.isomorphism import distinct_up_to_isomorphism
 from repro.relational.schema import Schema
 from repro.relational.structure import Structure
@@ -58,21 +59,29 @@ def verify_bounded(
     invariants — typically shrinking the sweep severalfold at the cost of
     pairwise isomorphism tests.
     """
-    candidates = enumerate_structures(
-        schema,
-        domain_size,
-        nontrivial_constants=require_nontrivial,
-        max_facts_per_relation=max_facts_per_relation,
-    )
-    if up_to_isomorphism:
-        candidates = distinct_up_to_isomorphism(candidates)
-    outcome = find_counterexample(
-        phi_s,
-        phi_b,
-        candidates,
+    with span(
+        "bounded.verify",
+        domain_size=domain_size,
         multiplier=multiplier,
         additive=additive,
-    )
+        up_to_isomorphism=up_to_isomorphism,
+    ) as current:
+        candidates = enumerate_structures(
+            schema,
+            domain_size,
+            nontrivial_constants=require_nontrivial,
+            max_facts_per_relation=max_facts_per_relation,
+        )
+        if up_to_isomorphism:
+            candidates = distinct_up_to_isomorphism(candidates)
+        outcome = find_counterexample(
+            phi_s,
+            phi_b,
+            candidates,
+            multiplier=multiplier,
+            additive=additive,
+        )
+        current.set(checked=outcome.checked, holds_on_sample=not outcome.found)
     return BoundedVerdict(
         holds_on_sample=not outcome.found,
         checked=outcome.checked,

@@ -18,6 +18,8 @@ from typing import Callable, Iterable, Iterator, Sequence
 from repro.errors import SearchBudgetExceeded
 from repro.homomorphism.engine import count
 from repro.naming import HEART, SPADE
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import span
 from repro.relational.operations import blowup, power
 from repro.relational.schema import Schema
 from repro.relational.structure import Structure
@@ -124,6 +126,8 @@ def amplified(
         for k in powers:
             boosted = power(base, k) if k > 1 else base
             for factor in blowups:
+                if k > 1 or factor > 1:
+                    obs_metrics.add("search.amplifier_expansions")
                 yield blowup(boosted, factor) if factor > 1 else boosted
 
 
@@ -156,20 +160,50 @@ def find_counterexample(
     for the Theorem 1/3 shape).  Stops at the first hit; raises
     :class:`~repro.errors.SearchBudgetExceeded` if ``max_candidates`` is
     exhausted while candidates remain.
+
+    Under an active :func:`repro.obs.observe` scope the search records a
+    ``search.find_counterexample`` span plus ``search.*`` counters:
+    structures enumerated / skipped-by-predicate / evaluated, query
+    evaluations, and — on budget exhaustion — the budget consumed at
+    failure.
     """
+    registry = obs_metrics.active_registry()
+    enumerated = 0
+    skipped = 0
     checked = 0
-    for structure in candidates:
-        if max_candidates is not None and checked >= max_candidates:
-            raise SearchBudgetExceeded(
-                f"stopped after {checked} candidates without a verdict"
-            )
-        if predicate is not None and not predicate(structure):
-            continue
-        checked += 1
-        lhs = multiplier * count(phi_s, structure)
-        rhs = count(phi_b, structure) + additive
-        if lhs > rhs:
-            return SearchOutcome(
-                counterexample=structure, checked=checked, lhs=lhs, rhs=rhs
-            )
-    return SearchOutcome(counterexample=None, checked=checked)
+
+    def _flush() -> None:
+        if registry is not None:
+            registry.counter("search.structures_enumerated").inc(enumerated)
+            registry.counter("search.structures_skipped").inc(skipped)
+            registry.counter("search.structures_evaluated").inc(checked)
+            registry.counter("search.evaluations").inc(2 * checked)
+
+    with span(
+        "search.find_counterexample", multiplier=multiplier, additive=additive
+    ) as current:
+        try:
+            for structure in candidates:
+                enumerated += 1
+                if max_candidates is not None and checked >= max_candidates:
+                    if registry is not None:
+                        registry.gauge("search.budget_at_failure").set(checked)
+                    current.set(outcome="budget_exceeded", budget_consumed=checked)
+                    raise SearchBudgetExceeded(
+                        f"stopped after {checked} candidates without a verdict"
+                    )
+                if predicate is not None and not predicate(structure):
+                    skipped += 1
+                    continue
+                checked += 1
+                lhs = multiplier * count(phi_s, structure)
+                rhs = count(phi_b, structure) + additive
+                if lhs > rhs:
+                    current.set(outcome="counterexample", checked=checked)
+                    return SearchOutcome(
+                        counterexample=structure, checked=checked, lhs=lhs, rhs=rhs
+                    )
+            current.set(outcome="exhausted", checked=checked)
+            return SearchOutcome(counterexample=None, checked=checked)
+        finally:
+            _flush()

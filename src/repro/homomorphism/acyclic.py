@@ -26,6 +26,7 @@ from collections import Counter
 from typing import Hashable
 
 from repro.errors import EvaluationError
+from repro.obs import metrics as obs_metrics
 from repro.queries.atoms import Atom
 from repro.queries.cq import ConjunctiveQuery
 from repro.queries.terms import Constant, Variable
@@ -142,6 +143,9 @@ def count_homomorphisms_acyclic(
     if tree is None:
         raise EvaluationError("query is not α-acyclic; use the general engines")
     atoms = list(query.atoms)
+    registry = obs_metrics.active_registry()
+    if registry is not None:
+        registry.counter("ac.calls").inc()
     if not atoms:
         return 1
 
@@ -154,6 +158,13 @@ def count_homomorphisms_acyclic(
         tables[index] = [
             (binding, 1) for binding, _ in _matching_facts(atom, structure)
         ]
+    if registry is not None:
+        registry.counter("ac.atoms").inc(len(atoms))
+        registry.counter("ac.facts_matched").inc(
+            sum(len(rows) for rows in tables.values())
+        )
+        # One semi-join fold per non-root node of the join tree.
+        registry.counter("ac.join_passes").inc(len(tree) - 1)
 
     total = None
     for index, parent in tree:

@@ -30,6 +30,7 @@ import sys
 from typing import Hashable, Iterator, Mapping
 
 from repro.errors import ConstantError, EvaluationError
+from repro.obs import metrics as obs_metrics
 from repro.queries.atoms import Atom, Inequality
 from repro.queries.cq import ConjunctiveQuery
 from repro.queries.terms import Constant, Term, Variable
@@ -60,6 +61,34 @@ def _ensure_stack_for(query: ConjunctiveQuery) -> None:
         sys.setrecursionlimit(needed)
 
 
+class _ObsStats:
+    """Local tallies for one counting run, flushed to the registry at exit.
+
+    Hot-loop increments touch plain ints on this object (no locks, no
+    context-var reads); :meth:`flush` folds them into the active
+    registry's ``bt.*`` metrics once per :func:`count_homomorphisms`.
+    """
+
+    __slots__ = ("nodes", "facts_scanned", "memo_hits", "memo_misses", "depth", "max_depth")
+
+    def __init__(self) -> None:
+        self.nodes = 0
+        self.facts_scanned = 0
+        self.memo_hits = 0
+        self.memo_misses = 0
+        self.depth = 0
+        self.max_depth = 0
+
+    def flush(self, registry: obs_metrics.Registry, problem: "_Problem") -> None:
+        registry.counter("bt.calls").inc()
+        registry.counter("bt.nodes").inc(self.nodes)
+        registry.counter("bt.facts_scanned").inc(self.facts_scanned)
+        registry.counter("bt.memo_hits").inc(self.memo_hits)
+        registry.counter("bt.memo_misses").inc(self.memo_misses)
+        registry.counter("bt.memo_entries").inc(len(problem._subtree_cache))
+        registry.gauge("bt.max_depth").set_max(self.max_depth)
+
+
 class _Problem:
     """Preprocessed matching problem: query × structure.
 
@@ -80,6 +109,9 @@ class _Problem:
         self.subtree_memo = subtree_memo
         self.component_split = component_split
         self.private_counting = private_counting
+        # Populated by count_homomorphisms when an obs registry is active;
+        # None keeps the disabled fast path to one attribute load + test.
+        self.obs: _ObsStats | None = None
         for constant in query.constants:
             if not structure.interprets(constant.name):
                 raise ConstantError(
@@ -192,6 +224,8 @@ class _Problem:
         cached = self._match_cache.get(cache_key)
         if cached is not None:
             return cached
+        if self.obs is not None:
+            self.obs.facts_scanned += len(self.fact_lists[atom.relation])
         first_position: dict[Variable, int] = {}
         duplicate_checks: list[tuple[int, int]] = []
         for position, variable in self.var_positions[atom_id]:
@@ -408,8 +442,13 @@ def _count(problem: _Problem, assignment: Assignment, atoms: list[Atom]) -> int:
         return _count_uncached(problem, assignment, atoms)
     key = _subtree_key(problem, assignment, atoms)
     cached = problem._subtree_cache.get(key)
+    obs = problem.obs
     if cached is not None:
+        if obs is not None:
+            obs.memo_hits += 1
         return cached
+    if obs is not None:
+        obs.memo_misses += 1
     result = _count_uncached(problem, assignment, atoms)
     problem._subtree_cache[key] = result
     return result
@@ -460,6 +499,22 @@ def _open_components(
 
 
 def _count_uncached(
+    problem: _Problem, assignment: Assignment, atoms: list[Atom]
+) -> int:
+    obs = problem.obs
+    if obs is None:
+        return _count_node(problem, assignment, atoms)
+    obs.nodes += 1
+    obs.depth += 1
+    if obs.depth > obs.max_depth:
+        obs.max_depth = obs.depth
+    try:
+        return _count_node(problem, assignment, atoms)
+    finally:
+        obs.depth -= 1
+
+
+def _count_node(
     problem: _Problem, assignment: Assignment, atoms: list[Atom]
 ) -> int:
     open_atoms = _split_atoms(problem, atoms, assignment)
@@ -529,18 +584,25 @@ def count_homomorphisms(
         component_split=component_split,
         private_counting=private_counting,
     )
-    if not problem.ground_part_holds():
-        return 0
-    open_atoms = [
-        atom
-        for atom_id, atom in enumerate(problem.atoms)
-        if problem.var_positions[atom_id]
-    ]
-    result = _count(problem, {}, open_atoms)
-    if not problem.inequalities and problem.free_variables:
-        # Atom-free variables are unconstrained: each ranges over V_D.
-        result *= len(problem.domain) ** len(problem.free_variables)
-    return result
+    registry = obs_metrics.active_registry()
+    if registry is not None:
+        problem.obs = _ObsStats()
+    try:
+        if not problem.ground_part_holds():
+            return 0
+        open_atoms = [
+            atom
+            for atom_id, atom in enumerate(problem.atoms)
+            if problem.var_positions[atom_id]
+        ]
+        result = _count(problem, {}, open_atoms)
+        if not problem.inequalities and problem.free_variables:
+            # Atom-free variables are unconstrained: each ranges over V_D.
+            result *= len(problem.domain) ** len(problem.free_variables)
+        return result
+    finally:
+        if problem.obs is not None:
+            problem.obs.flush(registry, problem)
 
 
 def _enumerate(

@@ -18,6 +18,7 @@ from repro.errors import EvaluationError
 from repro.homomorphism.acyclic import count_homomorphisms_acyclic
 from repro.homomorphism.backtracking import count_homomorphisms
 from repro.homomorphism.treewidth_dp import count_homomorphisms_td
+from repro.obs import metrics as obs_metrics
 from repro.queries.atoms import Inequality
 from repro.queries.cq import ConjunctiveQuery
 from repro.queries.product import QueryProduct
@@ -37,6 +38,31 @@ _ENGINES = {
 
 #: Guard for the opt-in inclusion-exclusion path (2^q terms).
 INCLUSION_EXCLUSION_LIMIT = 12
+
+
+def _resolve_engine(engine: str):
+    """The counting function for ``engine``, validated up front.
+
+    Every public entry point calls this before touching the query, so an
+    unknown engine fails fast even for :class:`QueryProduct` inputs whose
+    factor evaluation would otherwise defer (or, for empty products and
+    trivial bounds, entirely skip) the name check.
+    """
+    try:
+        return _ENGINES[engine]
+    except KeyError:
+        raise EvaluationError(
+            f"unknown engine {engine!r}; choose from {sorted(_ENGINES)}"
+        ) from None
+
+
+def _tag_engine(error: EvaluationError, engine: str) -> EvaluationError:
+    """Append the chosen engine to a mid-evaluation error, once."""
+    if getattr(error, "engine", None) is not None:
+        return error
+    tagged = EvaluationError(f"{error} [engine: {engine}]")
+    tagged.engine = engine  # type: ignore[attr-defined]
+    return tagged
 
 
 def count(
@@ -65,15 +91,13 @@ def count(
     >>> count(parse_query("E(x, y) & E(y, x)"), d)
     2
     """
-    try:
-        counter = _ENGINES[engine]
-    except KeyError:
-        raise EvaluationError(
-            f"unknown engine {engine!r}; choose from {sorted(_ENGINES)}"
-        ) from None
+    counter = _resolve_engine(engine)
     if isinstance(query, QueryProduct):
+        registry = obs_metrics.active_registry()
         total = 1
         for factor, exponent in query:
+            if registry is not None:
+                registry.counter("engine.product_factors").inc()
             value = count(factor, structure, engine=engine)
             if value == 0:
                 return 0
@@ -83,25 +107,42 @@ def count(
         raise EvaluationError(
             f"cannot evaluate object of type {type(query).__name__}"
         )
-    if (
-        use_inclusion_exclusion
-        and engine == "backtracking"
-        and 1 <= query.inequality_count <= INCLUSION_EXCLUSION_LIMIT
-    ):
-        return _count_inclusion_exclusion(query, structure)
-    return _count_components(query, structure, counter)
+    try:
+        if (
+            use_inclusion_exclusion
+            and engine == "backtracking"
+            and 1 <= query.inequality_count <= INCLUSION_EXCLUSION_LIMIT
+        ):
+            return _count_inclusion_exclusion(query, structure)
+        return _count_components(query, structure, counter, engine)
+    except EvaluationError as error:
+        raise _tag_engine(error, engine) from error
 
 
-def _count_components(query: ConjunctiveQuery, structure, counter) -> int:
+def _count_components(
+    query: ConjunctiveQuery, structure, counter, engine: str = "backtracking"
+) -> int:
+    registry = obs_metrics.active_registry()
     components = query.connected_components()
     if len(components) <= 1:
-        return counter(query, structure)
+        return _dispatch(query, structure, counter, engine, registry)
+    if registry is not None:
+        registry.counter("engine.factorizations").inc()
     total = 1
     for component in components:
-        total *= counter(component, structure)
+        total *= _dispatch(component, structure, counter, engine, registry)
         if total == 0:
             return 0
     return total
+
+
+def _dispatch(component, structure, counter, engine: str, registry) -> int:
+    """One engine invocation on one connected component."""
+    if registry is None:
+        return counter(component, structure)
+    registry.counter(f"engine.dispatch.{engine}").inc()
+    with registry.timer(f"engine.time.{engine}").time():
+        return counter(component, structure)
 
 
 def _count_inclusion_exclusion(query: ConjunctiveQuery, structure) -> int:
@@ -112,6 +153,9 @@ def _count_inclusion_exclusion(query: ConjunctiveQuery, structure) -> int:
     identified.  Identification of two *distinct constants* makes the term
     zero unless the structure interprets them equally.
     """
+    registry = obs_metrics.active_registry()
+    if registry is not None:
+        registry.counter("engine.ie_calls").inc()
     inequalities = query.inequalities
     if any(ineq.is_trivially_false() for ineq in inequalities):
         return 0
@@ -124,7 +168,11 @@ def _count_inclusion_exclusion(query: ConjunctiveQuery, structure) -> int:
                 base, subset, structure, query.variables
             )
             if merged is None:
+                if registry is not None:
+                    registry.counter("engine.ie_terms_unsatisfiable").inc()
                 continue
+            if registry is not None:
+                registry.counter("engine.ie_terms").inc()
             merged_query, representatives = merged
             # Variables that survive merging but occur in no atom still
             # range freely over the whole active domain.
@@ -217,6 +265,7 @@ def count_at_least(
     ``e`` exceeds ``bound`` whenever ``e ≥ bound.bit_length()``, so
     exponents are capped before powering.
     """
+    _resolve_engine(engine)
     if bound <= 0:
         return True
     if isinstance(query, ConjunctiveQuery):
@@ -242,6 +291,7 @@ def count_ucq(
     ucq: UnionOfConjunctiveQueries, structure, engine: Engine = "backtracking"
 ) -> int:
     """Bag-semantics value of a boolean UCQ: the sum over its disjuncts."""
+    _resolve_engine(engine)
     return sum(
         multiplicity * count(query, structure, engine=engine)
         for query, multiplicity in ucq

@@ -26,6 +26,7 @@ import networkx as nx
 from networkx.algorithms.approximation import treewidth_min_fill_in
 
 from repro.errors import ConstantError, EvaluationError
+from repro.obs import metrics as obs_metrics
 from repro.queries.atoms import Atom, Inequality
 from repro.queries.cq import ConjunctiveQuery
 from repro.queries.terms import Constant, Term, Variable
@@ -88,6 +89,9 @@ def count_homomorphisms_td(query: ConjunctiveQuery, structure: Structure) -> int
                 f"{structure.schema.arity(atom.relation)}"
             )
 
+    registry = obs_metrics.active_registry()
+    if registry is not None:
+        registry.counter("td.calls").inc()
     if not _ground_holds(query, structure):
         return 0
     variables = sorted(query.variables)
@@ -98,7 +102,9 @@ def count_homomorphisms_td(query: ConjunctiveQuery, structure: Structure) -> int
     total = 1
     for component_nodes in nx.connected_components(graph):
         component = graph.subgraph(component_nodes).copy()
-        total *= _count_component(query, structure, component)
+        if registry is not None:
+            registry.counter("td.components").inc()
+        total *= _count_component(query, structure, component, registry)
         if total == 0:
             return 0
     return total
@@ -123,7 +129,10 @@ def _ground_holds(query: ConjunctiveQuery, structure: Structure) -> bool:
 
 
 def _count_component(
-    query: ConjunctiveQuery, structure: Structure, graph: "nx.Graph"
+    query: ConjunctiveQuery,
+    structure: Structure,
+    graph: "nx.Graph",
+    registry: obs_metrics.Registry | None = None,
 ) -> int:
     component_variables = set(graph.nodes)
     atoms = [
@@ -142,6 +151,11 @@ def _count_component(
         decomposition.add_node(frozenset(component_variables))
 
     bags = list(decomposition.nodes)
+    if registry is not None:
+        registry.counter("td.bags").inc(len(bags))
+        registry.gauge("td.width").set_max(
+            max(len(bag) for bag in bags) - 1 if bags else 0
+        )
     root = bags[0]
     order = list(nx.bfs_tree(decomposition, root).edges())
     children: dict[frozenset, list[frozenset]] = {bag: [] for bag in bags}
@@ -222,16 +236,26 @@ def _count_component(
         return total
 
     cache: dict[tuple[frozenset, tuple], int] = {}
+    message_calls = 0
 
     def cached_message(
         bag: frozenset, separator_assignment: dict[Variable, Element]
     ) -> int:
+        if registry is not None:
+            nonlocal message_calls
+            message_calls += 1
         key = (bag, tuple(sorted(separator_assignment.items(), key=lambda kv: kv[0])))
         if key not in cache:
             cache[key] = message(bag, separator_assignment)
         return cache[key]
 
-    return cached_message(root, {})
+    result = cached_message(root, {})
+    if registry is not None:
+        # The cache *is* the DP table: one entry per (bag, separator
+        # assignment) message ever computed.
+        registry.counter("td.message_calls").inc(message_calls)
+        registry.counter("td.table_entries").inc(len(cache))
+    return result
 
 
 def _unary_domains(

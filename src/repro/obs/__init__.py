@@ -1,0 +1,87 @@
+"""``repro.obs`` — zero-dependency observability: counters, spans, reports.
+
+Usage::
+
+    from repro.obs import observe, span
+
+    with observe() as obs:
+        with span("my.workload", shape="star"):
+            count(query, structure)
+    print(obs.render_text())          # console report
+    data = obs.report()               # plain dict, stable JSON shape
+
+Everything is **off by default**: the instrumented hot paths check for an
+active registry once per evaluation and fall back to no-ops, so library
+users who never call :func:`observe` pay (measurably) nothing.  Scopes
+nest — an inner ``observe()`` shadows the outer one, so a sub-experiment
+can take an isolated measurement without polluting the enclosing run.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    Registry,
+    Timer,
+    active_registry,
+)
+from repro.obs.report import render_json, render_text, report_data
+from repro.obs.trace import Span, Trace, active_trace, span
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Observation",
+    "Registry",
+    "Span",
+    "Timer",
+    "Trace",
+    "active_registry",
+    "active_trace",
+    "observe",
+    "span",
+]
+
+
+class Observation:
+    """One registry + one trace, collected over an ``observe()`` scope."""
+
+    __slots__ = ("registry", "trace")
+
+    def __init__(self) -> None:
+        self.registry = Registry()
+        self.trace = Trace()
+
+    def report(self) -> dict:
+        return report_data(self.registry, self.trace)
+
+    def render_text(self) -> str:
+        return render_text(self.registry, self.trace)
+
+    def render_json(self, indent: int | None = 2) -> str:
+        return render_json(self.registry, self.trace, indent=indent)
+
+
+@contextmanager
+def observe() -> Iterator[Observation]:
+    """Collect metrics and spans for the duration of the ``with`` block.
+
+    Returns the :class:`Observation`, which stays readable after the
+    block exits.  Nested calls create fresh, isolated scopes.
+    """
+    observation = Observation()
+    registry_token = _metrics._activate(observation.registry)
+    trace_tokens = _trace._activate(observation.trace)
+    try:
+        yield observation
+    finally:
+        _trace._deactivate(trace_tokens)
+        _metrics._deactivate(registry_token)

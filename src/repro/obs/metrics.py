@@ -1,0 +1,245 @@
+"""Counters, gauges, timers, and the context-scoped :class:`Registry`.
+
+Design constraints (see ``docs/OBSERVABILITY.md``):
+
+* **Zero dependencies** — standard library only.
+* **Negligible overhead when disabled.**  The hot paths (the backtracking
+  counter expands millions of nodes) check :func:`active_registry` *once*
+  per evaluation, keep plain-``int`` local tallies while enabled, and
+  flush them into registry metrics at the end.  When no registry is
+  active the per-node cost is one attribute load and a ``None`` test.
+* **Context-var scoping.**  The active registry lives in a
+  :class:`contextvars.ContextVar`, so nested :func:`repro.obs.observe`
+  scopes shadow each other instead of colliding, and concurrent threads /
+  async tasks each see their own registry.
+* **Thread safety.**  Metric *creation* is guarded by a registry lock;
+  each metric guards its own mutation.  (Hot paths never contend: they
+  mutate local ints and take the lock once per flush.)
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Iterator
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Timer",
+    "Histogram",
+    "Registry",
+    "active_registry",
+    "add",
+]
+
+
+class Counter:
+    """A monotonically increasing integer metric."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def snapshot(self) -> dict:
+        return {"type": "counter", "value": self._value}
+
+
+class Gauge:
+    """A point-in-time value; remembers the last and the maximum seen."""
+
+    __slots__ = ("name", "_value", "_max", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value: float | int | None = None
+        self._max: float | int | None = None
+        self._lock = threading.Lock()
+
+    def set(self, value: float | int) -> None:
+        with self._lock:
+            self._value = value
+            if self._max is None or value > self._max:
+                self._max = value
+
+    def set_max(self, value: float | int) -> None:
+        """Record ``value`` only if it exceeds the current maximum."""
+        with self._lock:
+            if self._max is None or value > self._max:
+                self._max = value
+                self._value = value
+
+    @property
+    def value(self) -> float | int | None:
+        return self._value
+
+    @property
+    def max(self) -> float | int | None:
+        return self._max
+
+    def snapshot(self) -> dict:
+        return {"type": "gauge", "value": self._value, "max": self._max}
+
+
+class Timer:
+    """A duration histogram: count / total / min / max over observations.
+
+    Durations are recorded in seconds (floats); reports render
+    milliseconds.  Use :meth:`time` as a context manager or feed
+    measured durations to :meth:`observe`.
+    """
+
+    __slots__ = ("name", "_count", "_total", "_min", "_max", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._count = 0
+        self._total = 0.0
+        self._min: float | None = None
+        self._max: float | None = None
+        self._lock = threading.Lock()
+
+    def observe(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError(f"timer {self.name!r} observed a negative duration")
+        with self._lock:
+            self._count += 1
+            self._total += seconds
+            if self._min is None or seconds < self._min:
+                self._min = seconds
+            if self._max is None or seconds > self._max:
+                self._max = seconds
+
+    @contextmanager
+    def time(self) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.observe(time.perf_counter() - start)
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def total(self) -> float:
+        return self._total
+
+    @property
+    def mean(self) -> float:
+        return self._total / self._count if self._count else 0.0
+
+    def snapshot(self) -> dict:
+        return {
+            "type": "timer",
+            "count": self._count,
+            "total_ms": self._total * 1000.0,
+            "mean_ms": self.mean * 1000.0,
+            "min_ms": None if self._min is None else self._min * 1000.0,
+            "max_ms": None if self._max is None else self._max * 1000.0,
+        }
+
+
+#: Alias — a :class:`Timer` *is* the library's duration histogram.
+Histogram = Timer
+
+
+class Registry:
+    """A thread-safe, get-or-create store of named metrics.
+
+    Names are dotted strings (``"bt.memo_hits"``); the prefix groups
+    metrics by subsystem in reports.  Requesting an existing name with a
+    different metric kind raises ``ValueError`` — silent type punning
+    would corrupt reports.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: dict[str, Counter | Gauge | Timer] = {}
+
+    def _get_or_create(self, name: str, kind: type):
+        # Fast path: plain dict read (atomic under the GIL).
+        metric = self._metrics.get(name)
+        if metric is None:
+            with self._lock:
+                metric = self._metrics.get(name)
+                if metric is None:
+                    metric = kind(name)
+                    self._metrics[name] = metric
+        if not isinstance(metric, kind):
+            raise ValueError(
+                f"metric {name!r} already registered as "
+                f"{type(metric).__name__}, requested {kind.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge)
+
+    def timer(self, name: str) -> Timer:
+        return self._get_or_create(name, Timer)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __iter__(self) -> Iterator[Counter | Gauge | Timer]:
+        return iter(list(self._metrics.values()))
+
+    def get(self, name: str) -> Counter | Gauge | Timer | None:
+        return self._metrics.get(name)
+
+    def snapshot(self) -> dict[str, dict]:
+        """A stable (name-sorted) plain-data view of every metric."""
+        return {
+            name: metric.snapshot()
+            for name, metric in sorted(self._metrics.items())
+        }
+
+
+_REGISTRY: ContextVar[Registry | None] = ContextVar(
+    "repro_obs_registry", default=None
+)
+
+
+def active_registry() -> Registry | None:
+    """The registry of the innermost enclosing ``observe()`` scope, if any."""
+    return _REGISTRY.get()
+
+
+def add(name: str, amount: int = 1) -> None:
+    """Increment a counter in the active registry; no-op when disabled.
+
+    Convenience for warm (not hot) paths: one context-var read per call.
+    Hot loops should instead hold the registry once and tally locally.
+    """
+    registry = _REGISTRY.get()
+    if registry is not None:
+        registry.counter(name).inc(amount)
+
+
+def _activate(registry: Registry):
+    """Install ``registry`` as the active one; returns the reset token."""
+    return _REGISTRY.set(registry)
+
+
+def _deactivate(token) -> None:
+    _REGISTRY.reset(token)

@@ -1,0 +1,95 @@
+"""Rendering a registry + trace to human-readable text and stable JSON.
+
+The JSON shape is stable by construction: metric names sorted, span
+attributes key-sorted, timer fields fixed.  Two runs of the same
+deterministic computation differ only in durations, so downstream diffing
+of counter values works with ``jq 'del(.. | .duration_ms?, .total_ms?)'``
+style filters.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.metrics import Registry
+from repro.obs.trace import Trace
+
+__all__ = ["report_data", "render_text", "render_json"]
+
+SCHEMA_VERSION = 1
+
+
+def report_data(registry: Registry, trace: Trace) -> dict:
+    """The whole observation as plain data (JSON-serializable)."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "metrics": registry.snapshot(),
+        "trace": trace.snapshot(),
+    }
+
+
+def render_json(registry: Registry, trace: Trace, indent: int | None = 2) -> str:
+    """Stable JSON: sorted keys throughout, deterministic field order."""
+    return json.dumps(
+        report_data(registry, trace), indent=indent, sort_keys=True, default=str
+    )
+
+
+def _format_attrs(attrs: dict) -> str:
+    if not attrs:
+        return ""
+    rendered = " ".join(f"{key}={attrs[key]}" for key in sorted(attrs))
+    return f"  [{rendered}]"
+
+
+def _format_duration(duration_ms: float | None) -> str:
+    if duration_ms is None:
+        return "?"
+    if duration_ms >= 1000:
+        return f"{duration_ms / 1000:.2f} s"
+    return f"{duration_ms:.1f} ms"
+
+
+def _render_span_lines(snapshot: dict, depth: int, lines: list[str]) -> None:
+    indent = "  " * depth
+    lines.append(
+        f"{indent}{snapshot['name']:<{max(1, 40 - 2 * depth)}} "
+        f"{_format_duration(snapshot['duration_ms']):>10}"
+        f"{_format_attrs(snapshot['attrs'])}"
+    )
+    for child in snapshot["children"]:
+        _render_span_lines(child, depth + 1, lines)
+
+
+def _render_metric(name: str, snapshot: dict) -> str:
+    kind = snapshot["type"]
+    if kind == "counter":
+        return f"  {name:<42} {snapshot['value']:>14}"
+    if kind == "gauge":
+        value, peak = snapshot["value"], snapshot["max"]
+        suffix = "" if value == peak else f"  (max {peak})"
+        return f"  {name:<42} {value!s:>14}{suffix}"
+    # timer
+    return (
+        f"  {name:<42} {snapshot['count']:>6} obs"
+        f"  total {_format_duration(snapshot['total_ms'])}"
+        f"  mean {_format_duration(snapshot['mean_ms'])}"
+    )
+
+
+def render_text(registry: Registry, trace: Trace) -> str:
+    """A fixed-width console report: span tree first, then metrics."""
+    lines: list[str] = ["== observability report " + "=" * 40]
+    span_snapshots = trace.snapshot()
+    if span_snapshots:
+        lines.append("-- spans " + "-" * 55)
+        for root in span_snapshots:
+            _render_span_lines(root, 0, lines)
+    metric_snapshots = registry.snapshot()
+    if metric_snapshots:
+        lines.append("-- metrics " + "-" * 53)
+        for name, snapshot in metric_snapshots.items():
+            lines.append(_render_metric(name, snapshot))
+    if not span_snapshots and not metric_snapshots:
+        lines.append("(nothing recorded)")
+    return "\n".join(lines)

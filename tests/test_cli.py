@@ -110,3 +110,118 @@ class TestCommands:
     def test_parser_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+
+class TestStatsFlags:
+    def test_evaluate_stats_to_stderr(self, capsys):
+        exit_code = main(
+            [
+                "evaluate",
+                "--query",
+                "E(x,y) & E(y,x)",
+                "--facts",
+                "E(a,b) E(b,a)",
+                "--stats",
+            ]
+        )
+        assert exit_code == 0
+        captured = capsys.readouterr()
+        assert captured.out.strip() == "2"
+        assert "observability report" in captured.err
+        assert "cli.evaluate" in captured.err
+        assert "bt.nodes" in captured.err
+        assert "engine.dispatch.backtracking" in captured.err
+
+    def test_evaluate_without_stats_is_silent(self, capsys):
+        exit_code = main(
+            ["evaluate", "--query", "E(x,y)", "--facts", "E(a,b)"]
+        )
+        assert exit_code == 0
+        assert "observability" not in capsys.readouterr().err
+
+    def test_stats_json_artifact(self, tmp_path, capsys):
+        import json
+
+        target = tmp_path / "obs.json"
+        exit_code = main(
+            [
+                "evaluate",
+                "--query",
+                "E(x,y)",
+                "--facts",
+                "E(a,b) E(b,c)",
+                "--stats-json",
+                str(target),
+            ]
+        )
+        assert exit_code == 0
+        # --stats-json alone does not print the text report.
+        assert "observability" not in capsys.readouterr().err
+        data = json.loads(target.read_text())
+        assert data["metrics"]["bt.calls"]["value"] == 1
+        assert data["metrics"]["bt.nodes"]["value"] > 0
+        assert data["trace"][0]["name"] == "cli.evaluate"
+
+    def test_reduce_stats_has_step_spans_and_counters(self, capsys, tmp_path):
+        import json
+
+        target = tmp_path / "reduce_obs.json"
+        exit_code = main(
+            [
+                "reduce",
+                "--instance",
+                "always_positive",
+                "--grid",
+                "1",
+                "--stats",
+                "--stats-json",
+                str(target),
+            ]
+        )
+        assert exit_code == 0
+        err = capsys.readouterr().err
+        for step in ("reduce.arena", "reduce.pi", "reduce.zeta", "reduce.delta"):
+            assert step in err
+        assert "bt.nodes" in err
+        assert "bt.memo_misses" in err
+        data = json.loads(target.read_text())
+        assert data["metrics"]["bt.nodes"]["value"] > 0
+        names = {root["name"] for root in data["trace"]}
+        assert names == {"cli.reduce"}
+
+    def test_evaluate_acyclic_engine(self, capsys):
+        exit_code = main(
+            [
+                "evaluate",
+                "--query",
+                "E(x,y) & E(y,z)",
+                "--facts",
+                "E(a,b) E(b,c)",
+                "--engine",
+                "acyclic",
+                "--stats",
+            ]
+        )
+        assert exit_code == 0
+        captured = capsys.readouterr()
+        assert captured.out.strip() == "1"
+        assert "ac.join_passes" in captured.err
+
+    def test_stats_report_emitted_on_error(self, capsys):
+        exit_code = main(
+            [
+                "evaluate",
+                "--query",
+                "E(x,y) & E(y,z) & E(z,x)",
+                "--facts",
+                "E(a,b)",
+                "--engine",
+                "acyclic",
+                "--stats",
+            ]
+        )
+        assert exit_code == 1
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "[engine: acyclic]" in err
+        assert "observability report" in err
