@@ -11,8 +11,12 @@ Subcommands::
         Build the α multiplication gadget for c, verify its (=) witness and
         probe the (≤) condition on random structures.
 
-    bagcq evaluate --query "E(x,y) & E(y,x)" --facts "E(1,2) E(2,1)"
-        Count homomorphisms of a query over an inline database.
+    bagcq evaluate --query "E(x,y) & E(y,x)" --facts "E(a,b) E(b,a)" \\
+            [--workers 4] [--no-cache]
+        Count homomorphisms of a query over an inline database, optionally
+        fanning component evaluation across a process pool; repeated
+        components are shared through the canonicalization-keyed count
+        cache unless ``--no-cache``.
 
     bagcq compare --instance linear:2:3:7
         Print the inequality-budget comparison against Jayram-Kolaitis-Vee.
@@ -161,7 +165,7 @@ def _command_gadget(args: argparse.Namespace) -> int:
 
 
 def _command_evaluate(args: argparse.Namespace) -> int:
-    from repro.homomorphism.engine import count
+    from repro.homomorphism.batch import count_many
 
     query = parse_query(args.query)
     structure = _parse_facts(args.facts)
@@ -172,7 +176,13 @@ def _command_evaluate(args: argparse.Namespace) -> int:
     ]
     for name in missing:
         structure = structure.with_constant(name, name)
-    print(count(query, structure, engine=args.engine))
+    [value] = count_many(
+        [(query, structure)],
+        engine=args.engine,
+        workers=args.workers,
+        cache=False if args.no_cache else None,
+    )
+    print(value)
     return 0
 
 
@@ -255,6 +265,13 @@ def _command_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="bagcq",
@@ -301,6 +318,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--engine",
         choices=("backtracking", "treewidth", "acyclic"),
         default="backtracking",
+    )
+    evaluate_parser.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=1,
+        help="fan component evaluation across a process pool (default: 1, serial)",
+    )
+    evaluate_parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the canonicalization-keyed component count cache",
     )
     evaluate_parser.set_defaults(handler=_command_evaluate)
 

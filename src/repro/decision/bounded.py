@@ -47,6 +47,9 @@ def verify_bounded(
     require_nontrivial: bool = True,
     max_facts_per_relation: int | None = None,
     up_to_isomorphism: bool = False,
+    workers: int = 1,
+    batch_size: int | None = None,
+    cache=None,
 ) -> BoundedVerdict:
     """Exhaustively check the inequality over all small structures.
 
@@ -58,6 +61,12 @@ def verify_bounded(
     isomorphism class — sound, since homomorphism counts are isomorphism
     invariants — typically shrinking the sweep severalfold at the cost of
     pairwise isomorphism tests.
+
+    ``workers`` / ``batch_size`` / ``cache`` select the batched evaluation
+    path of :func:`repro.decision.search.find_counterexample`: candidates
+    are checked in parallel generations with component counts shared
+    through a canonicalization-keyed cache.  The verdict is identical to
+    the serial sweep.
     """
     with span(
         "bounded.verify",
@@ -80,6 +89,9 @@ def verify_bounded(
             candidates,
             multiplier=multiplier,
             additive=additive,
+            workers=workers,
+            batch_size=batch_size,
+            cache=cache,
         )
         current.set(checked=outcome.checked, holds_on_sample=not outcome.found)
     return BoundedVerdict(

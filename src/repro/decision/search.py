@@ -16,6 +16,8 @@ from dataclasses import dataclass
 from typing import Callable, Iterable, Iterator, Sequence
 
 from repro.errors import SearchBudgetExceeded
+from repro.homomorphism.batch import count_many
+from repro.homomorphism.cache import CountCache
 from repro.homomorphism.engine import count
 from repro.naming import HEART, SPADE
 from repro.obs import metrics as obs_metrics
@@ -153,6 +155,10 @@ def find_counterexample(
     additive: int = 0,
     predicate: Callable[[Structure], bool] | None = None,
     max_candidates: int | None = None,
+    engine: str = "backtracking",
+    workers: int = 1,
+    batch_size: int | None = None,
+    cache: CountCache | bool | None = None,
 ) -> SearchOutcome:
     """Search ``candidates`` for ``multiplier·φ_s(D) > φ_b(D) + additive``.
 
@@ -161,30 +167,60 @@ def find_counterexample(
     :class:`~repro.errors.SearchBudgetExceeded` if ``max_candidates`` is
     exhausted while candidates remain.
 
+    Setting ``workers > 1``, an explicit ``batch_size``, or a ``cache``
+    switches to *batched* checking: each generation of candidates is
+    evaluated as one :func:`repro.homomorphism.batch.count_many` call
+    (both queries on every candidate), with a canonicalization-keyed
+    :class:`~repro.homomorphism.cache.CountCache` shared across the whole
+    search (``cache=None`` creates one; ``False`` disables reuse; a
+    :class:`CountCache` is used as-is).  The verdict — which candidate is
+    reported, the lhs/rhs counts, and the budget semantics — is identical
+    to the serial path; a batch may merely evaluate a few candidates past
+    the first hit before it is noticed.
+
     Under an active :func:`repro.obs.observe` scope the search records a
     ``search.find_counterexample`` span plus ``search.*`` counters:
     structures enumerated / skipped-by-predicate / evaluated, query
-    evaluations, and — on budget exhaustion — the budget consumed at
-    failure.
+    evaluations, batch flushes, and — on budget exhaustion — the budget
+    consumed at failure.
     """
     registry = obs_metrics.active_registry()
-    enumerated = 0
-    skipped = 0
-    checked = 0
+    batched = workers > 1 or batch_size is not None or cache is not None
+    counters = {"enumerated": 0, "skipped": 0, "checked": 0}
 
-    def _flush() -> None:
+    def _flush_counters() -> None:
         if registry is not None:
-            registry.counter("search.structures_enumerated").inc(enumerated)
-            registry.counter("search.structures_skipped").inc(skipped)
-            registry.counter("search.structures_evaluated").inc(checked)
-            registry.counter("search.evaluations").inc(2 * checked)
+            registry.counter("search.structures_enumerated").inc(
+                counters["enumerated"]
+            )
+            registry.counter("search.structures_skipped").inc(counters["skipped"])
+            registry.counter("search.structures_evaluated").inc(counters["checked"])
+            registry.counter("search.evaluations").inc(2 * counters["checked"])
 
     with span(
         "search.find_counterexample", multiplier=multiplier, additive=additive
     ) as current:
         try:
+            if batched:
+                return _find_counterexample_batched(
+                    phi_s,
+                    phi_b,
+                    candidates,
+                    multiplier,
+                    additive,
+                    predicate,
+                    max_candidates,
+                    engine,
+                    workers,
+                    batch_size,
+                    cache,
+                    current,
+                    registry,
+                    counters,
+                )
             for structure in candidates:
-                enumerated += 1
+                counters["enumerated"] += 1
+                checked = counters["checked"]
                 if max_candidates is not None and checked >= max_candidates:
                     if registry is not None:
                         registry.gauge("search.budget_at_failure").set(checked)
@@ -193,17 +229,110 @@ def find_counterexample(
                         f"stopped after {checked} candidates without a verdict"
                     )
                 if predicate is not None and not predicate(structure):
-                    skipped += 1
+                    counters["skipped"] += 1
                     continue
-                checked += 1
-                lhs = multiplier * count(phi_s, structure)
-                rhs = count(phi_b, structure) + additive
+                counters["checked"] = checked = checked + 1
+                lhs = multiplier * count(phi_s, structure, engine=engine)
+                rhs = count(phi_b, structure, engine=engine) + additive
                 if lhs > rhs:
                     current.set(outcome="counterexample", checked=checked)
                     return SearchOutcome(
                         counterexample=structure, checked=checked, lhs=lhs, rhs=rhs
                     )
-            current.set(outcome="exhausted", checked=checked)
-            return SearchOutcome(counterexample=None, checked=checked)
+            current.set(outcome="exhausted", checked=counters["checked"])
+            return SearchOutcome(counterexample=None, checked=counters["checked"])
         finally:
-            _flush()
+            _flush_counters()
+
+
+def _find_counterexample_batched(
+    phi_s,
+    phi_b,
+    candidates: Iterable[Structure],
+    multiplier: int,
+    additive: int,
+    predicate: Callable[[Structure], bool] | None,
+    max_candidates: int | None,
+    engine: str,
+    workers: int,
+    batch_size: int | None,
+    cache: CountCache | bool | None,
+    current,
+    registry,
+    counters: dict,
+) -> SearchOutcome:
+    """Batched candidate checking behind :func:`find_counterexample`.
+
+    Candidates accumulate into generations of ``batch_size`` (default
+    ``max(16, 4·workers)``), each checked as one ``count_many`` batch.
+    Violations are reported in enumeration order, so the outcome matches
+    the serial path bit for bit.
+    """
+    effective_batch = batch_size if batch_size is not None else max(16, 4 * workers)
+    if effective_batch < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    search_cache = CountCache() if cache is None else cache
+    pending: list[Structure] = []
+
+    def flush() -> SearchOutcome | None:
+        if not pending:
+            return None
+        if registry is not None:
+            registry.counter("search.batches").inc()
+        pairs = []
+        for structure in pending:
+            pairs.append((phi_s, structure))
+            pairs.append((phi_b, structure))
+        values = count_many(
+            pairs, engine=engine, workers=workers, cache=search_cache
+        )
+        for index, structure in enumerate(pending):
+            counters["checked"] += 1
+            lhs = multiplier * values[2 * index]
+            rhs = values[2 * index + 1] + additive
+            if lhs > rhs:
+                current.set(outcome="counterexample", checked=counters["checked"])
+                return SearchOutcome(
+                    counterexample=structure,
+                    checked=counters["checked"],
+                    lhs=lhs,
+                    rhs=rhs,
+                )
+        pending.clear()
+        return None
+
+    for structure in candidates:
+        counters["enumerated"] += 1
+        if (
+            max_candidates is not None
+            and counters["checked"] + len(pending) >= max_candidates
+        ):
+            hit = flush()
+            if hit is not None:
+                return hit
+            if counters["checked"] >= max_candidates:
+                if registry is not None:
+                    registry.gauge("search.budget_at_failure").set(
+                        counters["checked"]
+                    )
+                current.set(
+                    outcome="budget_exceeded",
+                    budget_consumed=counters["checked"],
+                )
+                raise SearchBudgetExceeded(
+                    f"stopped after {counters['checked']} candidates "
+                    "without a verdict"
+                )
+        if predicate is not None and not predicate(structure):
+            counters["skipped"] += 1
+            continue
+        pending.append(structure)
+        if len(pending) >= effective_batch:
+            hit = flush()
+            if hit is not None:
+                return hit
+    hit = flush()
+    if hit is not None:
+        return hit
+    current.set(outcome="exhausted", checked=counters["checked"])
+    return SearchOutcome(counterexample=None, checked=counters["checked"])

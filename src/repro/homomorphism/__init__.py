@@ -11,6 +11,8 @@ from repro.homomorphism.backtracking import (
     exists_homomorphism,
     is_homomorphism,
 )
+from repro.homomorphism.batch import count_many
+from repro.homomorphism.cache import CountCache, canonical_component
 from repro.homomorphism.containment import (
     bag_contained_on,
     bag_counterexample_on,
@@ -25,11 +27,14 @@ from repro.homomorphism.surjective import (
 from repro.homomorphism.treewidth_dp import count_homomorphisms_td, query_treewidth
 
 __all__ = [
+    "CountCache",
     "bag_contained_on",
     "bag_counterexample_on",
+    "canonical_component",
     "count",
     "count_at_least",
     "count_homomorphisms",
+    "count_many",
     "count_homomorphisms_acyclic",
     "count_homomorphisms_td",
     "count_ucq",

@@ -1,0 +1,250 @@
+"""A canonicalization-keyed LRU cache for component counts.
+
+The reductions of Section 4 emit factorized queries whose connected
+components repeat massively — ``φ ↑ k`` alone produces ``k`` copies of the
+same component differing only in variable names — and every
+lemma-certification or counterexample-search loop re-counts them on the
+same structures.  Since ``φ(D)`` is invariant under bijective renaming of
+``φ``'s variables, all those copies can share one evaluation.
+
+:func:`canonical_component` renames a (connected-component) query into a
+canonical form: α-equivalent components — equal up to a variable
+renaming — map to the *same* canonical query, which then keys the cache.
+The renaming is computed with the 1-WL color refinement of
+:func:`repro.relational.isomorphism.refine_colors` extended to query
+components (variables are colored by their atom/inequality incidence;
+constants stay fixed, as homomorphisms fix them).
+
+Soundness does not depend on the canonicalization being *complete*: a key
+is the full canonically-renamed query, so two components share a key only
+when their renamed forms are literally equal — and a bijective renaming
+never changes a count.  An imperfect tie-break merely costs cache hits,
+never correctness.
+
+:class:`CountCache` is the bounded LRU that stores the results, shared
+within a :func:`repro.homomorphism.batch.count_many` batch and reusable
+across calls when passed explicitly.  Hits/misses/evictions are mirrored
+into the active :mod:`repro.obs` registry as ``cache.*`` counters.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Hashable, Mapping
+
+from repro.obs import metrics as obs_metrics
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.terms import Term, Variable
+from repro.relational.isomorphism import refine_colors
+from repro.relational.structure import Structure
+
+__all__ = ["CountCache", "canonical_component", "component_cache_key"]
+
+#: Default bound on cached component counts (entries, not bytes).
+DEFAULT_CACHE_SIZE = 4096
+
+
+def _term_code(term: Term, colors: Mapping[Variable, Hashable]):
+    """A rename-invariant rendering of one term under the current colors."""
+    if isinstance(term, Variable):
+        return colors[term]
+    return ("const", term.name)
+
+
+def canonical_component(query: ConjunctiveQuery) -> ConjunctiveQuery:
+    """The query with variables renamed to a canonical ``_c0, _c1, …``.
+
+    α-equivalent queries (equal up to bijective variable renaming, with
+    atoms in corresponding order) produce identical results; constants are
+    never renamed.  The output is a plain :class:`ConjunctiveQuery`, so it
+    is hashable and compares by its atom/inequality sets — exactly what a
+    cache key needs.
+    """
+    variables = query.variables
+    if not variables:
+        return query
+
+    occurrences: dict[Variable, list] = {v: [] for v in variables}
+    for atom in query.atoms:
+        for position, term in enumerate(atom.terms):
+            if isinstance(term, Variable):
+                occurrences[term].append((atom, position))
+    neighbors: dict[Variable, list[Term]] = {v: [] for v in variables}
+    for inequality in query.inequalities:
+        left, right = inequality.left, inequality.right
+        if isinstance(left, Variable):
+            neighbors[left].append(right)
+        if isinstance(right, Variable):
+            neighbors[right].append(left)
+
+    def signature(variable: Variable, colors: Mapping[Variable, Hashable]):
+        atom_part = tuple(
+            sorted(
+                (
+                    (
+                        atom.relation,
+                        position,
+                        tuple(_term_code(t, colors) for t in atom.terms),
+                    )
+                    for atom, position in occurrences[variable]
+                ),
+                key=repr,
+            )
+        )
+        ineq_part = tuple(
+            sorted(
+                (_term_code(other, colors) for other in neighbors[variable]),
+                key=repr,
+            )
+        )
+        return (atom_part, ineq_part)
+
+    initial = {
+        variable: tuple(
+            sorted(
+                (atom.relation, position, atom.arity)
+                for atom, position in occurrences[variable]
+            )
+        )
+        for variable in variables
+    }
+    colors = refine_colors(initial, signature)
+
+    # Canonical numbering: scan atoms (then inequalities) in the order of
+    # their rename-invariant renderings and number variables on first
+    # sight.  Ties between identically-rendered atoms fall back to the
+    # query's stored order, which corresponds across renamed copies.
+    sorted_atoms = sorted(
+        query.atoms,
+        key=lambda atom: repr(
+            (atom.relation, tuple(_term_code(t, colors) for t in atom.terms))
+        ),
+    )
+    sorted_inequalities = sorted(
+        query.inequalities,
+        key=lambda ineq: repr(
+            (_term_code(ineq.left, colors), _term_code(ineq.right, colors))
+        ),
+    )
+    mapping: dict[Variable, Variable] = {}
+    for atom in sorted_atoms:
+        for term in atom.terms:
+            if isinstance(term, Variable) and term not in mapping:
+                mapping[term] = Variable(f"_c{len(mapping)}")
+    for inequality in sorted_inequalities:
+        for term in (inequality.left, inequality.right):
+            if isinstance(term, Variable) and term not in mapping:
+                mapping[term] = Variable(f"_c{len(mapping)}")
+    return query.rename(mapping)
+
+
+def component_cache_key(
+    component: ConjunctiveQuery, structure: Structure, engine: str
+) -> tuple:
+    """The cache key of one ``(component, structure, engine)`` evaluation.
+
+    The engine is part of the key on purpose: all engines agree on the
+    value, but keeping them apart means a differential run never reads a
+    number another engine computed.
+    """
+    return (canonical_component(component), structure, engine)
+
+
+class CountCache:
+    """A bounded, thread-safe LRU map from cache keys to exact counts.
+
+    >>> cache = CountCache(max_entries=2)
+    >>> cache.store("a", 1); cache.store("b", 2); cache.store("c", 3)
+    >>> cache.lookup("a") is None  # evicted, capacity 2
+    True
+    >>> cache.lookup("c")
+    3
+    """
+
+    def __init__(self, max_entries: int = DEFAULT_CACHE_SIZE) -> None:
+        if max_entries < 1:
+            raise ValueError(f"cache needs max_entries >= 1, got {max_entries}")
+        self._max_entries = max_entries
+        self._entries: OrderedDict = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def lookup(self, key) -> int | None:
+        """The cached count, or ``None`` (counts are ints, never ``None``)."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self._hits += 1
+                obs_metrics.add("cache.hits")
+                return self._entries[key]
+            self._misses += 1
+            obs_metrics.add("cache.misses")
+            return None
+
+    def note_reuse(self) -> None:
+        """Record a hit that bypassed :meth:`lookup`.
+
+        The batch evaluator deduplicates identical keys *within* one batch
+        before their shared evaluation has finished; those reuses are hits
+        in every sense that matters for the hit-rate report.
+        """
+        with self._lock:
+            self._hits += 1
+        obs_metrics.add("cache.hits")
+
+    def store(self, key, value: int) -> None:
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self._max_entries:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+                obs_metrics.add("cache.evictions")
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def max_entries(self) -> int:
+        return self._max_entries
+
+    @property
+    def hits(self) -> int:
+        return self._hits
+
+    @property
+    def misses(self) -> int:
+        return self._misses
+
+    @property
+    def evictions(self) -> int:
+        return self._evictions
+
+    @property
+    def hit_rate(self) -> float:
+        total = self._hits + self._misses
+        return self._hits / total if total else 0.0
+
+    def stats(self) -> dict:
+        """A plain-data snapshot for reports and tests."""
+        return {
+            "entries": len(self._entries),
+            "max_entries": self._max_entries,
+            "hits": self._hits,
+            "misses": self._misses,
+            "evictions": self._evictions,
+            "hit_rate": self.hit_rate,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"CountCache(entries={len(self._entries)}/{self._max_entries}, "
+            f"hits={self._hits}, misses={self._misses})"
+        )

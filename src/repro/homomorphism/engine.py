@@ -70,6 +70,7 @@ def count(
     structure,
     engine: Engine = "backtracking",
     use_inclusion_exclusion: bool = False,
+    cache=None,
 ) -> int:
     """``φ(D)``: the number of homomorphisms from ``φ`` to ``D``.
 
@@ -85,6 +86,13 @@ def count(
     opt-in; it remains valuable as an independent implementation for
     differential testing.
 
+    ``cache`` opts into component-count reuse: pass a
+    :class:`repro.homomorphism.cache.CountCache` and every connected
+    component is looked up by its canonical (α-equivalence) form before
+    being dispatched to an engine — repeated components across factors,
+    calls, and structures then cost one evaluation.  Caching never changes
+    the result; by default (``None``) nothing is cached.
+
     >>> from repro.queries import parse_query
     >>> from repro.relational import Schema, Structure
     >>> d = Structure(Schema.from_arities({"E": 2}), {"E": [(1, 2), (2, 1)]})
@@ -98,7 +106,7 @@ def count(
         for factor, exponent in query:
             if registry is not None:
                 registry.counter("engine.product_factors").inc()
-            value = count(factor, structure, engine=engine)
+            value = count(factor, structure, engine=engine, cache=cache)
             if value == 0:
                 return 0
             total *= value**exponent
@@ -114,35 +122,51 @@ def count(
             and 1 <= query.inequality_count <= INCLUSION_EXCLUSION_LIMIT
         ):
             return _count_inclusion_exclusion(query, structure)
-        return _count_components(query, structure, counter, engine)
+        return _count_components(query, structure, counter, engine, cache)
     except EvaluationError as error:
         raise _tag_engine(error, engine) from error
 
 
 def _count_components(
-    query: ConjunctiveQuery, structure, counter, engine: str = "backtracking"
+    query: ConjunctiveQuery,
+    structure,
+    counter,
+    engine: str = "backtracking",
+    cache=None,
 ) -> int:
     registry = obs_metrics.active_registry()
     components = query.connected_components()
     if len(components) <= 1:
-        return _dispatch(query, structure, counter, engine, registry)
+        return _dispatch(query, structure, counter, engine, registry, cache)
     if registry is not None:
         registry.counter("engine.factorizations").inc()
     total = 1
     for component in components:
-        total *= _dispatch(component, structure, counter, engine, registry)
+        total *= _dispatch(component, structure, counter, engine, registry, cache)
         if total == 0:
             return 0
     return total
 
 
-def _dispatch(component, structure, counter, engine: str, registry) -> int:
+def _dispatch(component, structure, counter, engine: str, registry, cache=None) -> int:
     """One engine invocation on one connected component."""
+    key = None
+    if cache is not None:
+        from repro.homomorphism.cache import component_cache_key
+
+        key = component_cache_key(component, structure, engine)
+        hit = cache.lookup(key)
+        if hit is not None:
+            return hit
     if registry is None:
-        return counter(component, structure)
-    registry.counter(f"engine.dispatch.{engine}").inc()
-    with registry.timer(f"engine.time.{engine}").time():
-        return counter(component, structure)
+        value = counter(component, structure)
+    else:
+        registry.counter(f"engine.dispatch.{engine}").inc()
+        with registry.timer(f"engine.time.{engine}").time():
+            value = counter(component, structure)
+    if key is not None:
+        cache.store(key, value)
+    return value
 
 
 def _count_inclusion_exclusion(query: ConjunctiveQuery, structure) -> int:
@@ -252,7 +276,11 @@ def evaluate(query: Countable, structure, engine: Engine = "backtracking") -> in
 
 
 def count_at_least(
-    query: Countable, structure, bound: int, engine: Engine = "backtracking"
+    query: Countable,
+    structure,
+    bound: int,
+    engine: Engine = "backtracking",
+    cache=None,
 ) -> bool:
     """Is ``φ(D) ≥ bound``, without materializing astronomical powers?
 
@@ -269,7 +297,7 @@ def count_at_least(
     if bound <= 0:
         return True
     if isinstance(query, ConjunctiveQuery):
-        return count(query, structure, engine=engine) >= bound
+        return count(query, structure, engine=engine, cache=cache) >= bound
     if not isinstance(query, QueryProduct):
         raise EvaluationError(
             f"cannot evaluate object of type {type(query).__name__}"
@@ -277,7 +305,7 @@ def count_at_least(
     cap = bound.bit_length() + 1
     total = 1
     for factor, exponent in query:
-        value = count(factor, structure, engine=engine)
+        value = count(factor, structure, engine=engine, cache=cache)
         if value == 0:
             return False
         if value > 1:
@@ -288,10 +316,34 @@ def count_at_least(
 
 
 def count_ucq(
-    ucq: UnionOfConjunctiveQueries, structure, engine: Engine = "backtracking"
+    ucq: UnionOfConjunctiveQueries,
+    structure,
+    engine: Engine = "backtracking",
+    workers: int = 1,
+    cache=None,
 ) -> int:
-    """Bag-semantics value of a boolean UCQ: the sum over its disjuncts."""
+    """Bag-semantics value of a boolean UCQ: the sum over its disjuncts.
+
+    ``workers`` / ``cache`` route the disjuncts through
+    :func:`repro.homomorphism.batch.count_many`, so disjuncts that share
+    α-equivalent components (common for the blown-up unions the Section 5
+    encodings emit) are counted once, optionally in parallel.
+    """
     _resolve_engine(engine)
+    if workers != 1 or cache is not None:
+        from repro.homomorphism.batch import count_many
+
+        disjuncts = list(ucq)
+        values = count_many(
+            [(query, structure) for query, _ in disjuncts],
+            engine=engine,
+            workers=workers,
+            cache=cache,
+        )
+        return sum(
+            multiplicity * value
+            for (_, multiplicity), value in zip(disjuncts, values)
+        )
     return sum(
         multiplicity * count(query, structure, engine=engine)
         for query, multiplicity in ucq

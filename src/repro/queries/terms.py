@@ -36,6 +36,12 @@ class _Named:
     def __setattr__(self, key: str, value) -> None:
         raise AttributeError(f"{type(self).__name__} is immutable")
 
+    def __reduce__(self):
+        # The immutability guard above breaks pickle's default slot-state
+        # restore; rebuild through the constructor instead (the process
+        # pool in :mod:`repro.homomorphism.batch` ships terms to workers).
+        return (type(self), (self.name,))
+
     def __eq__(self, other: object) -> bool:
         return type(other) is type(self) and other.name == self.name  # type: ignore[attr-defined]
 

@@ -15,13 +15,78 @@ search procedures enumerate.
 
 from __future__ import annotations
 
-from typing import Hashable, Iterable, Iterator
+from typing import Callable, Hashable, Iterable, Iterator, Mapping, TypeVar
 
 from repro.relational.structure import Structure
 
-__all__ = ["are_isomorphic", "find_isomorphism", "distinct_up_to_isomorphism"]
+__all__ = [
+    "are_isomorphic",
+    "find_isomorphism",
+    "distinct_up_to_isomorphism",
+    "refine_colors",
+]
 
 Element = Hashable
+Item = TypeVar("Item")
+
+
+def _compress(colors: Mapping[Item, Hashable]) -> dict[Item, int]:
+    """Replace color values by their rank among the sorted distinct values.
+
+    Keeps every color a small integer, so signatures stay cheap to build
+    and compare across refinement rounds (naive ``(old, sig)`` nesting
+    grows exponentially).  Ranking by the sorted ``repr`` of the distinct
+    values is deterministic and isomorphism-invariant: two inputs with
+    equal color-value multisets compress to equal rank assignments.
+    """
+    ranks = {
+        value: rank
+        for rank, value in enumerate(sorted(set(colors.values()), key=repr))
+    }
+    return {item: ranks[value] for item, value in colors.items()}
+
+
+def refine_colors(
+    initial: Mapping[Item, Hashable],
+    signature: Callable[[Item, Mapping[Item, int]], Hashable],
+) -> dict[Item, int]:
+    """Iterated partition refinement (1-WL) to a stable integer coloring.
+
+    Starting from ``initial`` colors, each round recolors every item with
+    ``(old_color, signature(item, colors))`` — compressed back to integer
+    ranks — until the induced partition stops splitting.  ``signature``
+    must be invariant under isomorphism of whatever incidence the caller
+    encodes (it sees the current colors, not item identities), which makes
+    the final colors isomorphism-invariant too: two isomorphic inputs
+    produce equal color multisets, and corresponding items get equal
+    integers.  Refinement never merges classes, so the loop terminates
+    after at most ``len(initial)`` rounds.
+
+    Shared by the structure-isomorphism pre-filter below and the query
+    canonicalization of :mod:`repro.homomorphism.cache`.
+    """
+    colors = _compress(initial)
+    classes = len(set(colors.values()))
+    for _ in range(len(colors)):
+        refined = _compress(
+            {item: (colors[item], signature(item, colors)) for item in colors}
+        )
+        refined_classes = len(set(refined.values()))
+        if refined_classes == classes:
+            return refined  # same partition: a fixed point
+        colors, classes = refined, refined_classes
+    return colors
+
+
+def _interpreted(structure: Structure, element: Element) -> tuple[str, ...]:
+    """Names of the constants the element interprets, sorted."""
+    return tuple(
+        sorted(
+            name
+            for name, value in structure.constants.items()
+            if value == element
+        )
+    )
 
 
 def _color(structure: Structure, element: Element) -> tuple:
@@ -35,14 +100,39 @@ def _color(structure: Structure, element: Element) -> tuple:
                 if value == element:
                     counts[position] += 1
         occurrence_profile.append((name, tuple(counts)))
-    interpreted = tuple(
-        sorted(
-            name
-            for name, value in structure.constants.items()
-            if value == element
+    return (tuple(occurrence_profile), _interpreted(structure, element))
+
+
+def _refined_colors(structure: Structure) -> dict[Element, Hashable]:
+    """Stable 1-WL colors of the structure's elements.
+
+    The occurrence-profile colors of :func:`_color` seed the refinement;
+    each round then folds in the colors of co-occurring elements, so e.g.
+    the two endpoints of the only asymmetric edge of an otherwise regular
+    graph end up distinguished.  Strictly sharper than one round, still an
+    isomorphism invariant.
+    """
+    incident: dict[Element, list[tuple[str, int, tuple]]] = {
+        element: [] for element in structure.domain
+    }
+    for name in structure.schema.relation_names:
+        for values in structure.facts(name):
+            for position, value in enumerate(values):
+                incident[value].append((name, position, values))
+
+    def signature(element: Element, colors: Mapping[Element, Hashable]) -> tuple:
+        return tuple(
+            sorted(
+                (
+                    (name, position, tuple(colors[v] for v in values))
+                    for name, position, values in incident[element]
+                ),
+                key=repr,
+            )
         )
-    )
-    return (tuple(occurrence_profile), interpreted)
+
+    initial = {element: _color(structure, element) for element in structure.domain}
+    return refine_colors(initial, signature)
 
 
 def _profile(structure: Structure) -> tuple:
@@ -50,7 +140,7 @@ def _profile(structure: Structure) -> tuple:
     return (
         structure.schema,
         tuple(sorted(structure.fact_count(n) for n in structure.schema.relation_names)),
-        tuple(sorted(map(repr, (_color(structure, e) for e in structure.domain)))),
+        tuple(sorted(map(repr, _refined_colors(structure).values()))),
     )
 
 
@@ -71,10 +161,20 @@ def find_isomorphism(
             return None
 
     left_elements = sorted(left.domain, key=repr)
-    left_colors = {e: _color(left, e) for e in left_elements}
-    right_colors: dict[tuple, list[Element]] = {}
+    # Refined ranks align corresponding elements of isomorphic structures;
+    # the interpreted-constant names ride along explicitly because rank
+    # compression is only guaranteed to agree across the two structures
+    # when they *are* isomorphic, and constant matching must hold always.
+    left_ranks = _refined_colors(left)
+    right_ranks = _refined_colors(right)
+    left_colors = {
+        element: (left_ranks[element], _interpreted(left, element))
+        for element in left.domain
+    }
+    right_colors: dict[Hashable, list[Element]] = {}
     for element in right.domain:
-        right_colors.setdefault(_color(right, element), []).append(element)
+        color = (right_ranks[element], _interpreted(right, element))
+        right_colors.setdefault(color, []).append(element)
     for element in left_elements:
         if left_colors[element] not in right_colors:
             return None

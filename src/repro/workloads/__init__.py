@@ -1,10 +1,17 @@
 """Workload generators for tests and benchmarks."""
 
 from repro.workloads.random_queries import (
+    cycle_query,
     path_query,
     random_queries,
     random_query,
     star_query,
 )
 
-__all__ = ["path_query", "random_queries", "random_query", "star_query"]
+__all__ = [
+    "cycle_query",
+    "path_query",
+    "random_queries",
+    "random_query",
+    "star_query",
+]

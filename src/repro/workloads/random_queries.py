@@ -20,6 +20,7 @@ __all__ = [
     "random_query",
     "random_queries",
     "path_query",
+    "cycle_query",
     "star_query",
 ]
 
@@ -31,7 +32,19 @@ def random_query(
     inequality_count: int = 0,
     seed: int = 0,
 ) -> ConjunctiveQuery:
-    """A random CQ over ``schema`` with the given shape parameters."""
+    """A random CQ over ``schema`` with the given shape parameters.
+
+    Inequalities relate two *distinct* variables, so requesting any with
+    fewer than two variables is a contradiction and raises ``ValueError``
+    (it used to silently return a query without them).
+    """
+    if inequality_count > 0 and variable_count < 2:
+        raise ValueError(
+            f"cannot place {inequality_count} inequalit"
+            f"{'y' if inequality_count == 1 else 'ies'} with only "
+            f"{variable_count} variable(s); inequalities need two distinct "
+            "variables"
+        )
     rng = random.Random(seed)
     variables = [Variable(f"q{i}") for i in range(variable_count)]
     symbols = list(schema)
@@ -43,9 +56,8 @@ def random_query(
         )
     inequalities = []
     for _ in range(inequality_count):
-        if len(variables) >= 2:
-            left, right = rng.sample(variables, 2)
-            inequalities.append(Inequality(left, right))
+        left, right = rng.sample(variables, 2)
+        inequalities.append(Inequality(left, right))
     return ConjunctiveQuery(atoms, inequalities)
 
 
@@ -75,6 +87,22 @@ def path_query(length: int, relation: str = "E", prefix: str = "p") -> Conjuncti
     variables = [Variable(f"{prefix}{i}") for i in range(length + 1)]
     return ConjunctiveQuery(
         Atom(relation, (variables[i], variables[i + 1])) for i in range(length)
+    )
+
+
+def cycle_query(length: int, relation: str = "E", prefix: str = "c") -> ConjunctiveQuery:
+    """The directed ``length``-cycle ``E(c₀,c₁) ∧ … ∧ E(c_{l−1}, c₀)``.
+
+    ``length = 1`` is the self-loop query ``E(c₀, c₀)``.  Like every CQ it
+    counts *homomorphic images* — closed walks of length ``l`` — not just
+    simple cycles (the δ gadgets of Section 4.6 rely on exactly this).
+    """
+    if length < 1:
+        raise ValueError(f"cycle length must be >= 1, got {length}")
+    variables = [Variable(f"{prefix}{i}") for i in range(length)]
+    return ConjunctiveQuery(
+        Atom(relation, (variables[i], variables[(i + 1) % length]))
+        for i in range(length)
     )
 
 

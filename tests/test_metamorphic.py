@@ -1,0 +1,156 @@
+"""Metamorphic properties of bag-semantics evaluation.
+
+Each test states a semantic invariant that must hold for *every* query and
+structure — no oracle needed beyond the evaluator itself:
+
+* ``φ(D)`` is invariant under bijective variable renaming (homomorphism
+  counts do not see names);
+* ``φ(D)`` is invariant under atom/inequality reordering (a CQ is a set
+  of atoms);
+* ``(φ ∧̄ ψ)(D) = φ(D)·ψ(D)`` — Lemma 1's multiplicativity over disjoint
+  unions — and ``(φ↑k)(D) = φ(D)^k`` (Definition 2);
+* ``count_at_least(φ, D, b) ⟺ φ(D) ≥ b``.
+
+Every property is checked through both the cached and the uncached
+evaluation paths, so a cache bug that respects these invariants only by
+accident on the differential corpus still gets caught here.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.homomorphism import CountCache, count, count_at_least, count_many
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.product import QueryProduct
+from repro.queries.terms import Variable
+from repro.relational import Schema, Structure
+from repro.workloads import cycle_query, path_query, random_queries, star_query
+
+SCHEMA = Schema.from_arities({"E": 2, "U": 1})
+
+STRUCTURES = [
+    Structure(
+        SCHEMA,
+        {"E": [(0, 1), (1, 2), (2, 0), (2, 2)], "U": [(1,)]},
+        domain=range(3),
+    ),
+    Structure(
+        SCHEMA,
+        {"E": [(0, 0), (1, 0), (1, 2)], "U": [(0,), (2,)]},
+        domain=range(3),
+    ),
+]
+
+QUERIES = (
+    [path_query(4), star_query(3), cycle_query(3), cycle_query(5)]
+    + list(random_queries(SCHEMA, count=12, variable_count=4, atom_count=4, seed=5))
+    + list(
+        random_queries(
+            SCHEMA,
+            count=8,
+            variable_count=3,
+            atom_count=3,
+            inequality_count=1,
+            seed=23,
+        )
+    )
+)
+
+#: Both evaluation paths: plain serial, and through a component cache.
+PATHS = [
+    pytest.param(lambda q, d: count(q, d), id="uncached"),
+    pytest.param(lambda q, d: count(q, d, cache=CountCache()), id="cached"),
+    pytest.param(lambda q, d: count_many([(q, d)])[0], id="batched"),
+]
+
+
+def _random_renaming(query: ConjunctiveQuery, seed: int) -> dict:
+    rng = random.Random(seed)
+    names = sorted(query.variables)
+    shuffled = [Variable(f"r{i}_{v.name}") for i, v in enumerate(names)]
+    rng.shuffle(shuffled)
+    return dict(zip(names, shuffled))
+
+
+@pytest.mark.parametrize("evaluate", PATHS)
+def test_invariant_under_variable_renaming(evaluate):
+    for seed, query in enumerate(QUERIES):
+        renamed = query.rename(_random_renaming(query, seed))
+        for structure in STRUCTURES:
+            assert evaluate(renamed, structure) == evaluate(query, structure), (
+                f"renaming changed the count of {query}"
+            )
+
+
+@pytest.mark.parametrize("evaluate", PATHS)
+def test_invariant_under_atom_reordering(evaluate):
+    for seed, query in enumerate(QUERIES):
+        rng = random.Random(1000 + seed)
+        atoms = list(query.atoms)
+        inequalities = list(query.inequalities)
+        rng.shuffle(atoms)
+        rng.shuffle(inequalities)
+        reordered = ConjunctiveQuery(atoms, inequalities)
+        assert reordered == query  # atom sets are order-blind by design
+        for structure in STRUCTURES:
+            assert evaluate(reordered, structure) == evaluate(query, structure)
+
+
+@pytest.mark.parametrize("evaluate", PATHS)
+def test_multiplicative_over_disjoint_unions(evaluate):
+    pairs = [
+        (path_query(3), star_query(2)),
+        (cycle_query(3), path_query(2)),
+        (QUERIES[5], QUERIES[9]),
+        (QUERIES[6], QUERIES[6]),  # self-product: φ ∧̄ φ
+    ]
+    for left, right in pairs:
+        union = left * right  # disjoint_conj renames apart (Lemma 1)
+        for structure in STRUCTURES:
+            assert evaluate(union, structure) == evaluate(
+                left, structure
+            ) * evaluate(right, structure)
+
+
+@pytest.mark.parametrize("evaluate", PATHS)
+def test_power_is_pointwise_power(evaluate):
+    for query in (path_query(2), cycle_query(3)):
+        for structure in STRUCTURES:
+            base = evaluate(query, structure)
+            for k in (0, 1, 2, 3):
+                assert evaluate(query**k, structure) == base**k
+                assert (
+                    evaluate(QueryProduct.of(query, k), structure) == base**k
+                )
+
+
+@pytest.mark.parametrize("cache", [None, CountCache()], ids=["uncached", "cached"])
+def test_count_at_least_agrees_with_count(cache):
+    for query in QUERIES[:12]:
+        for structure in STRUCTURES:
+            exact = count(query, structure)
+            for bound in (0, 1, exact - 1, exact, exact + 1, exact * 2 + 3):
+                if bound < 0:
+                    continue
+                assert count_at_least(
+                    query, structure, bound, cache=cache
+                ) is (exact >= bound), (query, bound)
+
+
+@pytest.mark.parametrize("cache", [None, CountCache()], ids=["uncached", "cached"])
+def test_count_at_least_on_factorized_products(cache):
+    product = QueryProduct.of(cycle_query(3), 7) * QueryProduct.of(path_query(2), 2)
+    for structure in STRUCTURES:
+        exact = count(product, structure)
+        for bound in (0, 1, exact, exact + 1):
+            assert count_at_least(
+                product, structure, bound, cache=cache
+            ) is (exact >= bound)
+        # Astronomical exponents never materialize on the predicate path.
+        huge = QueryProduct.of(cycle_query(3), 10**100)
+        base = count(cycle_query(3), structure)
+        if base >= 2:
+            assert count_at_least(huge, structure, 2**64, cache=cache)

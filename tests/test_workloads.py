@@ -4,7 +4,13 @@ import pytest
 
 from repro.homomorphism import count
 from repro.relational import Schema, Structure
-from repro.workloads import path_query, random_queries, random_query, star_query
+from repro.workloads import (
+    cycle_query,
+    path_query,
+    random_queries,
+    random_query,
+    star_query,
+)
 
 
 @pytest.fixture
@@ -29,6 +35,19 @@ class TestRandomQueries:
         query = random_query(schema, 3, 3, inequality_count=2, seed=4)
         assert query.inequality_count <= 2
 
+    @pytest.mark.parametrize("variable_count", [0, 1])
+    def test_inequalities_need_two_variables(self, schema, variable_count):
+        # Regression: used to silently generate fewer inequalities than
+        # requested instead of rejecting the impossible shape.
+        with pytest.raises(ValueError, match="two distinct"):
+            random_query(
+                schema, variable_count, atom_count=2, inequality_count=1
+            )
+
+    def test_zero_inequalities_allowed_with_one_variable(self, schema):
+        query = random_query(schema, 1, 2, inequality_count=0, seed=3)
+        assert query.inequality_count == 0
+
 
 class TestShapes:
     def test_path(self):
@@ -51,8 +70,32 @@ class TestShapes:
         # centre must be 0; each of 3 rays picks one of 2 targets.
         assert count(star_query(3), d) == 8
 
+    def test_cycle(self):
+        query = cycle_query(4)
+        assert query.atom_count == 4
+        assert query.variable_count == 4
+        assert query.is_connected()
+
+    def test_cycle_length_one_is_a_loop(self):
+        query = cycle_query(1)
+        assert query.atom_count == 1
+        assert query.variable_count == 1
+
+    def test_cycle_counts_closed_walks(self):
+        # On a single loop there is exactly one closed walk per length.
+        loop = Structure(Schema.from_arities({"E": 2}), {"E": [(0, 0)]})
+        assert count(cycle_query(5), loop) == 1
+        # On the directed 2-cycle, closed 4-walks start anywhere: 2.
+        two_cycle = Structure(
+            Schema.from_arities({"E": 2}), {"E": [(0, 1), (1, 0)]}
+        )
+        assert count(cycle_query(4), two_cycle) == 2
+        assert count(cycle_query(3), two_cycle) == 0
+
     def test_invalid_sizes(self):
         with pytest.raises(ValueError):
             path_query(0)
         with pytest.raises(ValueError):
             star_query(0)
+        with pytest.raises(ValueError):
+            cycle_query(0)
