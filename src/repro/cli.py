@@ -21,6 +21,18 @@ Subcommands::
     bagcq compare --instance linear:2:3:7
         Print the inequality-budget comparison against Jayram-Kolaitis-Vee.
 
+    bagcq search --phi-s "E(x,y) & E(y,z) & E(z,x)" --phi-b "E(x,y)" \\
+            --multiplier 2 --domain-size 3 --count 200 [--workers 2]
+        Search a seeded stream of random databases for a counterexample to
+        ``multiplier*phi_s(D) <= phi_b(D) + additive``.  The verdict is
+        bit-identical across --workers/--no-cache/--batch-size settings.
+
+    bagcq fuzz --max-cases 2000 --seed 0 [--oracle cross_engine] \\
+            [--corpus tests/corpus] [--budget-seconds 60]
+        Run the repro.qa differential fuzzer: seeded cases, paper-lemma
+        oracles, delta-debugging shrinker.  Existing corpus entries are
+        replayed first; minimized findings are written back to --corpus.
+
 Every subcommand accepts ``--stats`` (print an observability report —
 per-step spans plus engine/search counters — to stderr) and
 ``--stats-json PATH`` (write the same report as stable JSON).  See
@@ -186,6 +198,81 @@ def _command_evaluate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_search(args: argparse.Namespace) -> int:
+    from repro.decision.search import find_counterexample, random_structures
+    from repro.errors import SearchBudgetExceeded
+
+    phi_s = parse_query(args.phi_s)
+    phi_b = parse_query(args.phi_b)
+    schema = phi_s.schema.union(phi_b.schema)
+    stream = random_structures(
+        schema,
+        domain_size=args.domain_size,
+        density=args.density,
+        count=args.count,
+        seed=args.seed,
+    )
+    try:
+        outcome = find_counterexample(
+            phi_s,
+            phi_b,
+            stream,
+            multiplier=args.multiplier,
+            additive=args.additive,
+            max_candidates=args.max_candidates,
+            engine=args.engine,
+            workers=args.workers,
+            batch_size=args.batch_size,
+            cache=False if args.no_cache else None,
+        )
+    except SearchBudgetExceeded as error:
+        print(f"budget exceeded: {error}")
+        return 2
+    if outcome.found:
+        print(
+            f"counterexample after {outcome.checked} candidates: "
+            f"{args.multiplier}*phi_s(D) = {outcome.lhs} > "
+            f"phi_b(D) + {args.additive} = {outcome.rhs} "
+            f"(|domain| = {len(outcome.counterexample.domain)}, "
+            f"{outcome.counterexample.fact_count()} facts)"
+        )
+        return 0
+    print(f"no counterexample in {outcome.checked} candidates")
+    return 0
+
+
+def _command_fuzz(args: argparse.Namespace) -> int:
+    from repro.qa import oracle_names, run_fuzz
+
+    if args.max_cases is not None and args.max_cases < 0:
+        raise SystemExit(f"--max-cases must be >= 0, got {args.max_cases}")
+    if args.budget_seconds is not None and args.budget_seconds < 0:
+        raise SystemExit(
+            f"--budget-seconds must be >= 0, got {args.budget_seconds}"
+        )
+    if args.oracle:
+        unknown = sorted(set(args.oracle) - set(oracle_names()))
+        if unknown:
+            raise SystemExit(
+                f"unknown oracle(s) {unknown}; choose from {sorted(oracle_names())}"
+            )
+    report = run_fuzz(
+        max_cases=args.max_cases,
+        budget_seconds=args.budget_seconds,
+        seed=args.seed,
+        oracles=args.oracle or None,
+        corpus_dir=args.corpus,
+        shrink=not args.no_shrink,
+    )
+    print(report.describe())
+    if not report.ok:
+        for finding in report.findings:
+            if finding.corpus_path is not None:
+                print(f"minimized finding written to {finding.corpus_path}")
+        return 1
+    return 0
+
+
 def _command_core(args: argparse.Namespace) -> int:
     from repro.decision import core
 
@@ -331,6 +418,84 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable the canonicalization-keyed component count cache",
     )
     evaluate_parser.set_defaults(handler=_command_evaluate)
+
+    search_parser = sub.add_parser(
+        "search",
+        help="search random databases for a containment counterexample",
+        parents=[obs_flags],
+    )
+    search_parser.add_argument("--phi-s", required=True, help="smaller-side query")
+    search_parser.add_argument("--phi-b", required=True, help="bigger-side query")
+    search_parser.add_argument("--multiplier", type=int, default=1)
+    search_parser.add_argument("--additive", type=int, default=0)
+    search_parser.add_argument("--domain-size", type=int, default=3)
+    search_parser.add_argument("--density", type=float, default=0.3)
+    search_parser.add_argument(
+        "--count", type=int, default=100, help="candidate databases to draw"
+    )
+    search_parser.add_argument("--seed", type=int, default=0)
+    search_parser.add_argument("--max-candidates", type=int, default=None)
+    search_parser.add_argument(
+        "--engine",
+        choices=("backtracking", "treewidth", "acyclic"),
+        default="backtracking",
+    )
+    search_parser.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=1,
+        help="fan batched candidate checking across a process pool",
+    )
+    search_parser.add_argument(
+        "--batch-size",
+        type=_positive_int,
+        default=None,
+        help="candidates per count_many generation (implies batched checking)",
+    )
+    search_parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the canonicalization-keyed component count cache",
+    )
+    search_parser.set_defaults(handler=_command_search)
+
+    fuzz_parser = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing with paper-lemma oracles (repro.qa)",
+        parents=[obs_flags],
+    )
+    fuzz_parser.add_argument(
+        "--max-cases",
+        type=int,
+        default=None,
+        help="cases to generate (default 500 when no time budget is given)",
+    )
+    fuzz_parser.add_argument(
+        "--budget-seconds",
+        type=float,
+        default=None,
+        help="wall-clock budget; fuzzing stops at whichever limit hits first",
+    )
+    fuzz_parser.add_argument("--seed", type=int, default=0)
+    fuzz_parser.add_argument(
+        "--oracle",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="restrict to this oracle (repeatable; default: all registered)",
+    )
+    fuzz_parser.add_argument(
+        "--corpus",
+        default=None,
+        metavar="DIR",
+        help="replay this corpus first and write minimized findings into it",
+    )
+    fuzz_parser.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="report raw failing cases without delta-debugging them",
+    )
+    fuzz_parser.set_defaults(handler=_command_fuzz)
 
     compare_parser = sub.add_parser(
         "compare",

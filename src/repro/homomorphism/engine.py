@@ -303,15 +303,24 @@ def count_at_least(
             f"cannot evaluate object of type {type(query).__name__}"
         )
     cap = bound.bit_length() + 1
-    total = 1
+    # Two passes: a factor later in the product may evaluate to 0 and
+    # annihilate everything, so no bound can be declared cleared until
+    # every factor is known nonzero.  (Returning True the moment the
+    # running product reached ``bound`` was exactly the bug the repro.qa
+    # fuzzer's count_at_least oracle caught: with ``bound = 1`` a single
+    # nonzero factor short-circuited past a zero factor behind it.)
+    values: list[tuple[int, int]] = []
     for factor, exponent in query:
         value = count(factor, structure, engine=engine, cache=cache)
         if value == 0:
             return False
+        values.append((value, exponent))
+    total = 1
+    for value, exponent in values:
         if value > 1:
             total *= value ** min(exponent, cap)
-        if total >= bound:
-            return True
+            if total >= bound:
+                return True
     return total >= bound
 
 

@@ -1,0 +1,53 @@
+"""``repro.qa`` — differential fuzzing with paper-lemma oracles.
+
+Every identity this reproduction certifies is an *exact count* identity,
+which makes the codebase oracle-rich: the three homomorphism engines must
+agree everywhere, cached/batched evaluation must be bit-identical to
+serial evaluation, and Lemma 1 / Definition 2 / Definition 3 pin the
+algebra.  This package turns those facts into a reusable fuzzing loop:
+
+* :mod:`repro.qa.generators` — seeded, swarm-masked streams of
+  ``(query, structure)`` cases, UCQ cases, and gadget instances;
+* :mod:`repro.qa.oracles` — the registry of named predicates every case
+  is checked against;
+* :mod:`repro.qa.shrink` — a delta-debugging minimizer that reduces a
+  failing case to a 1-minimal counterexample;
+* :mod:`repro.qa.corpus` — JSON persistence and replay of minimized
+  findings, so every bug the fuzzer ever found stays a regression test;
+* :mod:`repro.qa.fuzzer` — the budgeted driver behind ``bagcq fuzz``.
+
+See the "Fuzzing and oracles" section of ``docs/TESTING.md``.
+"""
+
+from repro.qa.corpus import (
+    case_from_entry,
+    entry_from_case,
+    load_corpus,
+    replay_corpus,
+    write_finding,
+)
+from repro.qa.fuzzer import FuzzFinding, FuzzReport, run_fuzz
+from repro.qa.generators import FeatureMask, FuzzCase, default_schema, generate_cases
+from repro.qa.oracles import Oracle, OracleResult, all_oracles, get_oracle, oracle_names
+from repro.qa.shrink import shrink_case
+
+__all__ = [
+    "FeatureMask",
+    "FuzzCase",
+    "FuzzFinding",
+    "FuzzReport",
+    "Oracle",
+    "OracleResult",
+    "all_oracles",
+    "case_from_entry",
+    "default_schema",
+    "entry_from_case",
+    "generate_cases",
+    "get_oracle",
+    "load_corpus",
+    "oracle_names",
+    "replay_corpus",
+    "run_fuzz",
+    "shrink_case",
+    "write_finding",
+]

@@ -1,0 +1,181 @@
+"""JSON corpus of minimized findings and interesting seeds, with replay.
+
+Every minimized failure the fuzzer ever produced — and every curated
+"near-miss" seed — is persisted as one small JSON file, encoded with the
+stable serializers of :mod:`repro.io`.  ``tests/test_corpus_replay.py``
+replays the whole corpus through every applicable oracle on every run,
+so a finding, once fixed, can never regress silently.
+
+An entry is self-describing::
+
+    {
+      "kind": "cq" | "ucq" | "gadget",
+      "oracle": "cross_engine" | null,       # which oracle it failed (if any)
+      "note": "free-form provenance",
+      "seed": 17, "index": 205,              # generator coordinates
+      "query": {...},                        # repro.io query payload (cq)
+      "disjuncts": [{"query": ..., "multiplicity": n}, ...],   # (ucq)
+      "gadget_c": 3,                         # (gadget)
+      "structure": {...}                     # repro.io structure payload
+    }
+
+File names are content-addressed (a SHA-256 prefix of the canonical
+JSON), so re-finding the same minimized instance is idempotent and the
+corpus never duplicates.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Iterator, Sequence
+
+from repro.errors import BagCQError
+from repro.io import (
+    query_from_dict,
+    query_to_dict,
+    structure_from_dict,
+    structure_to_dict,
+)
+from repro.qa.generators import FeatureMask, FuzzCase
+
+__all__ = [
+    "CorpusError",
+    "case_from_entry",
+    "entry_from_case",
+    "load_corpus",
+    "replay_corpus",
+    "write_finding",
+]
+
+
+class CorpusError(BagCQError):
+    """A corpus entry cannot be encoded or decoded."""
+
+
+def entry_from_case(
+    case: FuzzCase, oracle_name: str | None = None, note: str = ""
+) -> dict:
+    """The JSON-ready dict for one case (plus provenance)."""
+    entry: dict = {
+        "kind": case.kind,
+        "oracle": oracle_name,
+        "note": note,
+        "seed": case.seed,
+        "index": case.index,
+    }
+    if case.kind == "cq":
+        entry["query"] = query_to_dict(case.query)
+    elif case.kind == "ucq":
+        entry["disjuncts"] = [
+            {"query": query_to_dict(query), "multiplicity": multiplicity}
+            for query, multiplicity in case.disjuncts
+        ]
+    elif case.kind == "gadget":
+        entry["gadget_c"] = case.gadget_c
+    else:
+        raise CorpusError(f"unknown case kind {case.kind!r}")
+    if case.structure is not None:
+        entry["structure"] = structure_to_dict(case.structure)
+    return entry
+
+
+def case_from_entry(entry: dict) -> FuzzCase:
+    """Inverse of :func:`entry_from_case`."""
+    try:
+        kind = entry["kind"]
+        structure = (
+            structure_from_dict(entry["structure"])
+            if "structure" in entry
+            else None
+        )
+        case = FuzzCase(
+            kind=kind,
+            seed=int(entry.get("seed", 0)),
+            index=int(entry.get("index", 0)),
+            features=FeatureMask(),
+            structure=structure,
+        )
+        if kind == "cq":
+            return case.with_query(query_from_dict(entry["query"]))
+        if kind == "ucq":
+            return case.with_disjuncts(
+                [
+                    (
+                        query_from_dict(disjunct["query"]),
+                        int(disjunct["multiplicity"]),
+                    )
+                    for disjunct in entry["disjuncts"]
+                ]
+            )
+        if kind == "gadget":
+            return FuzzCase(
+                kind="gadget",
+                seed=int(entry.get("seed", 0)),
+                index=int(entry.get("index", 0)),
+                features=FeatureMask(),
+                gadget_c=int(entry["gadget_c"]),
+            )
+    except (KeyError, TypeError, ValueError) as error:
+        raise CorpusError(f"malformed corpus entry: {error}") from error
+    raise CorpusError(f"unknown corpus entry kind {kind!r}")
+
+
+def _entry_digest(entry: dict) -> str:
+    canonical = json.dumps(
+        {key: value for key, value in entry.items() if key != "note"},
+        sort_keys=True,
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+def write_finding(
+    directory: str | Path,
+    case: FuzzCase,
+    oracle_name: str | None = None,
+    note: str = "",
+) -> Path:
+    """Persist one (minimized) case; returns the content-addressed path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    entry = entry_from_case(case, oracle_name, note)
+    stem = oracle_name or "seed"
+    path = directory / f"{stem}-{_entry_digest(entry)}.json"
+    path.write_text(json.dumps(entry, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_corpus(directory: str | Path) -> Iterator[tuple[Path, dict, FuzzCase]]:
+    """Yield ``(path, entry, case)`` for every ``*.json`` in ``directory``."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return
+    for path in sorted(directory.glob("*.json")):
+        try:
+            entry = json.loads(path.read_text())
+        except json.JSONDecodeError as error:
+            raise CorpusError(f"{path}: invalid JSON: {error}") from error
+        yield path, entry, case_from_entry(entry)
+
+
+def replay_corpus(
+    directory: str | Path, oracles: Sequence | None = None
+) -> list[tuple[Path, str, "object"]]:
+    """Re-judge every corpus entry; returns the failing triples.
+
+    Each element is ``(path, oracle_name, OracleResult)`` for a check
+    that does **not** pass — an empty list means the corpus is clean.
+    """
+    from repro.qa.oracles import all_oracles
+
+    chosen = tuple(oracles) if oracles is not None else all_oracles()
+    failures = []
+    for path, _, case in load_corpus(directory):
+        for orc in chosen:
+            if not orc.applies(case):
+                continue
+            result = orc.judge(case)
+            if not result.ok:
+                failures.append((path, orc.name, result))
+    return failures

@@ -1,0 +1,218 @@
+"""The budgeted fuzzing driver behind ``bagcq fuzz``.
+
+:func:`run_fuzz` walks the deterministic case stream of
+:mod:`repro.qa.generators`, judges every case with every applicable
+oracle, and — on a failure — delta-debugs the case down to a 1-minimal
+counterexample, optionally persisting it into a corpus directory.
+
+Observability (under an active :func:`repro.obs.observe` scope):
+
+* ``qa.cases`` — cases generated and judged;
+* ``qa.checks`` — individual oracle evaluations;
+* ``qa.failures`` — failing (case, oracle) pairs found;
+* ``qa.shrink_steps`` — predicate evaluations spent minimizing;
+* ``qa.replayed`` / ``qa.replay_failures`` — corpus replay totals;
+* a ``qa.oracle.<name>`` span per oracle evaluation.
+
+With a fixed ``seed`` and ``max_cases`` (and no wall-clock budget) the
+whole run is deterministic: same case sequence, same verdicts, same
+counter values.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import span
+from repro.qa.corpus import write_finding
+from repro.qa.generators import FuzzCase, case_at, default_schema
+from repro.qa.oracles import Oracle, OracleResult, all_oracles, get_oracle
+from repro.qa.shrink import shrink_case
+from repro.relational.schema import Schema
+
+__all__ = ["FuzzFinding", "FuzzReport", "run_fuzz"]
+
+#: Default case budget when neither ``max_cases`` nor a time budget is given.
+DEFAULT_MAX_CASES = 500
+
+
+@dataclass(frozen=True)
+class FuzzFinding:
+    """One failing (case, oracle) pair, with its minimized form."""
+
+    oracle: str
+    case: FuzzCase
+    minimized: FuzzCase
+    result: OracleResult
+    shrink_steps: int
+    corpus_path: Path | None = None
+
+    def describe(self) -> str:
+        return (
+            f"[{self.oracle}] case #{self.case.index} (seed {self.case.seed}): "
+            f"{self.result.details}\n  minimized: {self.minimized.describe()}"
+        )
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of one :func:`run_fuzz` invocation."""
+
+    seed: int
+    cases: int = 0
+    checks: int = 0
+    shrink_steps: int = 0
+    replayed: int = 0
+    findings: list[FuzzFinding] = field(default_factory=list)
+    replay_failures: list = field(default_factory=list)
+    per_oracle: dict[str, int] = field(default_factory=dict)
+    elapsed_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings and not self.replay_failures
+
+    def describe(self) -> str:
+        lines = [
+            f"fuzz: seed={self.seed} cases={self.cases} checks={self.checks} "
+            f"failures={len(self.findings)} "
+            f"shrink_steps={self.shrink_steps} "
+            f"elapsed={self.elapsed_seconds:.2f}s"
+        ]
+        for name in sorted(self.per_oracle):
+            lines.append(f"  oracle {name:<18} {self.per_oracle[name]} checks")
+        if self.replayed:
+            lines.append(
+                f"  corpus replay: {self.replayed} entries, "
+                f"{len(self.replay_failures)} failures"
+            )
+        for finding in self.findings:
+            lines.append(finding.describe())
+        for path, oracle_name, result in self.replay_failures:
+            lines.append(f"[replay:{oracle_name}] {path}: {result.details}")
+        return "\n".join(lines)
+
+
+def _resolve_oracles(names: Sequence[str] | None) -> tuple[Oracle, ...]:
+    if names is None:
+        return all_oracles()
+    return tuple(get_oracle(name) for name in names)
+
+
+def run_fuzz(
+    max_cases: int | None = None,
+    budget_seconds: float | None = None,
+    seed: int = 0,
+    oracles: Sequence[str] | None = None,
+    corpus_dir: str | Path | None = None,
+    schema: Schema | None = None,
+    shrink: bool = True,
+    max_findings: int = 25,
+) -> FuzzReport:
+    """Fuzz until the case or time budget is exhausted.
+
+    ``oracles`` selects a subset by name (default: all registered).
+    ``corpus_dir`` does double duty: existing entries are *replayed*
+    before fuzzing (regressions fail fast), and new minimized findings
+    are written back to it.  ``max_findings`` stops a catastrophically
+    broken build from shrinking thousands of duplicates.
+    """
+    if max_cases is None and budget_seconds is None:
+        max_cases = DEFAULT_MAX_CASES
+    chosen = _resolve_oracles(oracles)
+    schema = schema or default_schema()
+    report = FuzzReport(seed=seed)
+    report.per_oracle = {oracle.name: 0 for oracle in chosen}
+    # Pre-register every counter at zero so a clean run's report still
+    # shows qa.failures/qa.shrink_steps explicitly (and stays comparable
+    # across runs that do and don't find anything).
+    for name in ("qa.cases", "qa.checks", "qa.failures", "qa.shrink_steps"):
+        obs_metrics.add(name, 0)
+    started = time.monotonic()
+
+    if corpus_dir is not None:
+        from repro.qa.corpus import load_corpus
+
+        for path, _, entry_case in load_corpus(corpus_dir):
+            report.replayed += 1
+            for oracle in chosen:
+                if not oracle.applies(entry_case):
+                    continue
+                with span(f"qa.replay.{oracle.name}"):
+                    result = oracle.judge(entry_case)
+                if not result.ok:
+                    report.replay_failures.append((path, oracle.name, result))
+        obs_metrics.add("qa.replayed", report.replayed)
+        if report.replay_failures:
+            obs_metrics.add("qa.replay_failures", len(report.replay_failures))
+
+    index = 0
+    while True:
+        if max_cases is not None and index >= max_cases:
+            break
+        if (
+            budget_seconds is not None
+            and time.monotonic() - started >= budget_seconds
+        ):
+            break
+        if len(report.findings) >= max_findings:
+            break
+        case = case_at(index, seed, schema)
+        index += 1
+        report.cases += 1
+        obs_metrics.add("qa.cases")
+        for oracle in chosen:
+            if not oracle.applies(case):
+                continue
+            report.checks += 1
+            report.per_oracle[oracle.name] += 1
+            obs_metrics.add("qa.checks")
+            with span(f"qa.oracle.{oracle.name}", case=case.index):
+                result = oracle.judge(case)
+            if result.ok:
+                continue
+            obs_metrics.add("qa.failures")
+            finding = _handle_failure(
+                case, oracle, result, corpus_dir, shrink
+            )
+            report.shrink_steps += finding.shrink_steps
+            report.findings.append(finding)
+    report.elapsed_seconds = time.monotonic() - started
+    return report
+
+
+def _handle_failure(
+    case: FuzzCase,
+    oracle: Oracle,
+    result: OracleResult,
+    corpus_dir: str | Path | None,
+    shrink: bool,
+) -> FuzzFinding:
+    minimized, steps = case, 0
+    if shrink:
+        with span(f"qa.shrink.{oracle.name}", case=case.index):
+            minimized, steps = shrink_case(
+                case, lambda candidate: not oracle.judge(candidate).ok
+            )
+        obs_metrics.add("qa.shrink_steps", steps)
+    corpus_path = None
+    if corpus_dir is not None:
+        corpus_path = write_finding(
+            corpus_dir,
+            minimized,
+            oracle_name=oracle.name,
+            note=f"minimized from case #{case.index} (seed {case.seed}): "
+            f"{result.details}",
+        )
+    return FuzzFinding(
+        oracle=oracle.name,
+        case=case,
+        minimized=minimized,
+        result=result,
+        shrink_steps=steps,
+        corpus_path=corpus_path,
+    )

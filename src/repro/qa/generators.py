@@ -1,0 +1,223 @@
+"""Structured case generators for the fuzzing loop.
+
+Layered on :mod:`repro.workloads.random_queries` and
+:func:`repro.decision.search.random_structures`: a :class:`FuzzCase`
+bundles everything one oracle check needs — a query (or the disjuncts of
+a UCQ, or a gadget parameter) together with a candidate database.
+
+Two design points matter for a fuzzer that must be *reproducible*:
+
+* **Per-case seeding.**  Case ``i`` of master seed ``s`` is generated
+  from its own ``Random((s << 32) ^ i)``, so the case sequence is a pure
+  function of ``(seed, index)`` — the same seed always replays the same
+  cases, in any order, and a single case can be regenerated without
+  re-running its predecessors.
+* **Swarm testing.**  Instead of sampling every feature in every case, a
+  per-case :class:`FeatureMask` switches whole feature classes
+  (inequalities, constants, disconnected components) on or off.  Cases
+  generated with a feature *disabled* exercise interactions the
+  always-everything distribution statistically never produces
+  (Groce et al., "Swarm Testing", ISSTA 2012).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+from typing import Iterator, Sequence
+
+from repro.naming import HEART, SPADE
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.terms import Constant
+from repro.relational.schema import Schema
+from repro.relational.structure import Structure
+from repro.workloads.random_queries import random_query
+
+__all__ = ["FeatureMask", "FuzzCase", "default_schema", "generate_cases", "case_at"]
+
+
+def default_schema() -> Schema:
+    """The fuzzing schema: one binary, one ternary, one unary relation."""
+    return Schema.from_arities({"E": 2, "T": 3, "U": 1})
+
+
+@dataclass(frozen=True)
+class FeatureMask:
+    """Which feature classes this case may use (swarm testing)."""
+
+    inequalities: bool = True
+    constants: bool = True
+    disconnected: bool = True
+
+    @classmethod
+    def sample(cls, rng: random.Random) -> "FeatureMask":
+        return cls(
+            inequalities=rng.random() < 0.5,
+            constants=rng.random() < 0.5,
+            disconnected=rng.random() < 0.5,
+        )
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """One generated instance, the unit the oracles judge.
+
+    ``kind`` selects the payload: ``"cq"`` uses ``query``+``structure``,
+    ``"ucq"`` uses ``disjuncts``+``structure``, ``"gadget"`` uses
+    ``gadget_c`` (the multiplier of an :func:`~repro.core.alpha.alpha_gadget`,
+    whose (=) witness is built on demand — gadgets are deterministic in
+    ``c``, so the parameter *is* the instance).
+    """
+
+    kind: str
+    seed: int
+    index: int
+    features: FeatureMask
+    query: ConjunctiveQuery | None = None
+    structure: Structure | None = None
+    disjuncts: tuple[tuple[ConjunctiveQuery, int], ...] = ()
+    gadget_c: int | None = None
+
+    def with_query(self, query: ConjunctiveQuery) -> "FuzzCase":
+        return replace(self, query=query)
+
+    def with_structure(self, structure: Structure) -> "FuzzCase":
+        return replace(self, structure=structure)
+
+    def with_disjuncts(
+        self, disjuncts: Sequence[tuple[ConjunctiveQuery, int]]
+    ) -> "FuzzCase":
+        return replace(self, disjuncts=tuple(disjuncts))
+
+    def describe(self) -> str:
+        if self.kind == "gadget":
+            return f"gadget(c={self.gadget_c})"
+        if self.kind == "ucq":
+            inner = " | ".join(
+                f"{multiplicity}*({query})" for query, multiplicity in self.disjuncts
+            )
+            return f"ucq[{inner}] on {self.structure!r}"
+        return f"{self.query} on {self.structure!r}"
+
+
+def _random_structure(
+    rng: random.Random,
+    schema: Schema,
+    domain_size: int,
+    density: float,
+    with_constants: bool,
+) -> Structure:
+    facts: dict[str, set[tuple]] = {}
+    domain = tuple(range(domain_size))
+    for symbol in schema:
+        bucket = set()
+        for values in _tuples(domain, symbol.arity):
+            if rng.random() < density:
+                bucket.add(values)
+        if bucket:
+            facts[symbol.name] = bucket
+    constants = {SPADE: 0, HEART: 1 % domain_size} if with_constants else {}
+    return Structure(schema, facts, constants, domain)
+
+
+def _tuples(domain: tuple, arity: int) -> Iterator[tuple]:
+    if arity == 0:
+        yield ()
+        return
+    for prefix in _tuples(domain, arity - 1):
+        for value in domain:
+            yield prefix + (value,)
+
+
+def _random_cq(
+    rng: random.Random, schema: Schema, features: FeatureMask
+) -> ConjunctiveQuery:
+    variable_count = rng.randint(2, 5)
+    atom_count = rng.randint(2, 6)
+    inequality_count = (
+        rng.randint(1, 2) if features.inequalities and variable_count >= 2 else 0
+    )
+    query = random_query(
+        schema,
+        variable_count=variable_count,
+        atom_count=atom_count,
+        inequality_count=inequality_count,
+        seed=rng.randrange(2**31),
+    )
+    if features.constants and query.variables:
+        # Ground one random variable to a non-triviality constant.
+        victim = sorted(query.variables)[rng.randrange(query.variable_count)]
+        name = SPADE if rng.random() < 0.5 else HEART
+        query = query.rename({victim: Constant(name)})
+    if features.disconnected:
+        # A disjoint small component: counts must factor (Lemma 1 ground).
+        extra = random_query(
+            schema,
+            variable_count=rng.randint(1, 2),
+            atom_count=rng.randint(1, 2),
+            seed=rng.randrange(2**31),
+        )
+        query = query * extra  # disjoint_conj renames the extra part apart
+    return query
+
+
+def case_at(index: int, seed: int, schema: Schema | None = None) -> FuzzCase:
+    """Case ``index`` of the stream for ``seed`` — a pure function.
+
+    The size schedule widens with the index (small cases first, so early
+    failures shrink fast), and every 7th/11th case switches to the UCQ /
+    gadget kinds to keep all oracle families exercised.
+    """
+    schema = schema or default_schema()
+    # An explicit integer mix rather than ``Random((seed, index))`` so the
+    # derivation is hash-implementation-independent.
+    rng = random.Random((seed << 32) ^ index)
+    features = FeatureMask.sample(rng)
+
+    if index % 11 == 10:
+        return FuzzCase(
+            kind="gadget",
+            seed=seed,
+            index=index,
+            features=features,
+            gadget_c=rng.randint(2, 4),
+        )
+
+    # Size schedule: domains and densities grow slowly with the index.
+    domain_size = 2 + (index // 50) % 3
+    density = 0.25 + 0.15 * ((index // 10) % 3)
+    structure = _random_structure(
+        rng, schema, domain_size, density, features.constants
+    )
+
+    if index % 7 == 6:
+        disjuncts = tuple(
+            (_random_cq(rng, schema, features), rng.randint(1, 3))
+            for _ in range(rng.randint(2, 3))
+        )
+        return FuzzCase(
+            kind="ucq",
+            seed=seed,
+            index=index,
+            features=features,
+            disjuncts=disjuncts,
+            structure=structure,
+        )
+
+    return FuzzCase(
+        kind="cq",
+        seed=seed,
+        index=index,
+        features=features,
+        query=_random_cq(rng, schema, features),
+        structure=structure,
+    )
+
+
+def generate_cases(
+    count: int, seed: int = 0, schema: Schema | None = None
+) -> Iterator[FuzzCase]:
+    """The first ``count`` cases of the deterministic stream for ``seed``."""
+    schema = schema or default_schema()
+    for index in range(count):
+        yield case_at(index, seed, schema)

@@ -1,0 +1,297 @@
+"""The oracle registry: named exact-count predicates over fuzz cases.
+
+An oracle is a *predicate that must hold on every generated instance*.
+Because the paper's lemmas are exact count identities, each oracle has a
+crisp failure criterion — two numbers that must be equal and are not.
+Registered oracles (``bagcq fuzz --oracle NAME`` selects a subset):
+
+``cross_engine``
+    The three homomorphism engines agree (``acyclic`` only where it is
+    applicable: inequality-free, acyclic components).
+``batch_parity``
+    :func:`repro.homomorphism.batch.count_many` — with a private cache,
+    with caching disabled, and with a tiny shared LRU — is bit-identical
+    to serial :func:`repro.homomorphism.engine.count`.
+``count_at_least``
+    ``count_at_least(φ, D, b) ⟺ φ(D) ≥ b`` around the exact value,
+    including through the factorized :class:`QueryProduct` path.
+``multiplicativity``
+    Lemma 1 / Definition 2: ``(φ ∧̄ ψ)(D) = φ(D)·ψ(D)`` and
+    ``(φ↑k)(D) = φ(D)^k``.
+``invariance``
+    ``φ(D)`` is invariant under bijective variable renaming and atom
+    reordering (the cache canonicalization must respect both).
+``ucq_linearity``
+    ``Σ mᵢ·φᵢ(D)`` — the UCQ value — matches serial and batched/cached
+    evaluation of :func:`~repro.homomorphism.engine.count_ucq`.
+``gadget_equality``
+    Definition 3 ``(=)``: the α multiplication gadget for ``c`` attains
+    ``α_s(D) = c·α_b(D) ≠ 0`` on its packaged witness.
+
+To add an oracle, decorate a ``check(case) -> OracleResult`` function
+with ``@oracle("name", kinds=(...))`` here (or in any imported module);
+the fuzzer, the corpus replayer, and the CLI pick it up automatically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.homomorphism.acyclic import is_acyclic
+from repro.homomorphism.batch import count_many
+from repro.homomorphism.cache import CountCache
+from repro.homomorphism.engine import count, count_at_least, count_ucq
+from repro.qa.generators import FuzzCase
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.product import QueryProduct
+from repro.queries.terms import Variable
+from repro.queries.ucq import UnionOfConjunctiveQueries
+from repro.workloads.random_queries import path_query
+
+__all__ = [
+    "Oracle",
+    "OracleResult",
+    "all_oracles",
+    "get_oracle",
+    "oracle",
+    "oracle_names",
+]
+
+
+@dataclass(frozen=True)
+class OracleResult:
+    """Verdict of one oracle on one case."""
+
+    ok: bool
+    details: str = ""
+
+    @classmethod
+    def passed(cls) -> "OracleResult":
+        return cls(True)
+
+    @classmethod
+    def failed(cls, details: str) -> "OracleResult":
+        return cls(False, details)
+
+
+@dataclass(frozen=True)
+class Oracle:
+    """A named predicate over fuzz cases of the given ``kinds``."""
+
+    name: str
+    kinds: tuple[str, ...]
+    check: Callable[[FuzzCase], OracleResult]
+    doc: str = ""
+
+    def applies(self, case: FuzzCase) -> bool:
+        return case.kind in self.kinds
+
+    def judge(self, case: FuzzCase) -> OracleResult:
+        """Run the check; an exception is itself a failure (with detail)."""
+        if not self.applies(case):
+            return OracleResult.passed()
+        try:
+            return self.check(case)
+        except Exception as error:  # noqa: BLE001 — a crash is a finding
+            return OracleResult.failed(
+                f"oracle raised {type(error).__name__}: {error}"
+            )
+
+
+_REGISTRY: dict[str, Oracle] = {}
+
+
+def oracle(name: str, kinds: Iterable[str] = ("cq",)):
+    """Register ``check`` under ``name`` for cases of the given kinds."""
+
+    def register(check: Callable[[FuzzCase], OracleResult]):
+        if name in _REGISTRY:
+            raise ValueError(f"oracle {name!r} already registered")
+        _REGISTRY[name] = Oracle(
+            name=name,
+            kinds=tuple(kinds),
+            check=check,
+            doc=(check.__doc__ or "").strip().splitlines()[0]
+            if check.__doc__
+            else "",
+        )
+        return check
+
+    return register
+
+
+def all_oracles() -> tuple[Oracle, ...]:
+    """Every registered oracle, in registration (= documentation) order."""
+    return tuple(_REGISTRY.values())
+
+
+def oracle_names() -> tuple[str, ...]:
+    return tuple(_REGISTRY)
+
+
+def get_oracle(name: str) -> Oracle:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown oracle {name!r}; choose from {sorted(_REGISTRY)}"
+        ) from None
+
+
+# -- the oracles -----------------------------------------------------------
+
+
+@oracle("cross_engine")
+def _cross_engine(case: FuzzCase) -> OracleResult:
+    """backtracking, treewidth (and acyclic where applicable) agree."""
+    reference = count(case.query, case.structure, engine="backtracking")
+    via_td = count(case.query, case.structure, engine="treewidth")
+    if via_td != reference:
+        return OracleResult.failed(
+            f"backtracking={reference} treewidth={via_td}"
+        )
+    if not case.query.has_inequalities() and all(
+        is_acyclic(component)
+        for component in case.query.connected_components()
+    ):
+        via_ac = count(case.query, case.structure, engine="acyclic")
+        if via_ac != reference:
+            return OracleResult.failed(
+                f"backtracking={reference} acyclic={via_ac}"
+            )
+    if case.query.has_inequalities():
+        via_ie = count(
+            case.query,
+            case.structure,
+            engine="backtracking",
+            use_inclusion_exclusion=True,
+        )
+        if via_ie != reference:
+            return OracleResult.failed(
+                f"backtracking={reference} inclusion_exclusion={via_ie}"
+            )
+    return OracleResult.passed()
+
+
+@oracle("batch_parity")
+def _batch_parity(case: FuzzCase) -> OracleResult:
+    """count_many (fresh cache / no cache / tiny LRU) ≡ serial count."""
+    serial = count(case.query, case.structure)
+    pairs = [(case.query, case.structure)] * 3
+    for cache in (None, False, CountCache(max_entries=2)):
+        batched = count_many(pairs, cache=cache)
+        if batched != [serial] * 3:
+            return OracleResult.failed(
+                f"serial={serial} batched={batched} cache={cache!r}"
+            )
+    return OracleResult.passed()
+
+
+@oracle("count_at_least")
+def _count_at_least(case: FuzzCase) -> OracleResult:
+    """count_at_least(φ, D, b) ⟺ φ(D) ≥ b, plain and factorized."""
+    value = count(case.query, case.structure)
+    product = QueryProduct.of(case.query, 2)
+    checks = [
+        (case.query, 0, True),
+        (case.query, value, True),
+        (case.query, value + 1, False),
+        (product, value * value, True),
+        (product, value * value + 1, False),
+    ]
+    for query, bound, expected in checks:
+        got = count_at_least(query, case.structure, bound)
+        if got is not expected:
+            return OracleResult.failed(
+                f"count={value} bound={bound} expected={expected} got={got}"
+            )
+    return OracleResult.passed()
+
+
+@oracle("multiplicativity")
+def _multiplicativity(case: FuzzCase) -> OracleResult:
+    """Lemma 1: (φ ∧̄ ψ)(D) = φ(D)·ψ(D); Definition 2: (φ↑k)(D) = φ(D)^k."""
+    structure = case.structure
+    value = count(case.query, structure)
+    binary = sorted(
+        symbol.name for symbol in structure.schema if symbol.arity == 2
+    )
+    if binary:
+        other = path_query(2, relation=binary[0])
+        conj = case.query * other
+        expected = value * count(other, structure)
+        got = count(conj, structure)
+        if got != expected:
+            return OracleResult.failed(
+                f"(phi ∧̄ psi)(D)={got} but phi(D)*psi(D)={expected}"
+            )
+    squared = count(case.query.power(2), structure)
+    if squared != value * value:
+        return OracleResult.failed(
+            f"(phi↑2)(D)={squared} but phi(D)^2={value * value}"
+        )
+    lazy = count(QueryProduct.of(case.query, 3), structure)
+    if lazy != value**3:
+        return OracleResult.failed(
+            f"QueryProduct(phi,3)(D)={lazy} but phi(D)^3={value**3}"
+        )
+    return OracleResult.passed()
+
+
+@oracle("invariance")
+def _invariance(case: FuzzCase) -> OracleResult:
+    """φ(D) is invariant under variable renaming and atom reordering."""
+    reference = count(case.query, case.structure)
+    mapping = {
+        variable: Variable(f"zz_{position}")
+        for position, variable in enumerate(sorted(case.query.variables))
+    }
+    renamed = case.query.rename(mapping)
+    via_renamed = count(renamed, case.structure)
+    if via_renamed != reference:
+        return OracleResult.failed(
+            f"original={reference} renamed={via_renamed}"
+        )
+    reordered = ConjunctiveQuery(
+        tuple(reversed(case.query.atoms)),
+        tuple(reversed(case.query.inequalities)),
+    )
+    via_reordered = count(reordered, case.structure)
+    if via_reordered != reference:
+        return OracleResult.failed(
+            f"original={reference} reordered={via_reordered}"
+        )
+    return OracleResult.passed()
+
+
+@oracle("ucq_linearity", kinds=("ucq",))
+def _ucq_linearity(case: FuzzCase) -> OracleResult:
+    """UCQ value = Σ mᵢ·φᵢ(D), serial and batched/cached alike."""
+    ucq = UnionOfConjunctiveQueries(case.disjuncts)
+    expected = sum(
+        multiplicity * count(query, case.structure)
+        for query, multiplicity in case.disjuncts
+    )
+    serial = count_ucq(ucq, case.structure)
+    if serial != expected:
+        return OracleResult.failed(f"sum={expected} count_ucq={serial}")
+    cached = count_ucq(ucq, case.structure, cache=CountCache())
+    if cached != expected:
+        return OracleResult.failed(f"sum={expected} cached={cached}")
+    return OracleResult.passed()
+
+
+@oracle("gadget_equality", kinds=("gadget",))
+def _gadget_equality(case: FuzzCase) -> OracleResult:
+    """Definition 3 (=): α_s(D) = c·α_b(D) ≠ 0 on the gadget's witness."""
+    from repro.core.alpha import alpha_gadget
+
+    gadget = alpha_gadget(case.gadget_c)
+    if not gadget.verify_equality():
+        value_s, value_b = gadget.witness_counts()
+        return OracleResult.failed(
+            f"alpha_s(W)={value_s} alpha_b(W)={value_b} "
+            f"ratio should be {case.gadget_c}"
+        )
+    return OracleResult.passed()

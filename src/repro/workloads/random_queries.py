@@ -37,6 +37,15 @@ def random_query(
     Inequalities relate two *distinct* variables, so requesting any with
     fewer than two variables is a contradiction and raises ``ValueError``
     (it used to silently return a query without them).
+
+    Whenever the requested shape has room for it — i.e.
+    ``atom_count * max_arity >= variable_count`` — every declared variable
+    is guaranteed to occur in at least one atom: variables are first
+    assigned to distinct randomly-chosen argument slots, and only the
+    remaining slots are filled independently.  (Unused variables used to
+    be dropped silently, skewing generated queries smaller than
+    requested.)  When the shape genuinely cannot fit all variables, the
+    extra ones simply stay unused, as before.
     """
     if inequality_count > 0 and variable_count < 2:
         raise ValueError(
@@ -48,12 +57,38 @@ def random_query(
     rng = random.Random(seed)
     variables = [Variable(f"q{i}") for i in range(variable_count)]
     symbols = list(schema)
-    atoms = []
-    for _ in range(atom_count):
-        symbol = rng.choice(symbols)
-        atoms.append(
-            Atom(symbol.name, tuple(rng.choice(variables) for _ in range(symbol.arity)))
+    chosen = [rng.choice(symbols) for _ in range(atom_count)]
+    capacity = sum(symbol.arity for symbol in chosen)
+    if variables and capacity < variable_count:
+        # Upgrade the narrowest picks to the widest symbol until every
+        # variable fits (when the shape allows it at all).
+        widest = max(symbols, key=lambda symbol: (symbol.arity, symbol.name))
+        for position in sorted(
+            range(len(chosen)), key=lambda i: (chosen[i].arity, i)
+        ):
+            if capacity >= variable_count:
+                break
+            capacity += widest.arity - chosen[position].arity
+            chosen[position] = widest
+    slots = [
+        (index, position)
+        for index, symbol in enumerate(chosen)
+        for position in range(symbol.arity)
+    ]
+    placed: dict[tuple[int, int], Variable] = {}
+    if variables and len(slots) >= variable_count:
+        for variable, slot in zip(variables, rng.sample(slots, variable_count)):
+            placed[slot] = variable
+    atoms = [
+        Atom(
+            symbol.name,
+            tuple(
+                placed.get((index, position), None) or rng.choice(variables)
+                for position in range(symbol.arity)
+            ),
         )
+        for index, symbol in enumerate(chosen)
+    ]
     inequalities = []
     for _ in range(inequality_count):
         left, right = rng.sample(variables, 2)

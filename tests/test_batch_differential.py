@@ -200,6 +200,74 @@ def test_lru_eviction_keeps_counts_exact():
     assert len(tiny) <= 2
 
 
+def test_lru_evicted_entry_recomputed_under_workers_matches():
+    """An evicted component re-counted by a pool worker gives the same value.
+
+    A 2-entry cache thrashes on this corpus, so most components are
+    evicted and recomputed — possibly in a different worker process than
+    the one that first counted them.  Both passes must still be
+    bit-identical to the serial baseline.
+    """
+    serial = [count(q, d) for q, d in CORPUS]
+    tiny = CountCache(max_entries=2)
+    assert count_many(CORPUS, workers=2, cache=tiny) == serial
+    assert tiny.evictions > 0
+    # Second sweep: everything evicted the first time is recomputed.
+    assert count_many(CORPUS, workers=2, cache=tiny) == serial
+    assert len(tiny) <= 2
+
+
+class TestNamedPickling:
+    """``_Named.__reduce__`` must round-trip terms through the process pool."""
+
+    def test_reduce_reconstructs_by_name(self):
+        from repro.queries.terms import Constant, Variable
+
+        assert Variable("x").__reduce__() == (Variable, ("x",))
+        assert Constant("s").__reduce__() == (Constant, ("s",))
+
+    def test_round_trip_preserves_equality_and_hash(self):
+        from repro.queries.terms import Constant, Variable
+
+        for term in (Variable("x"), Constant("s")):
+            clone = pickle.loads(pickle.dumps(term))
+            assert clone == term
+            assert hash(clone) == hash(term)
+        # The subclass distinction survives: same name, different kind.
+        assert pickle.loads(pickle.dumps(Constant("x"))) != Variable("x")
+
+    def test_every_workloads_query_shape_round_trips(self):
+        from repro.queries.terms import Constant, Variable
+        from repro.workloads import random_query
+
+        with_constants = path_query(3).rename(
+            {Variable("p0"): Constant("s"), Variable("p3"): Constant("h")}
+        )
+        shapes = [
+            path_query(4),
+            cycle_query(5),
+            star_query(3),
+            random_query(SCHEMA, variable_count=4, atom_count=5, seed=3),
+            random_query(
+                SCHEMA,
+                variable_count=3,
+                atom_count=4,
+                inequality_count=2,
+                seed=7,
+            ),
+            with_constants,
+            path_query(2) * star_query(2),
+            QueryProduct.of(cycle_query(3), 5),
+        ]
+        for query in shapes:
+            clone = pickle.loads(pickle.dumps(query))
+            assert clone == query
+            assert hash(clone) == hash(query)
+            if not isinstance(query, QueryProduct):
+                assert clone.variables == query.variables
+                assert clone.constants == query.constants
+
+
 def test_count_many_rejects_bad_arguments():
     from repro.errors import EvaluationError
 

@@ -112,6 +112,137 @@ class TestCommands:
             build_parser().parse_args([])
 
 
+class TestFlagPlumbing:
+    """--workers / --no-cache / --stats-json must never change verdicts."""
+
+    EVALUATE = [
+        "evaluate",
+        "--query",
+        "E(x,y) & E(y,z) & U(x)",
+        "--facts",
+        "E(a,b) E(b,c) E(c,a) U(a) U(b)",
+    ]
+    SEARCH = [
+        "search",
+        "--phi-s",
+        "E(x,y) & E(y,x)",
+        "--phi-b",
+        "E(x,y)",
+        "--domain-size",
+        "2",
+        "--count",
+        "30",
+        "--seed",
+        "0",
+    ]
+
+    def _run(self, capsys, argv):
+        exit_code = main(argv)
+        captured = capsys.readouterr()
+        return exit_code, captured.out
+
+    def test_evaluate_workers_and_cache_flags_bit_identical(self, capsys):
+        baseline = self._run(capsys, self.EVALUATE)
+        for extra in (
+            ["--workers", "2"],
+            ["--no-cache"],
+            ["--workers", "2", "--no-cache"],
+        ):
+            assert self._run(capsys, self.EVALUATE + extra) == baseline
+
+    def test_search_workers_and_cache_flags_bit_identical(self, capsys):
+        baseline = self._run(capsys, self.SEARCH)
+        assert baseline[0] == 0
+        assert "counterexample" in baseline[1]
+        for extra in (
+            ["--workers", "2"],
+            ["--no-cache"],
+            ["--batch-size", "4"],
+            ["--workers", "2", "--no-cache", "--batch-size", "4"],
+        ):
+            assert self._run(capsys, self.SEARCH + extra) == baseline
+
+    def test_search_stats_json_does_not_change_stdout(self, capsys, tmp_path):
+        import json
+
+        baseline = self._run(capsys, self.SEARCH)
+        target = tmp_path / "search_obs.json"
+        with_stats = self._run(
+            capsys, self.SEARCH + ["--stats-json", str(target)]
+        )
+        assert with_stats == baseline
+        data = json.loads(target.read_text())
+        assert data["metrics"]["search.structures_evaluated"]["value"] > 0
+        assert data["trace"][0]["name"] == "cli.search"
+
+    def test_evaluate_stats_json_does_not_change_stdout(self, capsys, tmp_path):
+        baseline = self._run(capsys, self.EVALUATE)
+        target = tmp_path / "eval_obs.json"
+        with_stats = self._run(
+            capsys, self.EVALUATE + ["--stats-json", str(target)]
+        )
+        assert with_stats == baseline
+        assert target.exists()
+
+
+class TestFuzzCommand:
+    def test_fuzz_smoke_exits_clean(self, capsys):
+        exit_code = main(["fuzz", "--max-cases", "30", "--seed", "0"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "cases=30" in out
+        assert "failures=0" in out
+
+    def test_fuzz_oracle_filter(self, capsys):
+        exit_code = main(
+            [
+                "fuzz",
+                "--max-cases",
+                "30",
+                "--seed",
+                "0",
+                "--oracle",
+                "gadget_equality",
+            ]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "gadget_equality" in out
+        assert "cross_engine" not in out
+
+    def test_fuzz_unknown_oracle_rejected(self):
+        with pytest.raises(SystemExit, match="unknown oracle"):
+            main(["fuzz", "--max-cases", "5", "--oracle", "nope"])
+
+    def test_fuzz_negative_budgets_rejected(self):
+        with pytest.raises(SystemExit, match="--max-cases must be >= 0"):
+            main(["fuzz", "--max-cases", "-5"])
+        with pytest.raises(SystemExit, match="--budget-seconds must be >= 0"):
+            main(["fuzz", "--budget-seconds", "-1"])
+
+    def test_fuzz_stats_json_has_qa_counters(self, capsys, tmp_path):
+        import json
+
+        target = tmp_path / "fuzz_obs.json"
+        exit_code = main(
+            [
+                "fuzz",
+                "--max-cases",
+                "20",
+                "--seed",
+                "0",
+                "--stats-json",
+                str(target),
+            ]
+        )
+        assert exit_code == 0
+        data = json.loads(target.read_text())
+        assert data["metrics"]["qa.cases"]["value"] == 20
+        assert data["metrics"]["qa.checks"]["value"] > 20
+        assert data["metrics"]["qa.failures"]["value"] == 0
+        assert data["trace"][0]["name"] == "cli.fuzz"
+
+
 class TestStatsFlags:
     def test_evaluate_stats_to_stderr(self, capsys):
         exit_code = main(

@@ -1,0 +1,58 @@
+"""Replay the checked-in fuzz corpus (``tests/corpus/``) through every oracle.
+
+Each entry is a minimized fuzz finding (or a curated interesting seed)
+promoted to a permanent regression test: it once exposed a real bug, so it
+must keep passing every applicable oracle forever.  The first batch pins
+the ``count_at_least`` early-exit bug on factorized products that PR 3's
+fuzzer caught (a nonzero factor cleared ``bound = 1`` before a zero factor
+behind it was evaluated).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.qa import all_oracles, load_corpus, replay_corpus
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+
+ENTRIES = list(load_corpus(CORPUS_DIR))
+
+
+def test_corpus_is_seeded():
+    """The first minimized-findings batch is present and non-trivial."""
+    assert len(ENTRIES) >= 10
+    oracles_pinned = {entry["oracle"] for _, entry, _ in ENTRIES if entry["oracle"]}
+    assert "count_at_least" in oracles_pinned
+
+
+def test_corpus_covers_every_case_kind():
+    kinds = {case.kind for _, _, case in ENTRIES}
+    assert kinds == {"cq", "ucq", "gadget"}
+
+
+def test_every_entry_names_its_provenance():
+    for path, entry, _ in ENTRIES:
+        assert entry["note"], f"{path.name} has no provenance note"
+
+
+@pytest.mark.parametrize(
+    "path, entry, case",
+    ENTRIES,
+    ids=[path.name for path, _, _ in ENTRIES],
+)
+def test_entry_passes_all_applicable_oracles(path, entry, case):
+    applicable = [oracle for oracle in all_oracles() if oracle.applies(case)]
+    assert applicable, f"{path.name}: no oracle applies to kind {case.kind!r}"
+    for oracle in applicable:
+        result = oracle.judge(case)
+        assert result.ok, (
+            f"{path.name}: oracle {oracle.name} regressed: {result.details}"
+        )
+
+
+def test_replay_corpus_is_green():
+    """The same check through the public one-shot replay entry point."""
+    assert replay_corpus(CORPUS_DIR) == []

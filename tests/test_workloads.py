@@ -48,6 +48,42 @@ class TestRandomQueries:
         query = random_query(schema, 1, 2, inequality_count=0, seed=3)
         assert query.inequality_count == 0
 
+    def test_every_declared_variable_is_used(self, schema):
+        # Regression: variables that never landed in an atom used to be
+        # dropped silently, so generated queries skewed smaller than the
+        # requested shape.  Whenever atom_count * max_arity >=
+        # variable_count, all declared variables must now appear.
+        for seed in range(100):
+            query = random_query(
+                schema, variable_count=4, atom_count=5, seed=seed
+            )
+            assert query.variable_count == 4, f"seed {seed}: {query}"
+
+    def test_variable_coverage_at_tight_capacity(self, schema):
+        # 6 variables into 3 atoms only fits if every pick is upgraded to
+        # the binary symbol (capacity 3 * 2 = 6) — the upgrade path.
+        for seed in range(50):
+            query = random_query(
+                schema, variable_count=6, atom_count=3, seed=seed
+            )
+            assert query.variable_count == 6, f"seed {seed}: {query}"
+            assert all(atom.relation == "E" for atom in query.atoms)
+
+    def test_variable_coverage_graceful_when_capacity_insufficient(
+        self, schema
+    ):
+        # 5 variables cannot fit into 2 binary atoms (capacity 4): the
+        # shape is honoured and the extras stay unused, as documented.
+        query = random_query(schema, variable_count=5, atom_count=2, seed=0)
+        assert query.atom_count <= 2
+        assert query.variable_count <= 4
+
+    def test_variable_coverage_change_is_still_reproducible(self, schema):
+        for seed in (0, 17, 99):
+            assert random_query(
+                schema, 6, 3, seed=seed
+            ) == random_query(schema, 6, 3, seed=seed)
+
 
 class TestShapes:
     def test_path(self):
