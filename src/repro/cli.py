@@ -12,11 +12,18 @@ Subcommands::
         probe the (≤) condition on random structures.
 
     bagcq evaluate --query "E(x,y) & E(y,x)" --facts "E(a,b) E(b,a)" \\
-            [--workers 4] [--no-cache]
+            [--engine auto] [--workers 4] [--no-cache]
         Count homomorphisms of a query over an inline database, optionally
         fanning component evaluation across a process pool; repeated
         components are shared through the canonicalization-keyed count
-        cache unless ``--no-cache``.
+        cache unless ``--no-cache``.  The default ``--engine auto`` routes
+        every connected component through the repro.planner cost model.
+
+    bagcq explain --query "E(x,y) & E(y,z)" [--facts "E(a,b) E(b,c)"]
+        Print the evaluation plan the ``auto`` engine would execute:
+        connected components, the engine and cost estimate chosen for
+        each, and plan-cache hit/miss totals.  Without ``--facts`` the
+        query is planned against its own canonical database.
 
     bagcq compare --instance linear:2:3:7
         Print the inequality-budget comparison against Jayram-Kolaitis-Vee.
@@ -195,6 +202,30 @@ def _command_evaluate(args: argparse.Namespace) -> int:
         cache=False if args.no_cache else None,
     )
     print(value)
+    return 0
+
+
+def _command_explain(args: argparse.Namespace) -> int:
+    from repro.planner import PlanCache, plan
+
+    query = parse_query(args.query)
+    if args.facts is not None:
+        structure = _parse_facts(args.facts)
+        for constant in query.constants:
+            if not structure.interprets(constant.name):
+                structure = structure.with_constant(
+                    constant.name, constant.name
+                )
+        source = f"inline database ({structure.fact_count()} facts)"
+    else:
+        structure = query.canonical_structure()
+        source = f"canonical database ({structure.fact_count()} facts)"
+    # A fresh cache keeps the hit/miss line meaningful for this query
+    # alone: repeated components hit, everything else misses.
+    chosen = plan(query, structure, cache=PlanCache())
+    print(f"query: {query}")
+    print(f"planned against: {source}, |domain| = {len(structure.domain)}")
+    print(chosen.explain())
     return 0
 
 
@@ -403,8 +434,9 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate_parser.add_argument("--facts", required=True)
     evaluate_parser.add_argument(
         "--engine",
-        choices=("backtracking", "treewidth", "acyclic"),
-        default="backtracking",
+        choices=("auto", "backtracking", "treewidth", "acyclic"),
+        default="auto",
+        help="counting engine; 'auto' (default) plans per component",
     )
     evaluate_parser.add_argument(
         "--workers",
@@ -418,6 +450,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable the canonicalization-keyed component count cache",
     )
     evaluate_parser.set_defaults(handler=_command_evaluate)
+
+    explain_parser = sub.add_parser(
+        "explain",
+        help="print the auto engine's evaluation plan for a query",
+        parents=[obs_flags],
+    )
+    explain_parser.add_argument("--query", required=True)
+    explain_parser.add_argument(
+        "--facts",
+        default=None,
+        help="inline database to plan against (default: the query's "
+        "canonical database)",
+    )
+    explain_parser.set_defaults(handler=_command_explain)
 
     search_parser = sub.add_parser(
         "search",
@@ -437,8 +483,9 @@ def build_parser() -> argparse.ArgumentParser:
     search_parser.add_argument("--max-candidates", type=int, default=None)
     search_parser.add_argument(
         "--engine",
-        choices=("backtracking", "treewidth", "acyclic"),
-        default="backtracking",
+        choices=("auto", "backtracking", "treewidth", "acyclic"),
+        default="auto",
+        help="counting engine; 'auto' (default) plans per component",
     )
     search_parser.add_argument(
         "--workers",

@@ -47,6 +47,7 @@ def verify_bounded(
     require_nontrivial: bool = True,
     max_facts_per_relation: int | None = None,
     up_to_isomorphism: bool = False,
+    engine: str = "auto",
     workers: int = 1,
     batch_size: int | None = None,
     cache=None,
@@ -67,6 +68,9 @@ def verify_bounded(
     are checked in parallel generations with component counts shared
     through a canonicalization-keyed cache.  The verdict is identical to
     the serial sweep.
+
+    ``engine`` defaults to ``"auto"`` (the :mod:`repro.planner` cost
+    model picks per component); the verdict is engine-independent.
     """
     with span(
         "bounded.verify",
@@ -89,6 +93,7 @@ def verify_bounded(
             candidates,
             multiplier=multiplier,
             additive=additive,
+            engine=engine,
             workers=workers,
             batch_size=batch_size,
             cache=cache,

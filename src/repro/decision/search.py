@@ -155,7 +155,7 @@ def find_counterexample(
     additive: int = 0,
     predicate: Callable[[Structure], bool] | None = None,
     max_candidates: int | None = None,
-    engine: str = "backtracking",
+    engine: str = "auto",
     workers: int = 1,
     batch_size: int | None = None,
     cache: CountCache | bool | None = None,
@@ -166,6 +166,13 @@ def find_counterexample(
     for the Theorem 1/3 shape).  Stops at the first hit; raises
     :class:`~repro.errors.SearchBudgetExceeded` if ``max_candidates`` is
     exhausted while candidates remain.
+
+    ``engine`` defaults to ``"auto"``: every component of both queries is
+    routed through the :mod:`repro.planner` cost model, so acyclic and
+    low-treewidth query shapes (the paper's gadget families) run on their
+    specialized engines instead of exponential backtracking.  The verdict
+    is engine-independent — all engines count exactly — so this is purely
+    a throughput knob; pass an explicit engine name to force one.
 
     Setting ``workers > 1``, an explicit ``batch_size``, or a ``cache``
     switches to *batched* checking: each generation of candidates is

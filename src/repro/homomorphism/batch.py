@@ -14,8 +14,17 @@ reduces to a pile of independent ``(query, structure)`` counting tasks.
    and — when a cache is passed in — across batches.
 3. **Evaluate** the surviving unique components, serially for
    ``workers=1`` or fanned across a ``concurrent.futures`` process pool.
-   Results are recombined in input order, so the output is deterministic
-   and bit-identical to serial evaluation regardless of ``workers``.
+   With ``workers > 1`` the unique tasks are submitted *largest first*
+   (descending :mod:`repro.planner` cost estimate — classic LPT bin
+   packing), so one expensive component no longer serializes the tail of
+   an arrival-ordered schedule.  Results are recombined in input order,
+   so the output is deterministic and bit-identical to serial evaluation
+   regardless of ``workers`` or submission order.
+
+With ``engine="auto"`` every component is routed through the planner's
+cost model individually, and the cache keys carry the *selected* engine —
+an auto batch and an explicit batch that happen to pick the same engine
+share cache entries, while differential runs across engines stay apart.
 
 Under an active :func:`repro.obs.observe` scope the batch records
 ``batch.tasks`` / ``batch.evaluated`` / ``batch.calls`` counters, the
@@ -70,22 +79,45 @@ def _component_terms(query):
 
 
 def _evaluate_schedule(
-    schedule: Sequence[_Task], workers: int, registry
+    schedule: Sequence[_Task],
+    workers: int,
+    registry,
+    costs: Sequence[float] | None = None,
 ) -> list[int]:
-    """Evaluate unique tasks, in order; pool for ``workers > 1``."""
+    """Evaluate unique tasks; pool for ``workers > 1``, largest first.
+
+    ``costs`` (planner estimates, parallel to ``schedule``) reorder pool
+    submission to descending cost — longest-processing-time-first bin
+    packing — while results are always returned in schedule order.
+    """
     if workers == 1 or len(schedule) <= 1:
         return [_count_component(task) for task in schedule]
+    order = list(range(len(schedule)))
+    if costs is not None:
+        order.sort(key=lambda index: (-costs[index], index))
+        if registry is not None:
+            registry.counter("batch.cost_ordered").inc()
     max_workers = min(workers, len(schedule))
     try:
         with ProcessPoolExecutor(max_workers=max_workers) as pool:
             chunksize = max(1, len(schedule) // (4 * max_workers))
-            return list(pool.map(_count_component, schedule, chunksize=chunksize))
+            mapped = list(
+                pool.map(
+                    _count_component,
+                    [schedule[index] for index in order],
+                    chunksize=chunksize,
+                )
+            )
     except (OSError, ImportError):
         # Pool-less environments (no fork, no semaphores) degrade to the
         # serial path rather than failing the whole batch.
         if registry is not None:
             registry.counter("batch.pool_fallbacks").inc()
         return [_count_component(task) for task in schedule]
+    results: list[int] = [0] * len(schedule)
+    for position, index in enumerate(order):
+        results[index] = mapped[position]
+    return results
 
 
 def count_many(
@@ -102,6 +134,11 @@ def count_many(
     :class:`~repro.queries.product.QueryProduct`.  Results come back in
     input order and are bit-identical to calling
     :func:`repro.homomorphism.engine.count` on each pair serially.
+
+    ``engine`` may be ``"auto"``: each component is assigned the cheapest
+    safe engine by the :mod:`repro.planner` cost model, and with
+    ``workers > 1`` the same cost estimates schedule the pool largest
+    task first (explicit engines are estimated for scheduling too).
 
     ``cache`` controls component-count reuse:
 
@@ -135,21 +172,46 @@ def count_many(
             f"cache must be a CountCache, None, or False; got {cache!r}"
         )
 
+    # Planner hooks: with engine="auto" every component needs a selection;
+    # with an explicit engine, cost estimates are only worth computing
+    # when a pool is going to be packed with them.
+    estimate_for_packing = workers > 1
+    if engine == "auto" or estimate_for_packing:
+        from repro.planner import default_plan_cache, estimate_cost, select_for
+
+        plan_cache = default_plan_cache()
+
     #: ``("value", v)`` for resolved counts, ``("slot", i)`` for scheduled.
     per_pair: list[list[tuple[tuple, int]]] = []
     schedule: list[_Task] = []
+    costs: list[float] = []  # planner estimates, parallel to ``schedule``
     pending: dict[tuple, int] = {}  # cache key -> schedule slot
     tasks = 0
     for query, structure in pairs:
         entries: list[tuple[tuple, int]] = []
         for component, exponent in _component_terms(query):
             tasks += 1
-            task: _Task = (component, structure, engine, use_inclusion_exclusion)
+            if engine == "auto":
+                step = select_for(component, structure)
+                concrete, est_cost = step.engine, step.est_cost
+            else:
+                concrete = engine
+                est_cost = 0.0
+                if estimate_for_packing:
+                    profile, _ = plan_cache.profile(component)
+                    est_cost = estimate_cost(concrete, profile, structure)
+            task: _Task = (
+                component,
+                structure,
+                concrete,
+                use_inclusion_exclusion,
+            )
             if active_cache is None:
                 entries.append((("slot", len(schedule)), exponent))
                 schedule.append(task)
+                costs.append(est_cost)
                 continue
-            key = component_cache_key(component, structure, engine)
+            key = component_cache_key(component, structure, concrete)
             if key in pending:
                 active_cache.note_reuse()
                 entries.append((("slot", pending[key]), exponent))
@@ -161,9 +223,15 @@ def count_many(
             pending[key] = len(schedule)
             entries.append((("slot", len(schedule)), exponent))
             schedule.append(task)
+            costs.append(est_cost)
         per_pair.append(entries)
 
-    results = _evaluate_schedule(schedule, workers, registry)
+    results = _evaluate_schedule(
+        schedule,
+        workers,
+        registry,
+        costs=costs if estimate_for_packing else None,
+    )
 
     if active_cache is not None:
         for key, slot in pending.items():

@@ -7,6 +7,14 @@ components (counts multiply, see
 the lazy exponents of :class:`repro.queries.product.QueryProduct`
 (``(θ↑k)(D) = θ(D)^k``, Definition 2), and dispatches each component to a
 counting engine.
+
+``engine`` selects that engine per component: one of the three explicit
+engines (``"backtracking"``, ``"treewidth"``, ``"acyclic"``), or
+``"auto"`` — the :mod:`repro.planner` cost model picks the cheapest safe
+engine for each component individually.  ``auto`` is a drop-in for the
+default: the count is bit-identical (all engines agree exactly; the qa
+oracles enforce it differentially), and the planner only ever selects an
+engine that cannot raise where the backtracking engine would not.
 """
 
 from __future__ import annotations
@@ -27,7 +35,7 @@ from repro.queries.ucq import UnionOfConjunctiveQueries
 
 __all__ = ["count", "evaluate", "count_ucq", "Engine"]
 
-Engine = Literal["backtracking", "treewidth", "acyclic"]
+Engine = Literal["backtracking", "treewidth", "acyclic", "auto"]
 Countable = Union[ConjunctiveQuery, QueryProduct]
 
 _ENGINES = {
@@ -46,13 +54,18 @@ def _resolve_engine(engine: str):
     Every public entry point calls this before touching the query, so an
     unknown engine fails fast even for :class:`QueryProduct` inputs whose
     factor evaluation would otherwise defer (or, for empty products and
-    trivial bounds, entirely skip) the name check.
+    trivial bounds, entirely skip) the name check.  ``"auto"`` returns
+    ``None``: the planner assigns a concrete engine per component at
+    dispatch time.
     """
+    if engine == "auto":
+        return None
     try:
         return _ENGINES[engine]
     except KeyError:
         raise EvaluationError(
-            f"unknown engine {engine!r}; choose from {sorted(_ENGINES)}"
+            f"unknown engine {engine!r}; choose from "
+            f"{sorted([*_ENGINES, 'auto'])}"
         ) from None
 
 
@@ -76,6 +89,13 @@ def count(
 
     Accepts a :class:`ConjunctiveQuery` or a factorized
     :class:`QueryProduct`; returns an exact Python integer.
+
+    ``engine`` picks the counting engine.  ``"auto"`` routes every
+    connected component through the :mod:`repro.planner` cost model,
+    which selects the cheapest safe engine per component (Yannakakis for
+    acyclic shapes, tree-decomposition DP for wide-but-low-treewidth
+    ones, backtracking otherwise); explicit names force one engine for
+    all components, exactly as before.
 
     ``use_inclusion_exclusion`` switches queries with (few) inequalities to
     the alternative evaluation ``|Hom with all ≠| = Σ_{S⊆ineqs}
@@ -149,7 +169,21 @@ def _count_components(
 
 
 def _dispatch(component, structure, counter, engine: str, registry, cache=None) -> int:
-    """One engine invocation on one connected component."""
+    """One engine invocation on one connected component.
+
+    This is the plan-execution seam: with ``engine="auto"`` the
+    :mod:`repro.planner` cost model assigns the concrete engine here, per
+    component, and everything downstream (cache keys, dispatch counters,
+    error tags) sees only that concrete engine — so an ``auto`` run that
+    selects, say, ``acyclic`` is indistinguishable from an explicit
+    ``acyclic`` run of the same component.
+    """
+    if engine == "auto":
+        from repro.planner import select_for
+
+        step = select_for(component, structure)
+        engine = step.engine
+        counter = _ENGINES[engine]
     key = None
     if cache is not None:
         from repro.homomorphism.cache import component_cache_key
@@ -158,12 +192,15 @@ def _dispatch(component, structure, counter, engine: str, registry, cache=None) 
         hit = cache.lookup(key)
         if hit is not None:
             return hit
-    if registry is None:
-        value = counter(component, structure)
-    else:
-        registry.counter(f"engine.dispatch.{engine}").inc()
-        with registry.timer(f"engine.time.{engine}").time():
+    try:
+        if registry is None:
             value = counter(component, structure)
+        else:
+            registry.counter(f"engine.dispatch.{engine}").inc()
+            with registry.timer(f"engine.time.{engine}").time():
+                value = counter(component, structure)
+    except EvaluationError as error:
+        raise _tag_engine(error, engine) from error
     if key is not None:
         cache.store(key, value)
     return value
@@ -337,6 +374,12 @@ def count_ucq(
     :func:`repro.homomorphism.batch.count_many`, so disjuncts that share
     α-equivalent components (common for the blown-up unions the Section 5
     encodings emit) are counted once, optionally in parallel.
+
+    The serial path shares one fresh
+    :class:`~repro.homomorphism.cache.CountCache` across the disjuncts
+    for the same reason: identical (α-equivalent) components routinely
+    appear in several disjuncts, and re-counting them per disjunct was
+    pure waste.  Pass ``cache=False`` for the honest no-reuse baseline.
     """
     _resolve_engine(engine)
     if workers != 1 or cache is not None:
@@ -353,7 +396,10 @@ def count_ucq(
             multiplicity * value
             for (_, multiplicity), value in zip(disjuncts, values)
         )
+    from repro.homomorphism.cache import CountCache
+
+    shared = CountCache()
     return sum(
-        multiplicity * count(query, structure, engine=engine)
+        multiplicity * count(query, structure, engine=engine, cache=shared)
         for query, multiplicity in ucq
     )

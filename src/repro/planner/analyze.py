@@ -1,0 +1,214 @@
+"""Structural analysis of connected query components.
+
+The planner's decisions rest on a handful of structural facts about each
+connected component: is it α-acyclic (GYO-reducible, so the Yannakakis
+engine applies), how wide is it (a greedy elimination bound on the
+treewidth of its primal graph, which predicts the tree-decomposition
+engine's table sizes), and how big is it (variables, atoms,
+inequalities).  :func:`analyze_component` computes all of it once and
+packages the result as an immutable :class:`ComponentProfile`.
+
+Analysis depends only on the *query*, never on the database, so profiles
+are memoized in a canonicalization-keyed :class:`PlanCache`: α-equivalent
+components — the ``φ ↑ k`` copies the Section 4 reductions mass-produce —
+share one analysis, exactly as their counts share one evaluation in
+:class:`repro.homomorphism.cache.CountCache`.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.homomorphism.acyclic import join_tree
+from repro.obs import metrics as obs_metrics
+from repro.queries.cq import ConjunctiveQuery
+
+__all__ = [
+    "ComponentProfile",
+    "PlanCache",
+    "analyze_component",
+    "greedy_treewidth_bound",
+]
+
+#: Default bound on cached component profiles (entries, not bytes).
+DEFAULT_PLAN_CACHE_SIZE = 2048
+
+
+@dataclass(frozen=True)
+class ComponentProfile:
+    """What the cost model needs to know about one connected component."""
+
+    atom_count: int
+    variable_count: int
+    inequality_count: int
+    acyclic: bool
+    #: Greedy (min-degree elimination) upper bound on primal treewidth.
+    treewidth_bound: int
+    #: One ``(relation, arity)`` entry *per atom* (duplicates kept: the
+    #: cost model sums fact scans and multiplies join sizes atom-wise).
+    relations: tuple[tuple[str, int], ...]
+
+    def describe(self) -> str:
+        shape = "acyclic" if self.acyclic else f"tw<={self.treewidth_bound}"
+        return (
+            f"{self.atom_count} atoms, {self.variable_count} vars, "
+            f"{self.inequality_count} ineqs, {shape}"
+        )
+
+
+def _primal_adjacency(query: ConjunctiveQuery) -> dict:
+    """Primal graph as an adjacency dict: variables, co-occurrence edges."""
+    adjacency: dict = {variable: set() for variable in query.variables}
+    for atom in query.atoms:
+        atom_variables = sorted(set(atom.variables()))
+        for i, first in enumerate(atom_variables):
+            for second in atom_variables[i + 1 :]:
+                adjacency[first].add(second)
+                adjacency[second].add(first)
+    for inequality in query.inequalities:
+        ineq_variables = sorted(set(inequality.variables()))
+        if len(ineq_variables) == 2:
+            left, right = ineq_variables
+            adjacency[left].add(right)
+            adjacency[right].add(left)
+    return adjacency
+
+
+def greedy_treewidth_bound(query: ConjunctiveQuery) -> int:
+    """An upper bound on the primal-graph treewidth via min-degree elimination.
+
+    Repeatedly eliminate a minimum-degree vertex, turning its neighborhood
+    into a clique; the largest neighborhood eliminated bounds the width.
+    Deterministic (ties break on the variable's sort order), dependency-free
+    and fast — the planner runs it on every cache-missed component, so it
+    must stay cheap even for the thousand-atom reduction queries.
+    """
+    adjacency = _primal_adjacency(query)
+    width = 0
+    while adjacency:
+        vertex = min(adjacency, key=lambda v: (len(adjacency[v]), v))
+        neighbors = adjacency.pop(vertex)
+        width = max(width, len(neighbors))
+        for first in neighbors:
+            adjacency[first].discard(vertex)
+            adjacency[first].update(neighbors - {first})
+            adjacency[first].discard(first)
+    return width
+
+
+def analyze_component(component: ConjunctiveQuery) -> ComponentProfile:
+    """The structural profile of one connected component (uncached)."""
+    return ComponentProfile(
+        atom_count=component.atom_count,
+        variable_count=component.variable_count,
+        inequality_count=component.inequality_count,
+        acyclic=join_tree(component) is not None,
+        treewidth_bound=greedy_treewidth_bound(component),
+        relations=tuple(
+            sorted((atom.relation, atom.arity) for atom in component.atoms)
+        ),
+    )
+
+
+class PlanCache:
+    """A bounded, thread-safe LRU map from canonical components to profiles.
+
+    The durable key is the component's canonical (α-equivalence) form,
+    computed by :func:`repro.homomorphism.cache.canonical_component` — the
+    same keying discipline as
+    :class:`~repro.homomorphism.cache.CountCache`, so the two caches hit
+    on exactly the same repeated-component traffic.  An *exact-equality*
+    front level sits before canonicalization: search loops re-plan the
+    very same query object thousands of times, and a plain dict lookup is
+    far cheaper than 1-WL refinement.  Hits and misses are mirrored into
+    the active :mod:`repro.obs` registry as ``plan.cache_hits`` /
+    ``plan.cache_misses``.
+    """
+
+    def __init__(self, max_entries: int = DEFAULT_PLAN_CACHE_SIZE) -> None:
+        if max_entries < 1:
+            raise ValueError(f"cache needs max_entries >= 1, got {max_entries}")
+        self._max_entries = max_entries
+        self._entries: OrderedDict = OrderedDict()
+        self._front: OrderedDict = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+
+    def _record_hit(self) -> None:
+        self._hits += 1
+        obs_metrics.add("plan.cache_hits")
+
+    def profile(self, component: ConjunctiveQuery) -> tuple[ComponentProfile, bool]:
+        """``(profile, was_hit)`` for the component, analyzing on a miss."""
+        from repro.homomorphism.cache import canonical_component
+
+        with self._lock:
+            cached = self._front.get(component)
+            if cached is not None:
+                self._front.move_to_end(component)
+                self._record_hit()
+                return cached, True
+        key = canonical_component(component)
+        with self._lock:
+            cached = self._entries.get(key)
+            if cached is not None:
+                self._entries.move_to_end(key)
+                self._store_front(component, cached)
+                self._record_hit()
+                return cached, True
+            self._misses += 1
+        obs_metrics.add("plan.cache_misses")
+        computed = analyze_component(component)
+        with self._lock:
+            self._entries[key] = computed
+            self._entries.move_to_end(key)
+            while len(self._entries) > self._max_entries:
+                self._entries.popitem(last=False)
+            self._store_front(component, computed)
+        return computed, False
+
+    def _store_front(
+        self, component: ConjunctiveQuery, profile: ComponentProfile
+    ) -> None:
+        self._front[component] = profile
+        self._front.move_to_end(component)
+        while len(self._front) > self._max_entries:
+            self._front.popitem(last=False)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._front.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def max_entries(self) -> int:
+        return self._max_entries
+
+    @property
+    def hits(self) -> int:
+        return self._hits
+
+    @property
+    def misses(self) -> int:
+        return self._misses
+
+    def stats(self) -> dict:
+        """A plain-data snapshot for reports and tests."""
+        return {
+            "entries": len(self._entries),
+            "max_entries": self._max_entries,
+            "hits": self._hits,
+            "misses": self._misses,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"PlanCache(entries={len(self._entries)}/{self._max_entries}, "
+            f"hits={self._hits}, misses={self._misses})"
+        )

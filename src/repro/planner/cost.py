@@ -1,0 +1,154 @@
+"""The calibrated cost model: score each engine on one component.
+
+Costs are abstract "fact visits" — coarse, but calibrated so the ordering
+between engines is right on the workloads this repository actually runs
+(the E13/E15/E16 benchmark families):
+
+* **acyclic** (Yannakakis counting) is linear in the matching facts, with
+  a small per-atom sorting overhead;
+* **treewidth** (tree-decomposition DP) pays ``|bags| · d^(width+1)`` for
+  its message tables, with a heavier per-entry constant;
+* **backtracking** is bounded by the naive join size (the product of the
+  per-atom fact counts) and by ``d^vars``, whichever is smaller — its
+  subtree memoization and private-variable counting usually beat both,
+  which the small additive bias accounts for.
+
+The model never has to be *right*, only *monotone enough*: every engine
+returns the same exact count (the qa oracles enforce it), so a bad
+estimate costs time, never correctness.  Engines that could *raise* where
+the default engine would not are excluded up front by
+:func:`eligible_engines` — ``auto`` must be a drop-in for the default on
+every input, including the error-raising ones.
+"""
+
+from __future__ import annotations
+
+from repro.planner.analyze import ComponentProfile
+from repro.queries.cq import ConjunctiveQuery
+from repro.relational.structure import Structure
+
+__all__ = ["eligible_engines", "estimate_cost", "select_engine"]
+
+#: Estimates saturate here — beyond this every plan is "hopeless" alike.
+COST_CEILING = 1e18
+
+#: Deterministic tie-break: the reference engine wins equal scores.
+_PREFERENCE = {"backtracking": 0, "acyclic": 1, "treewidth": 2}
+
+#: Calibrated constants (see the module docstring and the E16 benchmark).
+_ACYCLIC_BASE = 24.0
+_ACYCLIC_PER_FACT = 2.0
+_TREEWIDTH_BASE = 60.0
+_TREEWIDTH_PER_ENTRY = 6.0
+_BACKTRACKING_BASE = 10.0
+
+
+def _saturating_power(base: float, exponent: int) -> float:
+    """``base ** exponent`` clamped into ``[1, COST_CEILING]``."""
+    if base <= 1.0:
+        return 1.0
+    total = 1.0
+    for _ in range(exponent):
+        total *= base
+        if total >= COST_CEILING:
+            return COST_CEILING
+    return total
+
+
+def _relevant_facts(profile: ComponentProfile, structure: Structure) -> int:
+    """Facts in the relations the component touches (missing ones: 0)."""
+    total = 0
+    for relation, _ in profile.relations:
+        if relation in structure.schema:
+            total += structure.fact_count(relation)
+    return total
+
+
+def eligible_engines(
+    component: ConjunctiveQuery,
+    profile: ComponentProfile,
+    structure: Structure,
+) -> tuple[str, ...]:
+    """Engines that are *safe* for this component on this structure.
+
+    Safe means: same exact count, and no error the backtracking engine
+    would not also raise.  ``backtracking`` and ``treewidth`` are total
+    (and agree on every error class: uninterpreted constants raise
+    :class:`~repro.errors.ConstantError`, arity mismatches raise
+    :class:`~repro.errors.EvaluationError`).  ``acyclic`` additionally
+    requires an inequality-free, GYO-reducible component whose constants
+    the structure interprets and whose atom arities match the structure's
+    schema — outside that envelope it raises where the others would not.
+    """
+    engines = ["backtracking", "treewidth"]
+    if (
+        profile.inequality_count == 0
+        and profile.acyclic
+        and all(
+            structure.interprets(constant.name)
+            for constant in component.constants
+        )
+        and all(
+            relation not in structure.schema
+            or structure.schema.arity(relation) == arity
+            for relation, arity in profile.relations
+        )
+    ):
+        engines.append("acyclic")
+    return tuple(engines)
+
+
+def estimate_cost(
+    engine: str, profile: ComponentProfile, structure: Structure
+) -> float:
+    """Predicted evaluation cost of ``engine`` on the component, in fact visits."""
+    domain_size = max(len(structure.domain), 1)
+    facts = _relevant_facts(profile, structure)
+    if engine == "acyclic":
+        return (
+            _ACYCLIC_BASE
+            + _ACYCLIC_PER_FACT * facts
+            + 4.0 * profile.atom_count
+        )
+    if engine == "treewidth":
+        table = _saturating_power(
+            float(domain_size), profile.treewidth_bound + 1
+        )
+        bags = max(profile.variable_count, 1)
+        return min(
+            _TREEWIDTH_BASE + _TREEWIDTH_PER_ENTRY * bags * table,
+            COST_CEILING,
+        )
+    if engine == "backtracking":
+        assignments = _saturating_power(
+            float(domain_size), profile.variable_count
+        )
+        join = 1.0
+        for relation, _ in profile.relations:
+            cardinality = (
+                structure.fact_count(relation)
+                if relation in structure.schema
+                else 0
+            )
+            join *= float(max(cardinality, 1))
+            if join >= COST_CEILING:
+                join = COST_CEILING
+                break
+        return _BACKTRACKING_BASE + min(assignments, join)
+    raise ValueError(f"no cost model for engine {engine!r}")
+
+
+def select_engine(
+    component: ConjunctiveQuery,
+    profile: ComponentProfile,
+    structure: Structure,
+) -> tuple[str, float]:
+    """The cheapest safe engine for the component: ``(engine, est_cost)``."""
+    best: tuple[float, int, str] | None = None
+    for engine in eligible_engines(component, profile, structure):
+        cost = estimate_cost(engine, profile, structure)
+        candidate = (cost, _PREFERENCE[engine], engine)
+        if best is None or candidate < best:
+            best = candidate
+    assert best is not None  # backtracking is always eligible
+    return best[2], best[0]

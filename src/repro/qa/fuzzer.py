@@ -132,6 +132,12 @@ def run_fuzz(
     # across runs that do and don't find anything).
     for name in ("qa.cases", "qa.checks", "qa.failures", "qa.shrink_steps"):
         obs_metrics.add(name, 0)
+    # The cross_engine oracle exercises engine="auto", whose profile cache
+    # is process-wide; start it cold so the counter trace stays a pure
+    # function of (seed, max_cases) across repeated runs.
+    from repro.planner import default_plan_cache
+
+    default_plan_cache().clear()
     started = time.monotonic()
 
     if corpus_dir is not None:
