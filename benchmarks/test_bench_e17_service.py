@@ -1,0 +1,228 @@
+"""E17 — the evaluation service: single-flight coalescing under stampedes.
+
+The service's headline claim: when many clients ask for the same
+(α-equivalent) evaluation at once — the cold-cache stampede — single-
+flight coalescing collapses the duplicate work into one evaluation and
+fans the result out, so duplicate-heavy concurrent load gets ≥2x the
+throughput of the same server with coalescing disabled, with better tail
+latency.  A second scenario overloads a deliberately tiny server and
+checks the failure mode: every over-budget request is *shed* with a
+structured 429 envelope — zero hung requests.
+
+Requests are sent with ``cache=false`` so each round pays the real
+evaluation cost: the benchmark isolates what coalescing buys *before*
+the count cache is warm, which is exactly when stampedes hurt.
+
+The run emits ``BENCH_service.json`` (path overridable via the
+``BENCH_SERVICE`` environment variable): one record per scenario with
+throughput, p50/p95 latency, and the admission/coalescing counters —
+the artifact CI uploads and the repository checks in.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import statistics
+import threading
+import time
+
+from repro.relational import Schema, Structure
+from repro.service import (
+    EvaluationServer,
+    ServerConfig,
+    ServiceClient,
+    ServiceUnavailable,
+)
+from repro.workloads import cycle_query
+
+from benchmarks.conftest import print_table
+
+QUERY = cycle_query(6)
+ROUNDS = 4  # distinct work items (fresh random graph each round)
+DUPLICATES = 6  # concurrent identical requests per round — the stampede
+
+
+def _graph(n: int, seed: int) -> Structure:
+    rng = random.Random(seed)
+    edges = {(rng.randrange(n), rng.randrange(n)) for _ in range(4 * n)}
+    return Structure(
+        Schema.from_arities({"E": 2}), {"E": edges}, domain=range(n)
+    )
+
+
+GRAPHS = [_graph(13, seed) for seed in range(ROUNDS)]
+
+
+def _stampede(server_url: str) -> dict:
+    """Fire ROUNDS × DUPLICATES requests; return latency/throughput stats."""
+    latencies_ms: list[float] = []
+    results: list[int] = []
+    lock = threading.Lock()
+
+    started = time.perf_counter()
+    for graph in GRAPHS:
+        barrier = threading.Barrier(DUPLICATES)
+
+        def fire(graph=graph):
+            client = ServiceClient(server_url, retries=4, seed=0)
+            barrier.wait()
+            t0 = time.perf_counter()
+            value = client.evaluate(
+                QUERY, graph, engine="backtracking", cache=False
+            )
+            elapsed_ms = (time.perf_counter() - t0) * 1000
+            with lock:
+                latencies_ms.append(elapsed_ms)
+                results.append(value)
+
+        threads = [
+            threading.Thread(target=fire) for _ in range(DUPLICATES)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+    wall_s = time.perf_counter() - started
+
+    total = ROUNDS * DUPLICATES
+    assert len(results) == total, "zero hung or failed requests"
+    latencies_ms.sort()
+    return {
+        "requests": total,
+        "wall_s": round(wall_s, 4),
+        "throughput_rps": round(total / wall_s, 2),
+        "p50_ms": round(statistics.median(latencies_ms), 2),
+        "p95_ms": round(latencies_ms[int(0.95 * (total - 1))], 2),
+        "results": results,
+    }
+
+
+def _run_mode(coalesce: bool) -> dict:
+    config = ServerConfig(workers=2, queue_depth=64, coalesce=coalesce)
+    with EvaluationServer(config) as server:
+        stats = _stampede(server.url)
+        metrics = ServiceClient(server.url).metrics()["metrics"]
+        stats["coalesced"] = metrics["service.coalesced"]["value"]
+        stats["admitted"] = metrics["service.admitted"]["value"]
+        stats["shed"] = metrics["service.shed"]["value"]
+    return stats
+
+
+def _run_shed_scenario() -> dict:
+    """Overload a tiny server: everything either completes or sheds cleanly."""
+    config = ServerConfig(
+        workers=1, queue_depth=2, coalesce=False, retry_after_s=0.02
+    )
+    outcomes: list[str] = []
+    lock = threading.Lock()
+    with EvaluationServer(config) as server:
+        barrier = threading.Barrier(10)
+
+        def fire():
+            client = ServiceClient(server.url, retries=0)
+            barrier.wait()
+            try:
+                client.evaluate(
+                    QUERY, GRAPHS[0], engine="backtracking", cache=False
+                )
+                outcome = "ok"
+            except ServiceUnavailable as error:
+                assert error.kind == "overloaded"
+                assert error.status == 429
+                assert error.retry_after is not None
+                outcome = "shed"
+            with lock:
+                outcomes.append(outcome)
+
+        threads = [threading.Thread(target=fire) for _ in range(10)]
+        started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        wall_s = time.perf_counter() - started
+        hung = sum(thread.is_alive() for thread in threads)
+        metrics = ServiceClient(server.url).metrics()["metrics"]
+    return {
+        "requests": 10,
+        "completed": outcomes.count("ok"),
+        "shed": outcomes.count("shed"),
+        "hung": hung,
+        "wall_s": round(wall_s, 4),
+        "shed_counter": metrics["service.shed"]["value"],
+    }
+
+
+def test_e17_service_coalescing(benchmark):
+    on = _run_mode(coalesce=True)
+    off = _run_mode(coalesce=False)
+    shed = _run_shed_scenario()
+
+    speedup = on["throughput_rps"] / off["throughput_rps"]
+    print_table(
+        "E17 — duplicate-heavy stampede: coalescing on vs off "
+        f"({ROUNDS} rounds x {DUPLICATES} duplicates)",
+        ["mode", "rps", "p50 ms", "p95 ms", "coalesced", "admitted"],
+        [
+            ["coalesce=on", on["throughput_rps"], on["p50_ms"], on["p95_ms"],
+             on["coalesced"], on["admitted"]],
+            ["coalesce=off", off["throughput_rps"], off["p50_ms"],
+             off["p95_ms"], off["coalesced"], off["admitted"]],
+        ],
+    )
+    print_table(
+        "E17 — overload: queue_depth=2, workers=1, 10 concurrent",
+        ["requests", "completed", "shed", "hung"],
+        [[shed["requests"], shed["completed"], shed["shed"], shed["hung"]]],
+    )
+
+    # Correctness: both modes returned identical counts for each round.
+    assert sorted(on.pop("results")) == sorted(off.pop("results"))
+    # Coalescing discipline: duplicates shared flights when enabled...
+    assert on["coalesced"] >= ROUNDS * (DUPLICATES - 2)
+    assert on["admitted"] + on["coalesced"] == ROUNDS * DUPLICATES
+    # ...and never when disabled.
+    assert off["coalesced"] == 0
+    assert off["admitted"] == ROUNDS * DUPLICATES
+    # The acceptance bar: >= 2x throughput on the duplicate-heavy load.
+    assert speedup >= 2.0, (on, off)
+    # Overload degrades to structured shedding, never to hangs.
+    assert shed["hung"] == 0
+    assert shed["completed"] + shed["shed"] == shed["requests"]
+    assert shed["shed"] >= 1
+    assert shed["shed_counter"] == shed["shed"]
+
+    artifact = os.environ.get("BENCH_SERVICE", "BENCH_service.json")
+    with open(artifact, "w", encoding="utf-8") as handle:
+        json.dump(
+            {
+                "experiment": "E17",
+                "workload": {
+                    "query": str(QUERY),
+                    "rounds": ROUNDS,
+                    "duplicates": DUPLICATES,
+                    "engine": "backtracking",
+                    "per_request_cache": False,
+                },
+                "coalesce_on": on,
+                "coalesce_off": off,
+                "speedup": round(speedup, 2),
+                "overload": shed,
+            },
+            handle,
+            indent=2,
+        )
+        handle.write("\n")
+
+    # Representative latency: one warm round-trip through the service.
+    with EvaluationServer(ServerConfig(workers=2)) as server:
+        client = ServiceClient(server.url)
+        client.evaluate(QUERY, GRAPHS[0], engine="backtracking")  # warm
+        result = benchmark(
+            client.evaluate, QUERY, GRAPHS[0], engine="backtracking"
+        )
+    from repro.homomorphism import count
+
+    assert result == count(QUERY, GRAPHS[0], engine="backtracking")

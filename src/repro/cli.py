@@ -19,11 +19,24 @@ Subcommands::
         cache unless ``--no-cache``.  The default ``--engine auto`` routes
         every connected component through the repro.planner cost model.
 
-    bagcq explain --query "E(x,y) & E(y,z)" [--facts "E(a,b) E(b,c)"]
+    bagcq explain --query "E(x,y) & E(y,z)" [--facts "E(a,b) E(b,c)"] [--json]
         Print the evaluation plan the ``auto`` engine would execute:
         connected components, the engine and cost estimate chosen for
         each, and plan-cache hit/miss totals.  Without ``--facts`` the
-        query is planned against its own canonical database.
+        query is planned against its own canonical database; ``--json``
+        emits the machine-readable plan (identical to the service's
+        ``/explain`` payload).
+
+    bagcq serve [--port 8642] [--workers 4] [--queue-depth 64] \\
+            [--deadline-ms 30000] [--no-coalesce]
+        Run the long-lived evaluation daemon (``repro.service``): warm
+        shared caches, admission control, single-flight coalescing of
+        identical requests, per-request deadlines, /healthz + /metrics.
+
+    bagcq call evaluate --query "E(x,y)" --facts "E(a,b)" [--url URL]
+    bagcq call healthz | metrics | explain | decide …
+        Drive a running daemon from the shell through the retrying
+        ``ServiceClient``.
 
     bagcq compare --instance linear:2:3:7
         Print the inequality-budget comparison against Jayram-Kolaitis-Vee.
@@ -53,9 +66,7 @@ import sys
 from typing import Sequence
 
 from repro.errors import BagCQError
-from repro.queries.parser import parse_query, parse_term
-from repro.queries.terms import Constant
-from repro.relational.schema import RelationSymbol, Schema
+from repro.queries.parser import parse_query
 from repro.relational.structure import Structure
 
 __all__ = ["main"]
@@ -85,30 +96,10 @@ def _load_instance(spec: str):
 
 
 def _parse_facts(text: str) -> Structure:
-    """Parse an inline database: whitespace-separated ground atoms.
+    """Parse an inline database (delegates to :func:`repro.io.structure_from_facts`)."""
+    from repro.io import structure_from_facts
 
-    Terms are parsed with the query syntax (``#name`` for constants, other
-    identifiers are treated as element names).
-    """
-    facts: dict[str, set[tuple]] = {}
-    arities: dict[str, int] = {}
-    constants: dict[str, object] = {}
-    for chunk in text.replace(";", " ").split():
-        if not chunk:
-            continue
-        query = parse_query(chunk)
-        for atom in query.atoms:
-            values = []
-            for term in atom.terms:
-                if isinstance(term, Constant):
-                    constants[term.name] = term.name
-                    values.append(term.name)
-                else:
-                    values.append(term.name)
-            arities[atom.relation] = len(values)
-            facts.setdefault(atom.relation, set()).add(tuple(values))
-    schema = Schema(RelationSymbol(n, a) for n, a in arities.items())
-    return Structure(schema, facts, constants)
+    return structure_from_facts(text)
 
 
 def _command_reduce(args: argparse.Namespace) -> int:
@@ -223,10 +214,82 @@ def _command_explain(args: argparse.Namespace) -> int:
     # A fresh cache keeps the hit/miss line meaningful for this query
     # alone: repeated components hit, everything else misses.
     chosen = plan(query, structure, cache=PlanCache())
+    if args.json:
+        from repro.obs.report import stable_json_dumps
+
+        print(stable_json_dumps(chosen.to_dict()))
+        return 0
     print(f"query: {query}")
     print(f"planned against: {source}, |domain| = {len(structure.domain)}")
     print(chosen.explain())
     return 0
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    from repro.service import ServerConfig, serve
+
+    serve(
+        ServerConfig(
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            queue_depth=args.queue_depth,
+            default_deadline_ms=args.deadline_ms,
+            coalesce=not args.no_coalesce,
+        )
+    )
+    return 0
+
+
+def _command_call(args: argparse.Namespace) -> int:
+    from repro.obs.report import stable_json_dumps
+    from repro.service import ServiceClient
+
+    client = ServiceClient(args.url, retries=args.retries)
+    endpoint = args.endpoint
+    if endpoint == "healthz":
+        print(stable_json_dumps(client.healthz()))
+        return 0
+    if endpoint == "metrics":
+        print(stable_json_dumps(client.metrics()))
+        return 0
+    if endpoint == "evaluate":
+        if args.query is None or args.facts is None:
+            raise SystemExit("call evaluate needs --query and --facts")
+        value = client.evaluate(
+            args.query,
+            args.facts,
+            engine=args.engine,
+            deadline_ms=args.deadline_ms,
+        )
+        print(value)
+        return 0
+    if endpoint == "explain":
+        if args.query is None:
+            raise SystemExit("call explain needs --query")
+        print(
+            stable_json_dumps(
+                client.explain(args.query, structure=args.facts)["plan"]
+            )
+        )
+        return 0
+    if endpoint == "decide":
+        if args.phi_s is None or args.phi_b is None:
+            raise SystemExit("call decide needs --phi-s and --phi-b")
+        verdict = client.decide(
+            args.phi_s,
+            args.phi_b,
+            multiplier=args.multiplier,
+            additive=args.additive,
+            domain_size=args.domain_size,
+            count=args.count,
+            seed=args.seed,
+            engine=args.engine,
+            deadline_ms=args.deadline_ms,
+        )
+        print(stable_json_dumps(verdict))
+        return 0
+    raise SystemExit(f"unknown endpoint {endpoint!r}")
 
 
 def _command_search(args: argparse.Namespace) -> int:
@@ -463,7 +526,76 @@ def build_parser() -> argparse.ArgumentParser:
         help="inline database to plan against (default: the query's "
         "canonical database)",
     )
+    explain_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable plan (the same stable JSON the "
+        "service /explain endpoint returns)",
+    )
     explain_parser.set_defaults(handler=_command_explain)
+
+    serve_parser = sub.add_parser(
+        "serve",
+        help="run the long-lived evaluation daemon (repro.service)",
+        parents=[obs_flags],
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument(
+        "--port", type=int, default=8642, help="0 picks an ephemeral port"
+    )
+    serve_parser.add_argument(
+        "--workers", type=_positive_int, default=4, help="evaluation threads"
+    )
+    serve_parser.add_argument(
+        "--queue-depth",
+        type=_positive_int,
+        default=64,
+        help="admission bound; beyond it requests are shed with 429",
+    )
+    serve_parser.add_argument(
+        "--deadline-ms",
+        type=_positive_int,
+        default=30_000,
+        help="default per-request deadline",
+    )
+    serve_parser.add_argument(
+        "--no-coalesce",
+        action="store_true",
+        help="disable single-flight coalescing of identical requests",
+    )
+    serve_parser.set_defaults(handler=_command_serve)
+
+    call_parser = sub.add_parser(
+        "call",
+        help="call a running bagcq service from the shell",
+        parents=[obs_flags],
+    )
+    call_parser.add_argument(
+        "endpoint",
+        choices=("evaluate", "explain", "decide", "healthz", "metrics"),
+    )
+    call_parser.add_argument(
+        "--url", default="http://127.0.0.1:8642", help="service base URL"
+    )
+    call_parser.add_argument("--query", default=None)
+    call_parser.add_argument("--facts", default=None)
+    call_parser.add_argument("--phi-s", default=None)
+    call_parser.add_argument("--phi-b", default=None)
+    call_parser.add_argument(
+        "--engine",
+        choices=("auto", "backtracking", "treewidth", "acyclic"),
+        default="auto",
+    )
+    call_parser.add_argument("--multiplier", type=int, default=1)
+    call_parser.add_argument("--additive", type=int, default=0)
+    call_parser.add_argument("--domain-size", type=int, default=3)
+    call_parser.add_argument("--count", type=int, default=100)
+    call_parser.add_argument("--seed", type=int, default=0)
+    call_parser.add_argument("--deadline-ms", type=int, default=None)
+    call_parser.add_argument(
+        "--retries", type=int, default=4, help="client retry budget"
+    )
+    call_parser.set_defaults(handler=_command_call)
 
     search_parser = sub.add_parser(
         "search",

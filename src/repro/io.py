@@ -34,6 +34,7 @@ __all__ = [
     "schema_from_dict",
     "structure_to_dict",
     "structure_from_dict",
+    "structure_from_facts",
     "query_to_dict",
     "query_from_dict",
     "open_query_to_dict",
@@ -174,6 +175,35 @@ def structure_from_dict(payload: dict) -> Structure:
             f"malformed structure payload: {error}"
         ) from error
     return Structure(schema, facts, constants, domain)
+
+
+def structure_from_facts(text: str) -> Structure:
+    """Parse an inline database: whitespace-separated ground atoms.
+
+    The shorthand behind ``bagcq evaluate --facts`` and the service's
+    ``"facts"`` request field: terms use the query syntax (``#name`` for
+    constants; other identifiers become domain elements named after
+    themselves), atoms may be separated by whitespace or ``;``.
+    """
+    from repro.queries.parser import parse_query
+
+    facts: dict[str, set[tuple]] = {}
+    arities: dict[str, int] = {}
+    constants: dict[str, Any] = {}
+    for chunk in text.replace(";", " ").split():
+        if not chunk:
+            continue
+        query = parse_query(chunk)
+        for atom in query.atoms:
+            values = []
+            for term in atom.terms:
+                if isinstance(term, Constant):
+                    constants[term.name] = term.name
+                values.append(term.name)
+            arities[atom.relation] = len(values)
+            facts.setdefault(atom.relation, set()).add(tuple(values))
+    schema = Schema(RelationSymbol(n, a) for n, a in arities.items())
+    return Structure(schema, facts, constants)
 
 
 # -- queries -------------------------------------------------------------------------

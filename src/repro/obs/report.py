@@ -14,7 +14,7 @@ import json
 from repro.obs.metrics import Registry
 from repro.obs.trace import Trace
 
-__all__ = ["report_data", "render_text", "render_json"]
+__all__ = ["report_data", "render_text", "render_json", "stable_json_dumps"]
 
 SCHEMA_VERSION = 1
 
@@ -28,11 +28,19 @@ def report_data(registry: Registry, trace: Trace) -> dict:
     }
 
 
+def stable_json_dumps(data, indent: int | None = 2) -> str:
+    """The library's one stable-JSON writer: sorted keys, ``str`` fallback.
+
+    Observability reports, ``bagcq explain --json``, and the service's
+    ``/metrics`` endpoint all serialize through here, so their outputs
+    diff cleanly and a consumer never meets two serialization dialects.
+    """
+    return json.dumps(data, indent=indent, sort_keys=True, default=str)
+
+
 def render_json(registry: Registry, trace: Trace, indent: int | None = 2) -> str:
     """Stable JSON: sorted keys throughout, deterministic field order."""
-    return json.dumps(
-        report_data(registry, trace), indent=indent, sort_keys=True, default=str
-    )
+    return stable_json_dumps(report_data(registry, trace), indent=indent)
 
 
 def _format_attrs(attrs: dict) -> str:

@@ -87,6 +87,25 @@ class PlanStep:
             f"[{self.profile.describe()}]{power}  {self.component}"
         )
 
+    def to_dict(self) -> dict:
+        """A JSON-ready rendering of this step (machine-readable EXPLAIN)."""
+        from repro.io import query_to_dict
+
+        return {
+            "component": query_to_dict(self.component),
+            "component_text": str(self.component),
+            "engine": self.engine,
+            "est_cost": self.est_cost,
+            "exponent": self.exponent,
+            "profile": {
+                "atom_count": self.profile.atom_count,
+                "variable_count": self.profile.variable_count,
+                "inequality_count": self.profile.inequality_count,
+                "acyclic": self.profile.acyclic,
+                "treewidth_bound": self.profile.treewidth_bound,
+            },
+        }
+
 
 @dataclass(frozen=True)
 class Plan:
@@ -121,6 +140,19 @@ class Plan:
             f"{self.cache_misses} miss(es)"
         )
         return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """The machine-readable plan: ``bagcq explain --json`` and the
+        service's ``/explain`` endpoint both emit exactly this shape
+        (serialized with :func:`repro.obs.report.stable_json_dumps`)."""
+        return {
+            "schema_version": 1,
+            "steps": [step.to_dict() for step in self.steps],
+            "engines": list(self.engines),
+            "total_est_cost": self.total_cost,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+        }
 
 
 def select_for(

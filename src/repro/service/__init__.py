@@ -1,0 +1,59 @@
+"""``repro.service`` — a long-running, shared-cache evaluation daemon.
+
+The library evaluates one query per process invocation; the ROADMAP's
+serving goal needs the opposite shape: a warm process that amortizes the
+:class:`~repro.homomorphism.cache.CountCache` and the planner's
+:class:`~repro.planner.analyze.PlanCache` across millions of requests.
+This package provides exactly that, on the standard library alone:
+
+* :class:`EvaluationServer` (``server.py``) — a ``ThreadingHTTPServer``
+  front over a bounded worker pool, with admission control (bounded
+  queue, structured 429 shedding), **single-flight coalescing** of
+  identical in-flight requests keyed by the canonicalization discipline
+  the caches already use, per-request deadlines, ``/healthz`` and
+  ``/metrics``, and graceful drain on shutdown.
+* :class:`ServiceClient` (``client.py``) — a small blocking client with
+  retry + exponential backoff + jitter, honoring ``Retry-After``.
+* ``protocol.py`` — the versioned JSON error envelope and the
+  single-flight request keys both sides agree on.
+* ``handlers.py`` — the transport-free request handlers mapping JSON
+  bodies onto :func:`repro.homomorphism.engine.count` /
+  :func:`~repro.homomorphism.engine.count_ucq`, :func:`repro.planner.plan`
+  and :func:`repro.decision.search.find_counterexample`.
+
+Wire commands: ``bagcq serve`` starts a daemon, ``bagcq call`` drives
+one from the shell.  See ``docs/SERVICE.md`` for the endpoint and
+tuning reference.
+"""
+
+from __future__ import annotations
+
+from repro.service.client import (
+    DeadlineExceeded,
+    RemoteError,
+    ServiceClient,
+    ServiceProtocolError,
+    ServiceUnavailable,
+)
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    error_envelope,
+    error_from_exception,
+    status_for_kind,
+)
+from repro.service.server import EvaluationServer, ServerConfig, serve
+
+__all__ = [
+    "DeadlineExceeded",
+    "EvaluationServer",
+    "PROTOCOL_VERSION",
+    "RemoteError",
+    "ServerConfig",
+    "ServiceClient",
+    "ServiceProtocolError",
+    "ServiceUnavailable",
+    "error_envelope",
+    "error_from_exception",
+    "serve",
+    "status_for_kind",
+]

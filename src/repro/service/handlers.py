@@ -1,0 +1,336 @@
+"""Transport-free request handlers: parsed JSON body → response dict.
+
+Each endpoint has a ``parse_*`` step that turns a JSON body into a
+:class:`ParsedRequest` — a single-flight key plus a ``run`` thunk — and
+raises :class:`~repro.service.protocol.BadRequestError` on structurally
+malformed input.  The server coalesces by key and executes ``run`` on a
+worker thread; errors raised by ``run`` are library errors and travel
+with their class names (see ``protocol.py``).
+
+Keeping the handlers free of HTTP makes the remote-vs-local parity tests
+trivial to reason about: ``run()`` calls exactly the same library entry
+points (:func:`~repro.homomorphism.engine.count`,
+:func:`~repro.homomorphism.engine.count_ucq`, :func:`repro.planner.plan`,
+:func:`~repro.decision.search.find_counterexample`) a direct caller
+would, with the shared warm :class:`~repro.homomorphism.cache.CountCache`
+as the only addition — and caching never changes a count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import SearchBudgetExceeded
+from repro.homomorphism.cache import CountCache, canonical_component
+from repro.homomorphism.engine import count, count_ucq
+from repro.io import (
+    query_from_dict,
+    query_to_dict,
+    structure_from_dict,
+    structure_from_facts,
+    structure_to_dict,
+)
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.parser import parse_query
+from repro.queries.ucq import UnionOfConjunctiveQueries
+from repro.relational.structure import Structure
+from repro.service.protocol import PROTOCOL_VERSION, BadRequestError, request_key
+
+__all__ = ["ParsedRequest", "parse_request", "ENDPOINTS"]
+
+_ENGINES = ("auto", "backtracking", "treewidth", "acyclic")
+
+
+@dataclass(frozen=True)
+class ParsedRequest:
+    """One admitted unit of work: identity for coalescing, thunk to run."""
+
+    endpoint: str
+    key: tuple
+    run: Callable[[], dict]
+
+
+def _require_dict(body) -> dict:
+    if not isinstance(body, dict):
+        raise BadRequestError(
+            f"request body must be a JSON object, got {type(body).__name__}"
+        )
+    return body
+
+
+def _get_engine(body: dict) -> str:
+    engine = body.get("engine", "auto")
+    if not isinstance(engine, str):
+        raise BadRequestError(f"'engine' must be a string, got {engine!r}")
+    # Unknown engine *names* are a library concern (EvaluationError, so
+    # remote and local callers see the same class); only the type is
+    # checked here.
+    return engine
+
+
+def _parse_query_field(body: dict, field: str = "query") -> ConjunctiveQuery:
+    """A query from ``field`` (io dict) or ``field + '_text'`` (syntax)."""
+    if field in body:
+        payload = body[field]
+        if not isinstance(payload, dict):
+            raise BadRequestError(
+                f"'{field}' must be a JSON object (repro.io query payload)"
+            )
+        return query_from_dict(payload)
+    text_field = f"{field}_text"
+    if text_field in body:
+        text = body[text_field]
+        if not isinstance(text, str):
+            raise BadRequestError(f"'{text_field}' must be a string")
+        return parse_query(text)
+    raise BadRequestError(f"request needs '{field}' or '{text_field}'")
+
+
+def _parse_structure_field(body: dict, required: bool = True) -> Structure | None:
+    """A structure from ``"structure"`` (io dict) or ``"facts"`` (shorthand).
+
+    The ``facts`` shorthand mirrors ``bagcq evaluate --facts``, including
+    its convenience of self-interpreting any query constants — callers
+    who need exact parity with a :class:`Structure` they hold locally
+    should send the io dict, which round-trips bit for bit.
+    """
+    if "structure" in body:
+        payload = body["structure"]
+        if not isinstance(payload, dict):
+            raise BadRequestError(
+                "'structure' must be a JSON object (repro.io structure payload)"
+            )
+        return structure_from_dict(payload)
+    if "facts" in body:
+        text = body["facts"]
+        if not isinstance(text, str):
+            raise BadRequestError("'facts' must be a string")
+        return structure_from_facts(text)
+    if required:
+        raise BadRequestError("request needs 'structure' or 'facts'")
+    return None
+
+
+def _interpret_missing_constants(
+    query: ConjunctiveQuery, structure: Structure, from_facts: bool
+) -> Structure:
+    if not from_facts:
+        return structure
+    for constant in query.constants:
+        if not structure.interprets(constant.name):
+            structure = structure.with_constant(constant.name, constant.name)
+    return structure
+
+
+def _parse_int(body: dict, field: str, default, minimum=None):
+    value = body.get(field, default)
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise BadRequestError(f"'{field}' must be an integer, got {value!r}")
+    if minimum is not None and value < minimum:
+        raise BadRequestError(f"'{field}' must be >= {minimum}, got {value}")
+    return value
+
+
+def parse_evaluate(body: dict, cache: CountCache | None) -> ParsedRequest:
+    """``POST /evaluate`` — ``count`` (kind "cq") or ``count_ucq`` ("ucq")."""
+    body = _require_dict(body)
+    engine = _get_engine(body)
+    kind = body.get("kind", "cq")
+    use_cache = body.get("cache", True)
+    if not isinstance(use_cache, bool):
+        raise BadRequestError(f"'cache' must be a boolean, got {use_cache!r}")
+    effective_cache = cache if use_cache else None
+    from_facts = "structure" not in body and "facts" in body
+
+    if kind == "cq":
+        query = _parse_query_field(body)
+        structure = _parse_structure_field(body)
+        structure = _interpret_missing_constants(query, structure, from_facts)
+
+        def run() -> dict:
+            value = count(query, structure, engine=engine, cache=effective_cache)
+            return {
+                "protocol_version": PROTOCOL_VERSION,
+                "kind": "cq",
+                "engine": engine,
+                "count": value,
+            }
+
+        return ParsedRequest(
+            endpoint="evaluate",
+            key=request_key(
+                "evaluate",
+                engine=engine,
+                query=query,
+                structure=structure,
+                extra=(use_cache,),
+            ),
+            run=run,
+        )
+
+    if kind == "ucq":
+        raw = body.get("disjuncts")
+        if not isinstance(raw, list) or not raw:
+            raise BadRequestError(
+                "'disjuncts' must be a non-empty list for kind 'ucq'"
+            )
+        disjuncts = []
+        for entry in raw:
+            if not isinstance(entry, dict):
+                raise BadRequestError("each disjunct must be a JSON object")
+            disjunct = _parse_query_field(entry)
+            multiplicity = _parse_int(entry, "multiplicity", 1, minimum=0)
+            disjuncts.append((disjunct, multiplicity))
+        structure = _parse_structure_field(body)
+        ucq = UnionOfConjunctiveQueries(disjuncts)
+
+        def run_ucq() -> dict:
+            value = count_ucq(ucq, structure, engine=engine, cache=effective_cache)
+            return {
+                "protocol_version": PROTOCOL_VERSION,
+                "kind": "ucq",
+                "engine": engine,
+                "count": value,
+            }
+
+        return ParsedRequest(
+            endpoint="evaluate",
+            key=request_key(
+                "evaluate",
+                engine=engine,
+                disjuncts=ucq.disjuncts,
+                structure=structure,
+                extra=(use_cache,),
+            ),
+            run=run_ucq,
+        )
+
+    raise BadRequestError(f"unknown evaluate kind {kind!r}; use 'cq' or 'ucq'")
+
+
+def parse_explain(body: dict, cache: CountCache | None = None) -> ParsedRequest:
+    """``POST /explain`` — the machine-readable plan ``auto`` would run."""
+    body = _require_dict(body)
+    query = _parse_query_field(body)
+    structure = _parse_structure_field(body, required=False)
+    if structure is None:
+        structure = query.canonical_structure()
+        source = "canonical"
+    else:
+        structure = _interpret_missing_constants(
+            query, structure, "structure" not in body
+        )
+        source = "inline"
+
+    def run() -> dict:
+        from repro.planner import PlanCache, plan
+
+        # A fresh PlanCache keeps the hit/miss totals meaningful for this
+        # query alone — the same choice `bagcq explain` makes.
+        chosen = plan(query, structure, cache=PlanCache())
+        return {
+            "protocol_version": PROTOCOL_VERSION,
+            "query": query_to_dict(query),
+            "planned_against": source,
+            "domain_size": len(structure.domain),
+            "plan": chosen.to_dict(),
+        }
+
+    return ParsedRequest(
+        endpoint="explain",
+        key=request_key("explain", query=query, structure=structure),
+        run=run,
+    )
+
+
+def parse_decide(body: dict, cache: CountCache | None) -> ParsedRequest:
+    """``POST /decide`` — a bounded random-stream counterexample search."""
+    body = _require_dict(body)
+    engine = _get_engine(body)
+    phi_s = _parse_query_field(body, "phi_s")
+    phi_b = _parse_query_field(body, "phi_b")
+    multiplier = _parse_int(body, "multiplier", 1, minimum=1)
+    additive = _parse_int(body, "additive", 0)
+    domain_size = _parse_int(body, "domain_size", 3, minimum=1)
+    candidates = _parse_int(body, "count", 100, minimum=0)
+    seed = _parse_int(body, "seed", 0)
+    max_candidates = _parse_int(body, "max_candidates", None, minimum=0)
+    density = body.get("density", 0.3)
+    if isinstance(density, bool) or not isinstance(density, (int, float)):
+        raise BadRequestError(f"'density' must be a number, got {density!r}")
+
+    def run() -> dict:
+        from repro.decision.search import find_counterexample, random_structures
+
+        schema = phi_s.schema.union(phi_b.schema)
+        stream = random_structures(
+            schema,
+            domain_size=domain_size,
+            density=float(density),
+            count=candidates,
+            seed=seed,
+        )
+        try:
+            outcome = find_counterexample(
+                phi_s,
+                phi_b,
+                stream,
+                multiplier=multiplier,
+                additive=additive,
+                max_candidates=max_candidates,
+                engine=engine,
+                cache=cache,
+            )
+        except SearchBudgetExceeded as error:
+            return {
+                "protocol_version": PROTOCOL_VERSION,
+                "verdict": "budget_exceeded",
+                "detail": str(error),
+            }
+        return {
+            "protocol_version": PROTOCOL_VERSION,
+            "verdict": "counterexample" if outcome.found else "exhausted",
+            "found": outcome.found,
+            "checked": outcome.checked,
+            "lhs": outcome.lhs,
+            "rhs": outcome.rhs,
+            "counterexample": (
+                structure_to_dict(outcome.counterexample)
+                if outcome.counterexample is not None
+                else None
+            ),
+        }
+
+    return ParsedRequest(
+        endpoint="decide",
+        key=request_key(
+            "decide",
+            engine=engine,
+            query=phi_s,
+            extra=(
+                # The full parameterization: any difference may change the
+                # verdict, so only exact repeats coalesce.  phi_b rides in
+                # `extra` canonicalized, mirroring phi_s in `query`.
+                canonical_component(phi_b),
+                multiplier,
+                additive,
+                domain_size,
+                float(density),
+                candidates,
+                seed,
+                max_candidates,
+            ),
+        ),
+        run=run,
+    )
+
+
+#: endpoint name → parser; the server's routing table for POST bodies.
+ENDPOINTS: dict[str, Callable[[dict, CountCache | None], ParsedRequest]] = {
+    "evaluate": parse_evaluate,
+    "explain": parse_explain,
+    "decide": parse_decide,
+}

@@ -1,0 +1,529 @@
+"""The evaluation daemon: HTTP front, bounded worker pool, single-flight.
+
+Architecture (one process, threads only, standard library only)::
+
+    ThreadingHTTPServer (one thread per connection)
+        │  parse + validate body          ── cheap, done on the HTTP thread
+        │  single-flight lookup           ── identical in-flight work merges
+        │  admission control              ── bounded queue; Full → 429 shed
+        ▼
+    queue.Queue(maxsize=queue_depth)
+        ▼
+    N worker threads (warm, registry-activated)
+        │  CountCache + PlanCache shared  ── process-wide, thread-safe
+        ▼
+    flight resolution → every waiting HTTP thread fans the result out
+
+**Admission control.**  Work enters a bounded queue with a non-blocking
+put: when ``queue_depth`` jobs are already waiting, the request is shed
+immediately with a structured 429 envelope carrying a ``Retry-After``
+hint — the server never builds an unbounded backlog and never hangs a
+client.
+
+**Single-flight coalescing.**  Before enqueueing, the request's
+:func:`~repro.service.protocol.request_key` (built on
+:func:`~repro.homomorphism.cache.canonical_component`, the count cache's
+own α-equivalence discipline) is looked up in the in-flight table; a
+match parks the new request on the existing flight instead of enqueueing
+duplicate work.  N concurrent identical requests cost one evaluation —
+and coalesced requests bypass the admission queue entirely, since they
+add no work.
+
+**Deadlines.**  Each request carries ``deadline_ms`` (defaulting to the
+server's).  The waiting HTTP thread gives up at the deadline and
+responds with a ``deadline_exceeded`` envelope; the evaluation itself is
+never interrupted mid-flight (Python threads cannot be killed safely),
+so shared caches only ever see *completed, correct* counts — a timeout
+cannot poison them.  A queued job whose waiters have all timed out is
+skipped when it reaches a worker (``service.expired_skipped``).
+
+**Graceful shutdown.**  :meth:`EvaluationServer.close` stops accepting,
+marks the server draining (new requests get a 503 ``shutting_down``
+envelope), lets queued + in-flight work finish, and joins the workers.
+"""
+
+from __future__ import annotations
+
+import json
+import queue
+import threading
+import time
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.errors import BagCQError
+from repro.homomorphism.cache import DEFAULT_CACHE_SIZE, CountCache
+from repro.obs import metrics as obs_metrics
+from repro.obs.metrics import Registry
+from repro.obs.report import SCHEMA_VERSION, stable_json_dumps
+from repro.service import protocol
+from repro.service.handlers import ENDPOINTS, ParsedRequest
+
+__all__ = ["EvaluationServer", "ServerConfig", "serve"]
+
+#: Every ``service.*`` counter, pre-registered at zero so a fresh
+#: ``/metrics`` scrape reports the full family deterministically.
+_SERVICE_COUNTERS = (
+    "service.requests",
+    "service.admitted",
+    "service.coalesced",
+    "service.shed",
+    "service.deadline_exceeded",
+    "service.expired_skipped",
+    "service.completed",
+    "service.errors",
+    "service.rejected_draining",
+    "service.http_lines",
+)
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Tuning knobs of one :class:`EvaluationServer` (see docs/SERVICE.md)."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 → ephemeral; read the bound port off `.address`
+    workers: int = 4
+    #: Jobs allowed to wait for a worker; beyond this, requests are shed.
+    queue_depth: int = 64
+    #: Applied when a request carries no ``deadline_ms`` of its own.
+    default_deadline_ms: int = 30_000
+    #: Hard ceiling on any requested deadline.
+    max_deadline_ms: int = 300_000
+    #: Single-flight coalescing of identical in-flight requests.
+    coalesce: bool = True
+    #: ``Retry-After`` hint (seconds) sent with 429/503 envelopes.
+    retry_after_s: float = 0.05
+    count_cache_size: int = DEFAULT_CACHE_SIZE
+
+
+class _Flight:
+    """One in-flight unit of work and everyone waiting on it."""
+
+    __slots__ = ("key", "event", "result", "error", "waiters", "deadline")
+
+    def __init__(self, key: tuple, deadline: float) -> None:
+        self.key = key
+        self.event = threading.Event()
+        self.result: dict | None = None
+        self.error: BaseException | None = None
+        self.waiters = 1
+        self.deadline = deadline
+
+
+class EvaluationServer:
+    """A warm, bounded, coalescing evaluation daemon.
+
+    Start with :meth:`start` (non-blocking; binds the socket and spins up
+    the pool) or :func:`serve` (blocking, for the CLI).  Thread-safe to
+    use from tests: ``server.address`` gives the bound ``(host, port)``.
+    """
+
+    def __init__(self, config: ServerConfig | None = None) -> None:
+        self.config = config or ServerConfig()
+        if self.config.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.config.workers}")
+        if self.config.queue_depth < 1:
+            raise ValueError(
+                f"queue_depth must be >= 1, got {self.config.queue_depth}"
+            )
+        self.registry = Registry()
+        for name in _SERVICE_COUNTERS:
+            self.registry.counter(name)
+        self.registry.gauge("service.inflight").set(0)
+        self.registry.gauge("service.queued").set(0)
+        self.count_cache = CountCache(self.config.count_cache_size)
+        self._queue: queue.Queue = queue.Queue(maxsize=self.config.queue_depth)
+        self._flights: dict[tuple, _Flight] = {}
+        self._flights_lock = threading.Lock()
+        self._inflight = 0
+        self._inflight_lock = threading.Lock()
+        self._draining = False
+        self._started = False
+        self._closed = False
+        self._workers: list[threading.Thread] = []
+        self._httpd: ThreadingHTTPServer | None = None
+        self._http_thread: threading.Thread | None = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "EvaluationServer":
+        if self._started:
+            raise RuntimeError("server already started")
+        self._started = True
+        server = self
+
+        class _Handler(_RequestHandler):
+            evaluation_server = server
+
+        self._httpd = ThreadingHTTPServer(
+            (self.config.host, self.config.port), _Handler
+        )
+        self._httpd.daemon_threads = True
+        for index in range(self.config.workers):
+            worker = threading.Thread(
+                target=self._worker_loop,
+                name=f"bagcq-worker-{index}",
+                daemon=True,
+            )
+            worker.start()
+            self._workers.append(worker)
+        self._http_thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="bagcq-http",
+            daemon=True,
+        )
+        self._http_thread.start()
+        return self
+
+    @property
+    def address(self) -> tuple[str, int]:
+        if self._httpd is None:
+            raise RuntimeError("server not started")
+        host, port = self._httpd.server_address[:2]
+        return str(host), int(port)
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def close(self, drain: bool = True) -> None:
+        """Stop accepting, drain queued + in-flight work, join the pool."""
+        if self._closed or not self._started:
+            self._closed = True
+            return
+        self._closed = True
+        self._draining = True
+        if drain:
+            # Sentinels park behind all queued work, so every admitted
+            # job is executed (and its waiters answered) before exit.
+            for _ in self._workers:
+                self._queue.put(None)
+            for worker in self._workers:
+                worker.join(timeout=60)
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+        if self._http_thread is not None:
+            self._http_thread.join(timeout=10)
+
+    def __enter__(self) -> "EvaluationServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- request path ------------------------------------------------------
+
+    def _counter(self, name: str, amount: int = 1) -> None:
+        self.registry.counter(name).inc(amount)
+
+    def submit(self, endpoint: str, body: dict, deadline_ms: int | None) -> dict:
+        """Admit, (maybe) coalesce, execute, and wait — the whole request.
+
+        Returns the response dict; raises :class:`_ServiceFailure` with a
+        ready-made envelope for every structured failure mode.  Called on
+        the HTTP connection thread.
+        """
+        self._counter("service.requests")
+        if self._draining:
+            self._counter("service.rejected_draining")
+            raise _ServiceFailure(
+                protocol.KIND_SHUTTING_DOWN,
+                "server is draining; retry against another replica",
+                retry_after=self.config.retry_after_s,
+            )
+        parser = ENDPOINTS.get(endpoint)
+        if parser is None:
+            raise _ServiceFailure(
+                protocol.KIND_NOT_FOUND, f"unknown endpoint /{endpoint}"
+            )
+        deadline_s = (
+            min(
+                deadline_ms if deadline_ms is not None
+                else self.config.default_deadline_ms,
+                self.config.max_deadline_ms,
+            )
+            / 1000.0
+        )
+        if deadline_s <= 0:
+            raise _ServiceFailure(
+                protocol.KIND_BAD_REQUEST,
+                f"deadline_ms must be positive, got {deadline_ms}",
+            )
+        try:
+            request = parser(body, self.count_cache)
+        except BagCQError as error:
+            self._counter("service.errors")
+            raise _ServiceFailure.from_exception(error) from error
+        deadline = time.monotonic() + deadline_s
+
+        flight, created = self._join_or_create_flight(request, deadline)
+        if created:
+            try:
+                self._queue.put_nowait((request, flight))
+                self.registry.gauge("service.queued").set_max(self._queue.qsize())
+                self._counter("service.admitted")
+            except queue.Full:
+                shed = _ServiceFailure(
+                    protocol.KIND_OVERLOADED,
+                    f"admission queue full ({self.config.queue_depth} deep); "
+                    "load shed",
+                    retry_after=self.config.retry_after_s,
+                )
+                self._abandon_flight(flight, shed)
+                self._counter("service.shed")
+                raise shed from None
+        else:
+            self._counter("service.coalesced")
+
+        remaining = deadline - time.monotonic()
+        completed = flight.event.wait(timeout=max(0.0, remaining))
+        if not completed:
+            self._leave_flight(flight)
+            self._counter("service.deadline_exceeded")
+            raise _ServiceFailure(
+                protocol.KIND_DEADLINE,
+                f"deadline of {deadline_s * 1000:.0f} ms exceeded; "
+                "the evaluation may still complete and warm the cache",
+            )
+        if flight.error is not None:
+            self._counter("service.errors")
+            if isinstance(flight.error, _ServiceFailure):
+                raise flight.error
+            raise _ServiceFailure.from_exception(flight.error)
+        assert flight.result is not None
+        return flight.result
+
+    def _join_or_create_flight(
+        self, request: ParsedRequest, deadline: float
+    ) -> tuple[_Flight, bool]:
+        if not self.config.coalesce:
+            return _Flight(request.key, deadline), True
+        with self._flights_lock:
+            existing = self._flights.get(request.key)
+            if existing is not None:
+                existing.waiters += 1
+                existing.deadline = max(existing.deadline, deadline)
+                return existing, False
+            flight = _Flight(request.key, deadline)
+            self._flights[request.key] = flight
+            return flight, True
+
+    def _leave_flight(self, flight: _Flight) -> None:
+        """A waiter timed out; the flight may become abandoned."""
+        with self._flights_lock:
+            flight.waiters -= 1
+
+    def _abandon_flight(self, flight: _Flight, error: BaseException) -> None:
+        """Resolve a never-enqueued flight so coalesced waiters wake too."""
+        with self._flights_lock:
+            self._flights.pop(flight.key, None)
+        flight.error = error
+        flight.event.set()
+
+    # -- worker side -------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        # Activate the server's registry in this thread: context vars do
+        # not cross thread boundaries, so without this the engine/cache/
+        # plan counters of evaluations would vanish instead of landing
+        # in /metrics.
+        obs_metrics._activate(self.registry)
+        while True:
+            item = self._queue.get()
+            if item is None:  # shutdown sentinel
+                return
+            request, flight = item
+            self.registry.gauge("service.queued").set(self._queue.qsize())
+            with self._flights_lock:
+                expired = (
+                    flight.waiters <= 0
+                    and time.monotonic() > flight.deadline
+                )
+                if expired:
+                    # Nobody is listening anymore: drop the job instead
+                    # of spending a worker on it, and make the key
+                    # immediately reusable.
+                    self._flights.pop(flight.key, None)
+            if expired:
+                self._counter("service.expired_skipped")
+                flight.error = BagCQError("expired before execution")
+                flight.event.set()
+                continue
+            with self._inflight_lock:
+                self._inflight += 1
+                self.registry.gauge("service.inflight").set(self._inflight)
+            try:
+                with self.registry.timer(
+                    f"service.time.{request.endpoint}"
+                ).time():
+                    flight.result = request.run()
+                self._counter("service.completed")
+            except BaseException as error:  # noqa: BLE001 — fanned to waiters
+                flight.error = error
+            finally:
+                with self._inflight_lock:
+                    self._inflight -= 1
+                    self.registry.gauge("service.inflight").set(self._inflight)
+                with self._flights_lock:
+                    self._flights.pop(flight.key, None)
+                flight.event.set()
+
+    # -- introspection -----------------------------------------------------
+
+    def health(self) -> dict:
+        return {
+            "protocol_version": protocol.PROTOCOL_VERSION,
+            "status": "draining" if self._draining else "ok",
+            "inflight": self._inflight,
+            "queued": self._queue.qsize(),
+            "workers": self.config.workers,
+            "queue_depth": self.config.queue_depth,
+            "coalesce": self.config.coalesce,
+            "count_cache": self.count_cache.stats(),
+        }
+
+    def metrics_json(self) -> str:
+        return stable_json_dumps(
+            {
+                "schema_version": SCHEMA_VERSION,
+                "metrics": self.registry.snapshot(),
+            }
+        )
+
+
+class _ServiceFailure(Exception):
+    """A structured failure with its wire envelope attached."""
+
+    def __init__(
+        self, kind: str, message: str, retry_after: float | None = None
+    ) -> None:
+        super().__init__(message)
+        self.kind = kind
+        self.retry_after = retry_after
+        self.envelope = protocol.error_envelope(kind, message, retry_after)
+        self.status = protocol.status_for_kind(kind)
+
+    @classmethod
+    def from_exception(cls, error: BaseException) -> "_ServiceFailure":
+        envelope = protocol.error_from_exception(error)
+        entry = envelope["error"]
+        return cls(entry["kind"], entry["message"], entry["retry_after"])
+
+
+class _RequestHandler(BaseHTTPRequestHandler):
+    """Routes HTTP onto the :class:`EvaluationServer` it belongs to."""
+
+    evaluation_server: EvaluationServer  # set by the start() subclass
+    protocol_version = "HTTP/1.1"
+    #: Sockets that go quiet are dropped, so shutdown cannot wedge on a
+    #: client that connected and never finished its request.
+    timeout = 30
+
+    server_version = "bagcq-service/1"
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        # Access logging is a counter, not a stderr line-per-request.
+        self.evaluation_server.registry.counter("service.http_lines").inc()
+
+    def _send_json(
+        self, status: int, payload: dict, retry_after: float | None = None
+    ) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if retry_after is not None:
+            self.send_header("Retry-After", f"{retry_after:.3f}")
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_failure(self, failure: _ServiceFailure) -> None:
+        self._send_json(failure.status, failure.envelope, failure.retry_after)
+
+    def do_GET(self) -> None:  # noqa: N802 — http.server API
+        server = self.evaluation_server
+        if self.path == "/healthz":
+            self._send_json(200, server.health())
+        elif self.path == "/metrics":
+            body = server.metrics_json().encode("utf-8")
+            self.send_response(200)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+        elif self.path.lstrip("/") in ENDPOINTS:
+            self._send_failure(
+                _ServiceFailure(
+                    protocol.KIND_METHOD,
+                    f"{self.path} requires POST",
+                )
+            )
+        else:
+            self._send_failure(
+                _ServiceFailure(
+                    protocol.KIND_NOT_FOUND, f"no such endpoint {self.path}"
+                )
+            )
+
+    def do_POST(self) -> None:  # noqa: N802 — http.server API
+        server = self.evaluation_server
+        endpoint = self.path.lstrip("/")
+        if endpoint in ("healthz", "metrics"):
+            self._send_failure(
+                _ServiceFailure(
+                    protocol.KIND_METHOD, f"{self.path} requires GET"
+                )
+            )
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+            raw = self.rfile.read(length) if length else b""
+            body = json.loads(raw.decode("utf-8")) if raw else {}
+        except (ValueError, UnicodeDecodeError) as error:
+            server.registry.counter("service.errors").inc()
+            self._send_failure(
+                _ServiceFailure(
+                    protocol.KIND_BAD_REQUEST,
+                    f"request body is not valid JSON: {error}",
+                )
+            )
+            return
+        deadline_ms = None
+        if isinstance(body, dict) and "deadline_ms" in body:
+            deadline_value = body["deadline_ms"]
+            if isinstance(deadline_value, bool) or not isinstance(
+                deadline_value, int
+            ):
+                self._send_failure(
+                    _ServiceFailure(
+                        protocol.KIND_BAD_REQUEST,
+                        f"'deadline_ms' must be an integer, "
+                        f"got {deadline_value!r}",
+                    )
+                )
+                return
+            deadline_ms = deadline_value
+        try:
+            result = server.submit(endpoint, body, deadline_ms)
+        except _ServiceFailure as failure:
+            self._send_failure(failure)
+            return
+        self._send_json(200, result)
+
+
+def serve(config: ServerConfig | None = None) -> None:
+    """Blocking entry point (``bagcq serve``): run until interrupted."""
+    server = EvaluationServer(config)
+    server.start()
+    host, port = server.address
+    print(f"bagcq service listening on http://{host}:{port}", flush=True)
+    try:
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        print("draining…", flush=True)
+    finally:
+        server.close()

@@ -1,0 +1,266 @@
+"""Concurrent hammering of the shared caches the service relies on.
+
+``EvaluationServer`` shares one :class:`CountCache` and the process-wide
+:class:`PlanCache` across all worker threads, so both must tolerate
+arbitrary interleavings.  These tests hammer them from many threads and
+check the invariants the service depends on:
+
+* **no lost updates** — every stored entry is retrievable afterwards;
+* **no over-eviction** — the cache never holds more than its capacity,
+  and never evicts below it while hot keys are being touched;
+* **accounting closes** — hits + misses equals the number of lookups
+  issued, even under contention;
+* **bit-identical counts** — evaluating a workload through a shared
+  cache from N threads produces exactly the counts a serial run with a
+  fresh cache produces.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+
+import pytest
+
+from repro.homomorphism import count
+from repro.homomorphism.cache import CountCache, component_cache_key
+from repro.planner.analyze import PlanCache, analyze_component
+from repro.queries import parse_query
+from repro.relational import Schema, Structure
+from repro.workloads import cycle_query, path_query
+
+THREADS = 8
+
+
+def _run_threads(target, count_: int = THREADS, args_for=None):
+    errors: list[BaseException] = []
+    barrier = threading.Barrier(count_)
+
+    def wrapped(index):
+        try:
+            barrier.wait()
+            target(*(args_for(index) if args_for else (index,)))
+        except BaseException as error:  # noqa: BLE001 — re-raised below
+            errors.append(error)
+
+    threads = [
+        threading.Thread(target=wrapped, args=(index,))
+        for index in range(count_)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=120)
+    assert not any(thread.is_alive() for thread in threads)
+    if errors:
+        raise errors[0]
+    return threads
+
+
+class TestCountCacheConcurrency:
+    def test_no_lost_updates(self):
+        """With capacity >= total keys, every stored value survives."""
+        cache = CountCache(max_entries=THREADS * 200)
+
+        def writer(index):
+            for i in range(200):
+                cache.store(("k", index, i), index * 1000 + i)
+
+        _run_threads(writer)
+        assert len(cache) == THREADS * 200
+        for index in range(THREADS):
+            for i in range(200):
+                assert cache.lookup(("k", index, i)) == index * 1000 + i
+
+    def test_no_over_eviction(self):
+        """Under churn the cache never exceeds capacity and stays warm."""
+        capacity = 64
+        cache = CountCache(max_entries=capacity)
+        stop = threading.Event()
+        sizes: list[int] = []
+
+        def sampler():
+            while not stop.is_set():
+                sizes.append(len(cache))
+
+        watcher = threading.Thread(target=sampler)
+        watcher.start()
+        try:
+
+            def churner(index):
+                rng = random.Random(index)
+                for _ in range(2000):
+                    key = ("churn", rng.randrange(capacity * 4))
+                    if cache.lookup(key) is None:
+                        cache.store(key, 1)
+
+            _run_threads(churner)
+        finally:
+            stop.set()
+            watcher.join(timeout=30)
+        assert sizes, "the sampler must have observed the cache"
+        assert max(sizes) <= capacity
+        assert len(cache) <= capacity
+        # After thousands of stores against 4x capacity of keys, the
+        # cache should be full, not over-evicted down to a sliver.
+        assert len(cache) == capacity
+
+    def test_accounting_closes_under_contention(self):
+        cache = CountCache(max_entries=1024)
+        lookups_per_thread = 3000
+
+        def mixed(index):
+            rng = random.Random(index)
+            for _ in range(lookups_per_thread):
+                key = ("acct", rng.randrange(256))
+                if cache.lookup(key) is None:
+                    cache.store(key, 1)
+
+        _run_threads(mixed)
+        stats = cache.stats()
+        assert stats["hits"] + stats["misses"] == THREADS * lookups_per_thread
+        assert stats["evictions"] == 0
+
+    def test_counts_bit_identical_to_serial(self):
+        """N threads × shared cache == serial run × fresh cache, exactly."""
+        rng = random.Random(5)
+        n = 11
+        edges = {(rng.randrange(n), rng.randrange(n)) for _ in range(40)}
+        structure = Structure(
+            Schema.from_arities({"E": 2}), {"E": edges}, domain=range(n)
+        )
+        workload = [
+            cycle_query(3),
+            cycle_query(4),
+            path_query(3),
+            path_query(4),
+            parse_query("E(x, y) & E(y, x)"),
+            parse_query("E(x, x)"),
+            cycle_query(3, prefix="renamed_"),  # α-equivalent to cycle 3
+        ]
+        serial = [
+            count(query, structure, engine="backtracking", cache=CountCache())
+            for query in workload
+        ]
+
+        shared = CountCache(max_entries=256)
+        results: dict[int, list[int]] = {}
+
+        def evaluator(index):
+            local = []
+            for query in workload:
+                local.append(
+                    count(
+                        query,
+                        structure,
+                        engine="backtracking",
+                        cache=shared,
+                    )
+                )
+            results[index] = local
+
+        _run_threads(evaluator)
+        assert len(results) == THREADS
+        for index in range(THREADS):
+            assert results[index] == serial
+        # The α-equivalent rename must have hit, not re-evaluated.
+        assert shared.hits > 0
+
+    def test_cache_key_stability_across_threads(self):
+        """component_cache_key is pure: all threads derive the same key."""
+        structure = Structure(
+            Schema.from_arities({"E": 2}), {"E": {(0, 1)}}, domain=range(2)
+        )
+        keys: dict[int, object] = {}
+
+        def derive(index):
+            query = cycle_query(4, prefix=f"t{index}_")
+            keys[index] = component_cache_key(query, structure, "backtracking")
+
+        _run_threads(derive)
+        assert len(set(keys.values())) == 1
+
+
+class TestPlanCacheConcurrency:
+    def test_profiles_identical_and_accounting_closes(self):
+        cache = PlanCache(max_entries=512)
+        components = [
+            cycle_query(k, prefix=f"c{k}_") for k in range(3, 9)
+        ] + [path_query(k, prefix=f"p{k}_") for k in range(2, 8)]
+        expected = {
+            id(component): analyze_component(component)
+            for component in components
+        }
+        rounds = 50
+
+        def prober(index):
+            for _ in range(rounds):
+                for component in components:
+                    profile, _hit = cache.profile(component)
+                    assert profile == expected[id(component)]
+
+        _run_threads(prober)
+        stats = cache.stats()
+        total = THREADS * rounds * len(components)
+        assert stats["hits"] + stats["misses"] == total
+        assert stats["misses"] <= len(components) * THREADS
+        assert len(cache) <= 512
+
+    def test_no_over_eviction_with_tiny_capacity(self):
+        cache = PlanCache(max_entries=4)
+        components = [cycle_query(k) for k in range(3, 11)]
+
+        def prober(index):
+            for _ in range(30):
+                for component in components:
+                    cache.profile(component)
+
+        _run_threads(prober)
+        assert len(cache) <= 4
+
+    def test_alpha_equivalent_components_share_entries(self):
+        cache = PlanCache(max_entries=64)
+        renamed = [cycle_query(5, prefix=f"r{i}_") for i in range(THREADS)]
+
+        def prober(index):
+            cache.profile(renamed[index])
+
+        _run_threads(prober)
+        # All 8 are the same canonical component: at most a handful of
+        # misses (racing first-fills), definitely not one per thread
+        # after a warm-up round.
+        profile, hit = cache.profile(cycle_query(5, prefix="fresh_"))
+        assert hit is True
+        assert profile == analyze_component(renamed[0])
+
+
+@pytest.mark.parametrize("workers", [2, 8])
+def test_server_hammering_end_to_end(workers):
+    """The integrated check: concurrent mixed traffic, exact answers."""
+    from repro.service import EvaluationServer, ServerConfig, ServiceClient
+
+    rng = random.Random(9)
+    n = 10
+    edges = {(rng.randrange(n), rng.randrange(n)) for _ in range(35)}
+    structure = Structure(
+        Schema.from_arities({"E": 2}), {"E": edges}, domain=range(n)
+    )
+    workload = [cycle_query(3), cycle_query(4), path_query(4), path_query(5)]
+    expected = [count(q, structure, engine="backtracking") for q in workload]
+
+    with EvaluationServer(
+        ServerConfig(workers=workers, queue_depth=64)
+    ) as server:
+        results: dict[int, list[int]] = {}
+
+        def caller(index):
+            client = ServiceClient(server.url, retries=4, seed=index)
+            results[index] = [
+                client.evaluate(query, structure, engine="backtracking")
+                for query in workload
+            ]
+
+        _run_threads(caller)
+        assert len(results) == THREADS
+        for index in range(THREADS):
+            assert results[index] == expected

@@ -356,3 +356,116 @@ class TestStatsFlags:
         assert "error:" in err
         assert "[engine: acyclic]" in err
         assert "observability report" in err
+
+
+class TestExplainCommand:
+    def test_explain_text(self, capsys):
+        exit_code = main(
+            ["explain", "--query", "E(x,y) & E(y,z)", "--facts", "E(a,b) E(b,c)"]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "plan:" in out
+        assert "engine=" in out
+
+    def test_explain_json_is_stable_plan_dict(self, capsys):
+        import json
+
+        exit_code = main(["explain", "--query", "E(x,y) & E(y,z)", "--json"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out)
+        assert payload["schema_version"] == 1
+        assert payload["engines"]
+        assert all("engine" in step for step in payload["steps"])
+        # Stable JSON: key-sorted, so the output round-trips byte-for-byte.
+        assert out.strip() == json.dumps(payload, indent=2, sort_keys=True)
+
+    def test_explain_json_matches_library_plan(self, capsys):
+        import json
+
+        from repro.planner import PlanCache, plan
+        from repro.queries import parse_query
+
+        query_text = "E(x,y) & E(y,z) & F(u,u)"
+        exit_code = main(["explain", "--query", query_text, "--json"])
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        query = parse_query(query_text)
+        local = plan(query, query.canonical_structure(), cache=PlanCache())
+        assert payload == json.loads(json.dumps(local.to_dict()))
+
+
+class TestServiceCommands:
+    @pytest.fixture()
+    def server(self):
+        from repro.service import EvaluationServer, ServerConfig
+
+        with EvaluationServer(ServerConfig(workers=1)) as srv:
+            yield srv
+
+    def test_call_evaluate(self, capsys, server):
+        exit_code = main(
+            [
+                "call",
+                "evaluate",
+                "--url",
+                server.url,
+                "--query",
+                "E(x,y) & E(y,x)",
+                "--facts",
+                "E(a,b) E(b,a) E(a,a)",
+            ]
+        )
+        assert exit_code == 0
+        assert capsys.readouterr().out.strip() == "3"
+
+    def test_call_healthz(self, capsys, server):
+        import json
+
+        exit_code = main(["call", "healthz", "--url", server.url])
+        assert exit_code == 0
+        assert json.loads(capsys.readouterr().out)["status"] == "ok"
+
+    def test_call_explain(self, capsys, server):
+        import json
+
+        exit_code = main(
+            ["call", "explain", "--url", server.url, "--query", "E(x,y) & E(y,z)"]
+        )
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema_version"] == 1
+        assert payload["steps"]
+
+    def test_call_decide(self, capsys, server):
+        import json
+
+        exit_code = main(
+            [
+                "call",
+                "decide",
+                "--url",
+                server.url,
+                "--phi-s",
+                "E(x,y) & E(y,x)",
+                "--phi-b",
+                "E(x,y)",
+                "--count",
+                "5",
+            ]
+        )
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["verdict"] in ("counterexample", "exhausted")
+
+    def test_call_evaluate_requires_query(self, server):
+        with pytest.raises(SystemExit):
+            main(["call", "evaluate", "--url", server.url])
+
+    def test_serve_parser_defaults(self):
+        parser = build_parser()
+        args = parser.parse_args(["serve"])
+        assert args.port == 8642
+        assert args.workers >= 1
+        assert args.no_coalesce is False

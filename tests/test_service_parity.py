@@ -1,0 +1,134 @@
+"""Remote-vs-local parity: the service is a transparent proxy.
+
+The contract the client documents — and the reason ``repro.service`` can
+sit in front of the library at all — is that going through HTTP changes
+*nothing* observable:
+
+* counts are bit-identical integers (Python ints survive JSON exactly up
+  to the magnitudes the corpus produces);
+* error classes match — a request that makes the library raise
+  ``SomeError`` locally comes back as a ``RemoteError`` whose ``kind``
+  is the string ``"SomeError"``;
+* decision verdicts over the same seeded candidate stream are identical
+  dicts.
+
+The corpus slice in ``tests/corpus/`` is the hardest input set the repo
+owns (minimized fuzzer findings), so it doubles as the parity workload.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import BagCQError
+from repro.homomorphism import count, count_ucq
+from repro.qa.corpus import load_corpus
+from repro.queries import parse_query
+from repro.service import EvaluationServer, RemoteError, ServerConfig, ServiceClient
+
+CORPUS_DIR = "tests/corpus"
+
+_CASES = [
+    (path.name, case)
+    for path, _entry, case in load_corpus(CORPUS_DIR)
+    if case.kind in ("cq", "ucq") and case.structure is not None
+]
+
+
+@pytest.fixture(scope="module")
+def server():
+    with EvaluationServer(ServerConfig(workers=2, queue_depth=32)) as srv:
+        yield srv
+
+
+@pytest.fixture(scope="module")
+def client(server):
+    return ServiceClient(server.url, seed=0)
+
+
+def test_corpus_slice_is_nonempty():
+    assert len(_CASES) >= 5, "parity needs a real corpus slice to chew on"
+
+
+@pytest.mark.parametrize(
+    "name,case", _CASES, ids=[name for name, _ in _CASES]
+)
+@pytest.mark.parametrize("engine", ["auto", "backtracking"])
+def test_counts_bit_identical(client, name, case, engine):
+    if case.kind == "cq":
+        local = count(case.query, case.structure, engine=engine)
+        remote = client.evaluate(case.query, case.structure, engine=engine)
+    else:
+        local = count_ucq(case.disjuncts, case.structure, engine=engine)
+        remote = client.evaluate_ucq(
+            case.disjuncts, case.structure, engine=engine
+        )
+    assert remote == local
+    assert type(remote) is int
+
+
+def test_error_class_parity(client):
+    """Whatever the library raises locally arrives as ``kind == class name``."""
+    probes = [
+        # Unknown engine name → EvaluationError.
+        dict(query="E(x,y)", structure="E(a,b)", engine="warpdrive"),
+        # Arity mismatch between query and structure → EvaluationError.
+        dict(query="E(x,y,z)", structure="E(a,b)", engine="backtracking"),
+        # Constant the structure does not interpret → ConstantError.
+        dict(query="E(x,#missing)", structure="E(a,b)", engine="backtracking"),
+    ]
+    for probe in probes:
+        query = parse_query(probe["query"])
+        from repro.io import structure_from_facts
+
+        structure = structure_from_facts(probe["structure"])
+        with pytest.raises(BagCQError) as local_exc:
+            count(query, structure, engine=probe["engine"])
+        with pytest.raises(RemoteError) as remote_exc:
+            client.evaluate(query, structure, engine=probe["engine"])
+        assert remote_exc.value.kind == type(local_exc.value).__name__
+        assert str(local_exc.value) in str(remote_exc.value)
+
+
+def test_decide_verdict_parity(client):
+    """Same seeded stream ⇒ same verdict, local or remote."""
+    from repro.decision.search import find_counterexample, random_structures
+
+    phi_s = parse_query("E(x,y) & E(y,x)")
+    phi_b = parse_query("E(x,y)")
+    params = dict(domain_size=3, density=0.4, count=25, seed=11)
+
+    stream = random_structures(phi_s.schema.union(phi_b.schema), **params)
+    local = find_counterexample(
+        phi_s, phi_b, stream, multiplier=1, additive=0
+    )
+    remote = client.decide(
+        phi_s,
+        phi_b,
+        multiplier=1,
+        additive=0,
+        domain_size=params["domain_size"],
+        density=params["density"],
+        count=params["count"],
+        seed=params["seed"],
+    )
+    assert remote["found"] == local.found
+    assert remote["checked"] == local.checked
+    assert remote["lhs"] == local.lhs
+    assert remote["rhs"] == local.rhs
+    expected_verdict = "counterexample" if local.found else "exhausted"
+    assert remote["verdict"] == expected_verdict
+
+
+def test_parity_survives_warm_cache(client, server):
+    """Replaying the slice against the now-warm server cache stays identical."""
+    for _name, case in _CASES[:5]:
+        if case.kind == "cq":
+            assert client.evaluate(case.query, case.structure) == count(
+                case.query, case.structure
+            )
+        else:
+            assert client.evaluate_ucq(
+                case.disjuncts, case.structure
+            ) == count_ucq(case.disjuncts, case.structure)
+    assert server.count_cache.stats()["hits"] > 0
