@@ -1,0 +1,151 @@
+"""E18 — seeded load scenarios: throughput, tail latency, SLO gate.
+
+Four deterministic traffic shapes (``repro.loadgen``) replay against a
+live in-process server, and the per-scenario aggregates — throughput,
+server-side p50/p95/p99 from the ``service.request_ms.evaluate``
+histogram delta, shed rate — become the checked-in ``BENCH_load.json``
+baseline the CI ``load-smoke`` job gates against.
+
+What each scenario must demonstrate:
+
+* ``zipf-duplicates`` — duplicate-heavy traffic completes fully; the
+  duplicates land in the count cache / single-flight layer, so p95 stays
+  within the declared SLO.
+* ``multi-tenant`` — disjoint per-tenant pools interleave without
+  starving anyone (every tenant's slice completes).
+* ``adversarial-tail`` — the CYCLIQ/gadget tail stretches p95 away from
+  p50 (that separation *is* the scenario working), yet completes.
+* ``deadline-spread`` — unmeetable 1 ms deadlines produce 504s, never
+  hangs or shed storms.
+
+The artifact path is overridable via the ``BENCH_LOAD`` environment
+variable.  The SLO checks run here too: the recorded run must pass both
+the absolute objectives and a self-regression check, and a synthetically
+degraded copy must *fail* the gate (the gate's own negative control).
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+import os
+
+from repro.loadgen import (
+    DEFAULT_SLOS,
+    SCENARIO_NAMES,
+    build_scenario,
+    check_regression,
+    evaluate_slo,
+    run_scenario,
+)
+from repro.service import EvaluationServer, ServerConfig, ServiceClient
+
+from benchmarks.conftest import print_table
+
+SEED = 0
+REQUESTS = 80
+CLIENTS = 4
+
+
+def _run_all(server_url: str) -> list[dict]:
+    rows = []
+    for name in SCENARIO_NAMES:
+        scenario = build_scenario(
+            name, seed=SEED, requests=REQUESTS, clients=CLIENTS
+        )
+        rows.append(run_scenario(scenario, server_url).to_dict())
+    return rows
+
+
+def test_e18_load_scenarios(benchmark):
+    config = ServerConfig(workers=4, queue_depth=32)
+    with EvaluationServer(config) as server:
+        rows = _run_all(server.url)
+        metrics = ServiceClient(server.url).metrics()["metrics"]
+
+    print_table(
+        f"E18 — seeded load scenarios (seed={SEED}, "
+        f"{REQUESTS} requests x {CLIENTS} clients each)",
+        ["scenario", "rps", "p50 ms", "p95 ms", "p99 ms", "shed", "504s"],
+        [
+            [
+                row["scenario"],
+                row["throughput_rps"],
+                row["p50_ms"],
+                row["p95_ms"],
+                row["p99_ms"],
+                f"{row['shed_rate']:.1%}",
+                row["deadline_exceeded"],
+            ]
+            for row in rows
+        ],
+    )
+
+    by_name = {row["scenario"]: row for row in rows}
+    assert set(by_name) == set(SCENARIO_NAMES)
+
+    # Every scenario records the full aggregate the SLO layer consumes.
+    for row in rows:
+        for field in ("throughput_rps", "p50_ms", "p95_ms", "shed_rate"):
+            assert row[field] is not None, (row["scenario"], field)
+        assert row["errors"] == 0, row
+
+    # Duplicate-heavy and multi-tenant traffic completes fully.
+    assert by_name["zipf-duplicates"]["completed"] == REQUESTS
+    assert by_name["multi-tenant"]["completed"] == REQUESTS
+    # The adversarial tail separates p95 from p50 — and still completes.
+    tail = by_name["adversarial-tail"]
+    assert tail["completed"] == REQUESTS
+    assert tail["p95_ms"] >= tail["p50_ms"]
+    # Unmeetable deadlines produce structured 504s, not hangs or errors.
+    spread = by_name["deadline-spread"]
+    assert spread["deadline_exceeded"] >= 1
+    assert spread["completed"] + spread["deadline_exceeded"] == REQUESTS
+    # The server accounted one logical request per attempt (no retries
+    # in the runner), and the evaluate histogram saw every completion.
+    assert metrics["service.requests"]["value"] >= 4 * REQUESTS
+
+    # Absolute objectives: the recorded run passes its declared SLOs.
+    violations = [
+        violation
+        for row in rows
+        for violation in evaluate_slo(row, DEFAULT_SLOS[row["scenario"]])
+    ]
+    assert violations == [], violations
+
+    document = {
+        "experiment": "E18-load",
+        "seed": SEED,
+        "requests": REQUESTS,
+        "clients": CLIENTS,
+        "scenarios": rows,
+    }
+
+    # Self-regression: a run never regresses against itself...
+    assert check_regression(document, document) == []
+    # ...and the gate demonstrably fires on a synthetic p95 regression
+    # (its negative control: a gate that cannot fail gates nothing).
+    degraded = copy.deepcopy(document)
+    for row in degraded["scenarios"]:
+        if row["p95_ms"] is not None:
+            row["p95_ms"] = row["p95_ms"] * 10 + 1000.0
+        row["throughput_rps"] = row["throughput_rps"] * 0.1
+    broken = check_regression(degraded, document)
+    assert len(broken) >= 2 * len(SCENARIO_NAMES), broken
+
+    artifact = os.environ.get("BENCH_LOAD", "BENCH_load.json")
+    with open(artifact, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    # Representative number: one full zipf-duplicates replay (the
+    # cache-friendliest scenario — the steady-state serving shape).
+    def replay():
+        with EvaluationServer(ServerConfig(workers=4, queue_depth=32)) as srv:
+            scenario = build_scenario(
+                "zipf-duplicates", seed=SEED, requests=20, clients=2
+            )
+            return run_scenario(scenario, srv.url)
+
+    result = benchmark.pedantic(replay, rounds=1, iterations=1)
+    assert result.completed == 20

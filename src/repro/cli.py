@@ -34,9 +34,25 @@ Subcommands::
         identical requests, per-request deadlines, /healthz + /metrics.
 
     bagcq call evaluate --query "E(x,y)" --facts "E(a,b)" [--url URL]
-    bagcq call healthz | metrics | explain | decide …
+    bagcq call healthz | metrics | traces | explain | decide …
         Drive a running daemon from the shell through the retrying
         ``ServiceClient``.
+
+    bagcq loadgen --url URL [--scenario NAME]… [--requests 120] \\
+            [--clients 4] [--seed 0] [--output BENCH_load.json] [--check-slo]
+        Replay the named seeded traffic scenarios (default: all four)
+        against a running daemon and print throughput / server-side
+        p50/p95/p99 / shed-rate per scenario (repro.loadgen).
+
+    bagcq slo --run BENCH_load.json [--baseline benchmarks/BENCH_load.json]
+        Judge a recorded load run against the declared objectives and,
+        when a baseline is given, against it (the CI regression gate).
+        Exits non-zero on any violation.
+
+    bagcq calibrate [--cases 40] [--repeat 3] [--seed 0] [--output PATH]
+        Fit the planner's per-engine cost scales from measured wall time
+        on the seeded case stream and print them as stable JSON (load
+        them with repro.planner.CostConstants.from_dict).
 
     bagcq compare --instance linear:2:3:7
         Print the inequality-budget comparison against Jayram-Kolaitis-Vee.
@@ -253,6 +269,9 @@ def _command_call(args: argparse.Namespace) -> int:
     if endpoint == "metrics":
         print(stable_json_dumps(client.metrics()))
         return 0
+    if endpoint == "traces":
+        print(stable_json_dumps(client.traces()))
+        return 0
     if endpoint == "evaluate":
         if args.query is None or args.facts is None:
             raise SystemExit("call evaluate needs --query and --facts")
@@ -290,6 +309,109 @@ def _command_call(args: argparse.Namespace) -> int:
         print(stable_json_dumps(verdict))
         return 0
     raise SystemExit(f"unknown endpoint {endpoint!r}")
+
+
+def _command_loadgen(args: argparse.Namespace) -> int:
+    from repro.loadgen import (
+        DEFAULT_SLOS,
+        SCENARIO_NAMES,
+        build_scenario,
+        evaluate_slo,
+        run_scenario,
+    )
+    from repro.obs.report import stable_json_dumps
+
+    names = args.scenario or list(SCENARIO_NAMES)
+    unknown = sorted(set(names) - set(SCENARIO_NAMES))
+    if unknown:
+        raise SystemExit(
+            f"unknown scenario(s) {unknown}; choose from {list(SCENARIO_NAMES)}"
+        )
+    rows = []
+    violations: list[str] = []
+    for name in names:
+        scenario = build_scenario(
+            name, seed=args.seed, requests=args.requests, clients=args.clients
+        )
+        result = run_scenario(scenario, args.url)
+        row = result.to_dict()
+        rows.append(row)
+        print(
+            f"{row['scenario']:<18} {row['throughput_rps']:>9.2f} rps  "
+            f"p50 {row['p50_ms'] or 0:>8.2f} ms  "
+            f"p95 {row['p95_ms'] or 0:>8.2f} ms  "
+            f"shed {row['shed_rate']:.2%}  "
+            f"({row['completed']}/{row['requests']} ok, "
+            f"{row['deadline_exceeded']} timed out)"
+        )
+        if args.check_slo and name in DEFAULT_SLOS:
+            violations.extend(evaluate_slo(row, DEFAULT_SLOS[name]))
+    document = {
+        "experiment": "E18-load",
+        "seed": args.seed,
+        "requests": args.requests,
+        "clients": args.clients,
+        "scenarios": rows,
+    }
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(stable_json_dumps(document))
+            handle.write("\n")
+        print(f"wrote {args.output}")
+    if violations:
+        for violation in violations:
+            print(f"SLO VIOLATION: {violation}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _command_slo(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from repro.loadgen import DEFAULT_SLOS, check_regression, evaluate_slo
+
+    with open(args.run, encoding="utf-8") as handle:
+        current = json_module.load(handle)
+    violations: list[str] = []
+    for row in current.get("scenarios", []):
+        slo = DEFAULT_SLOS.get(row.get("scenario"))
+        if slo is not None:
+            violations.extend(evaluate_slo(row, slo))
+    if args.baseline:
+        with open(args.baseline, encoding="utf-8") as handle:
+            baseline = json_module.load(handle)
+        violations.extend(
+            check_regression(
+                current,
+                baseline,
+                p95_ratio=args.p95_ratio,
+                throughput_ratio=args.throughput_ratio,
+                p95_floor_ms=args.p95_floor_ms,
+            )
+        )
+    if violations:
+        for violation in violations:
+            print(f"SLO VIOLATION: {violation}", file=sys.stderr)
+        return 1
+    print(f"{len(current.get('scenarios', []))} scenario(s) within objectives")
+    return 0
+
+
+def _command_calibrate(args: argparse.Namespace) -> int:
+    from repro.loadgen import calibrate
+    from repro.obs.report import stable_json_dumps
+
+    constants = calibrate(
+        case_count=args.cases, seed=args.seed, repeat=args.repeat
+    )
+    rendered = stable_json_dumps(constants.to_dict())
+    print(rendered)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(rendered)
+            handle.write("\n")
+        print(f"wrote {args.output}", file=sys.stderr)
+    return 0
 
 
 def _command_search(args: argparse.Namespace) -> int:
@@ -572,7 +694,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     call_parser.add_argument(
         "endpoint",
-        choices=("evaluate", "explain", "decide", "healthz", "metrics"),
+        choices=("evaluate", "explain", "decide", "healthz", "metrics", "traces"),
     )
     call_parser.add_argument(
         "--url", default="http://127.0.0.1:8642", help="service base URL"
@@ -596,6 +718,96 @@ def build_parser() -> argparse.ArgumentParser:
         "--retries", type=int, default=4, help="client retry budget"
     )
     call_parser.set_defaults(handler=_command_call)
+
+    loadgen_parser = sub.add_parser(
+        "loadgen",
+        help="replay seeded traffic scenarios against a running daemon",
+        parents=[obs_flags],
+    )
+    loadgen_parser.add_argument(
+        "--url", default="http://127.0.0.1:8642", help="service base URL"
+    )
+    loadgen_parser.add_argument(
+        "--scenario",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="scenario to replay (repeatable; default: all four)",
+    )
+    loadgen_parser.add_argument(
+        "--requests", type=_positive_int, default=120, help="requests per scenario"
+    )
+    loadgen_parser.add_argument(
+        "--clients", type=_positive_int, default=4, help="concurrent workers"
+    )
+    loadgen_parser.add_argument("--seed", type=int, default=0)
+    loadgen_parser.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="write the BENCH_load-shaped JSON document to PATH",
+    )
+    loadgen_parser.add_argument(
+        "--check-slo",
+        action="store_true",
+        help="exit non-zero when a scenario misses its declared objectives",
+    )
+    loadgen_parser.set_defaults(handler=_command_loadgen)
+
+    slo_parser = sub.add_parser(
+        "slo",
+        help="judge a recorded load run against objectives and a baseline",
+        parents=[obs_flags],
+    )
+    slo_parser.add_argument(
+        "--run", required=True, metavar="PATH", help="BENCH_load-shaped JSON"
+    )
+    slo_parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help="checked-in baseline to gate regressions against",
+    )
+    slo_parser.add_argument(
+        "--p95-ratio",
+        type=float,
+        default=1.5,
+        help="allowed p95 growth vs baseline (default 1.5x)",
+    )
+    slo_parser.add_argument(
+        "--throughput-ratio",
+        type=float,
+        default=0.6,
+        help="required throughput vs baseline (default 60%%)",
+    )
+    slo_parser.add_argument(
+        "--p95-floor-ms",
+        type=float,
+        default=5.0,
+        help="ignore p95 regressions below this absolute latency "
+        "(default 5 ms; raise on noisy shared runners)",
+    )
+    slo_parser.set_defaults(handler=_command_slo)
+
+    calibrate_parser = sub.add_parser(
+        "calibrate",
+        help="fit the planner's per-engine cost scales on this machine",
+        parents=[obs_flags],
+    )
+    calibrate_parser.add_argument(
+        "--cases", type=_positive_int, default=40, help="cq cases to measure"
+    )
+    calibrate_parser.add_argument(
+        "--repeat", type=_positive_int, default=3, help="evaluations per sample"
+    )
+    calibrate_parser.add_argument("--seed", type=int, default=0)
+    calibrate_parser.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="also write the constants JSON to PATH",
+    )
+    calibrate_parser.set_defaults(handler=_command_calibrate)
 
     search_parser = sub.add_parser(
         "search",

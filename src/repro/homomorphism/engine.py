@@ -197,7 +197,7 @@ def _dispatch(component, structure, counter, engine: str, registry, cache=None) 
             value = counter(component, structure)
         else:
             registry.counter(f"engine.dispatch.{engine}").inc()
-            with registry.timer(f"engine.time.{engine}").time():
+            with registry.histogram(f"engine.time.{engine}").time():
                 value = counter(component, structure)
     except EvaluationError as error:
         raise _tag_engine(error, engine) from error

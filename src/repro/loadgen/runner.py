@@ -1,0 +1,218 @@
+"""Closed-loop scenario replay against a live server, with attribution.
+
+One worker thread per tenant, each with its own seeded
+:class:`~repro.service.ServiceClient` (``retries=0`` — a shed request
+must *count* as shed, not be retried into a success), sending its slice
+of the schedule as fast as the server answers.  Latency percentiles come
+from the **server's** ``service.request_ms.evaluate`` histogram, as the
+delta between a ``/metrics`` scrape before and after the run: bucket
+counts subtract exactly (the histogram is a sum of per-observation
+increments), so a scenario's percentiles are attributable even when the
+server is shared or long-lived.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import zlib
+from dataclasses import dataclass, field
+
+from repro.obs.metrics import quantile_from_bucket_counts
+from repro.service.client import (
+    DeadlineExceeded,
+    ServiceClient,
+    ServiceError,
+    ServiceUnavailable,
+)
+from repro.loadgen.scenarios import Scenario, ScheduledRequest
+
+__all__ = ["RequestOutcome", "ScenarioResult", "run_scenario"]
+
+_HISTOGRAM_NAME = "service.request_ms.evaluate"
+
+
+@dataclass(frozen=True)
+class RequestOutcome:
+    """What one scheduled request came back as."""
+
+    index: int
+    tenant: int
+    status: str  # "ok" | "shed" | "deadline_exceeded" | "error:<kind>"
+    latency_s: float
+
+
+@dataclass
+class ScenarioResult:
+    """One scenario's measured aggregate (the E18/BENCH_load row)."""
+
+    scenario: str
+    seed: int
+    requests: int
+    clients: int
+    completed: int = 0
+    shed: int = 0
+    deadline_exceeded: int = 0
+    errors: int = 0
+    wall_s: float = 0.0
+    throughput_rps: float = 0.0
+    p50_ms: float | None = None
+    p95_ms: float | None = None
+    p99_ms: float | None = None
+    outcomes: list[RequestOutcome] = field(default_factory=list)
+
+    @property
+    def shed_rate(self) -> float:
+        return self.shed / self.requests if self.requests else 0.0
+
+    def to_dict(self) -> dict:
+        """The stable row shape checked into ``BENCH_load.json``."""
+        return {
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "requests": self.requests,
+            "clients": self.clients,
+            "completed": self.completed,
+            "shed": self.shed,
+            "deadline_exceeded": self.deadline_exceeded,
+            "errors": self.errors,
+            "wall_s": round(self.wall_s, 4),
+            "throughput_rps": round(self.throughput_rps, 2),
+            "shed_rate": round(self.shed_rate, 4),
+            "p50_ms": self.p50_ms,
+            "p95_ms": self.p95_ms,
+            "p99_ms": self.p99_ms,
+        }
+
+
+def _histogram_buckets(metrics_body: dict) -> tuple[dict[str, int], float | None]:
+    """``(bucket counts, max_ms)`` of the evaluate histogram, or empty."""
+    snapshot = metrics_body.get("metrics", {}).get(_HISTOGRAM_NAME)
+    if not isinstance(snapshot, dict) or snapshot.get("type") != "histogram":
+        return {}, None
+    buckets = {
+        str(key): int(value)
+        for key, value in (snapshot.get("buckets") or {}).items()
+    }
+    return buckets, snapshot.get("max_ms")
+
+
+def _bucket_delta(
+    before: dict[str, int], after: dict[str, int]
+) -> dict[str, int]:
+    return {
+        key: after[key] - before.get(key, 0)
+        for key in after
+        if after[key] - before.get(key, 0) > 0
+    }
+
+
+def _send(client: ServiceClient, request: ScheduledRequest) -> str:
+    try:
+        if request.kind == "ucq":
+            client.evaluate_ucq(
+                list(request.disjuncts),
+                request.structure,
+                deadline_ms=request.deadline_ms,
+            )
+        else:
+            client.evaluate(
+                request.query,
+                request.structure,
+                deadline_ms=request.deadline_ms,
+            )
+        return "ok"
+    except ServiceUnavailable:
+        return "shed"
+    except DeadlineExceeded:
+        return "deadline_exceeded"
+    except ServiceError as error:
+        return f"error:{error.kind}"
+
+
+def run_scenario(
+    scenario: Scenario,
+    base_url: str,
+    timeout_s: float = 120.0,
+    keep_outcomes: bool = False,
+) -> ScenarioResult:
+    """Replay ``scenario`` against ``base_url`` and measure the response."""
+    probe = ServiceClient(base_url, retries=0, timeout_s=timeout_s)
+    before, _ = _histogram_buckets(probe.metrics())
+
+    slices: dict[int, list[ScheduledRequest]] = {}
+    for request in scenario.schedule:
+        slices.setdefault(request.tenant, []).append(request)
+
+    outcomes: list[RequestOutcome] = []
+    outcome_lock = threading.Lock()
+
+    def worker(tenant: int, requests: list[ScheduledRequest]) -> None:
+        # The scenario name goes into the id seed: otherwise two
+        # scenarios replayed against one server would mint identical
+        # request-id sequences and the server would count the later
+        # scenario's requests as retries of the earlier one's.
+        client = ServiceClient(
+            base_url,
+            retries=0,
+            timeout_s=timeout_s,
+            seed=(scenario.seed << 8)
+            ^ tenant
+            ^ zlib.crc32(scenario.name.encode("utf-8")),
+        )
+        local: list[RequestOutcome] = []
+        for request in requests:
+            started = time.perf_counter()
+            status = _send(client, request)
+            local.append(
+                RequestOutcome(
+                    index=request.index,
+                    tenant=tenant,
+                    status=status,
+                    latency_s=time.perf_counter() - started,
+                )
+            )
+        with outcome_lock:
+            outcomes.extend(local)
+
+    threads = [
+        threading.Thread(
+            target=worker,
+            args=(tenant, requests),
+            name=f"loadgen-{scenario.name}-{tenant}",
+        )
+        for tenant, requests in sorted(slices.items())
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall_s = max(time.perf_counter() - started, 1e-9)
+
+    after, max_ms = _histogram_buckets(probe.metrics())
+    delta = _bucket_delta(before, after)
+
+    result = ScenarioResult(
+        scenario=scenario.name,
+        seed=scenario.seed,
+        requests=scenario.requests,
+        clients=scenario.clients,
+        wall_s=wall_s,
+    )
+    for outcome in outcomes:
+        if outcome.status == "ok":
+            result.completed += 1
+        elif outcome.status == "shed":
+            result.shed += 1
+        elif outcome.status == "deadline_exceeded":
+            result.deadline_exceeded += 1
+        else:
+            result.errors += 1
+    result.throughput_rps = result.completed / wall_s
+    result.p50_ms = quantile_from_bucket_counts(delta, 0.50, max_ms)
+    result.p95_ms = quantile_from_bucket_counts(delta, 0.95, max_ms)
+    result.p99_ms = quantile_from_bucket_counts(delta, 0.99, max_ms)
+    if keep_outcomes:
+        result.outcomes = sorted(outcomes, key=lambda o: o.index)
+    return result

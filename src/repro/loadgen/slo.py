@@ -1,0 +1,159 @@
+"""Service-level objectives over recorded load runs, and the CI gate.
+
+Two distinct checks, deliberately separate:
+
+* :func:`evaluate_slo` judges one run against *absolute* declared
+  objectives (p95 ceiling, minimum throughput, shed-rate ceiling) — the
+  contract a deployment promises, independent of any baseline.
+* :func:`check_regression` judges a fresh run against the *checked-in
+  baseline* (``benchmarks/BENCH_load.json``) with generous ratios, so CI
+  fails on a real regression but not on runner jitter: latency may grow
+  by ``p95_ratio`` (and is ignored entirely below ``p95_floor_ms`` —
+  sub-floor numbers are scheduler noise), throughput may drop to
+  ``throughput_ratio`` of baseline, shed rate may rise by ``shed_slack``.
+
+Both return a list of human-readable violation strings — empty means
+pass — so the CLI/CI layer only has to print and exit non-zero.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "DEFAULT_SLOS",
+    "ScenarioSLO",
+    "check_regression",
+    "evaluate_slo",
+]
+
+
+@dataclass(frozen=True)
+class ScenarioSLO:
+    """Absolute objectives one scenario must meet."""
+
+    scenario: str
+    #: Ceiling on server-side p95 end-to-end latency.
+    p95_ms_max: float
+    #: Floor on completed requests per wall second.
+    throughput_rps_min: float
+    #: Ceiling on the shed fraction (``shed / requests``).
+    shed_rate_max: float
+
+    def to_dict(self) -> dict:
+        return {
+            "scenario": self.scenario,
+            "p95_ms_max": self.p95_ms_max,
+            "throughput_rps_min": self.throughput_rps_min,
+            "shed_rate_max": self.shed_rate_max,
+        }
+
+
+#: Deliberately loose defaults: they catch order-of-magnitude breakage
+#: (a lost cache, an accidental O(n²) in the hot path, runaway shedding)
+#: on any development machine, while the *regression* check against the
+#: checked-in baseline does the fine-grained guarding.
+DEFAULT_SLOS = {
+    slo.scenario: slo
+    for slo in (
+        ScenarioSLO("zipf-duplicates", p95_ms_max=2_000.0,
+                    throughput_rps_min=5.0, shed_rate_max=0.05),
+        ScenarioSLO("multi-tenant", p95_ms_max=2_000.0,
+                    throughput_rps_min=5.0, shed_rate_max=0.05),
+        ScenarioSLO("adversarial-tail", p95_ms_max=10_000.0,
+                    throughput_rps_min=2.0, shed_rate_max=0.10),
+        # The deadline scenario sheds nothing but *must* time some
+        # requests out; its throughput floor is low because 504s do not
+        # count as completed.
+        ScenarioSLO("deadline-spread", p95_ms_max=5_000.0,
+                    throughput_rps_min=1.0, shed_rate_max=0.05),
+    )
+}
+
+
+def evaluate_slo(row: dict, slo: ScenarioSLO) -> list[str]:
+    """Violations of the absolute objectives in one recorded row."""
+    violations: list[str] = []
+    p95 = row.get("p95_ms")
+    if p95 is None:
+        # A run that recorded no latency at all must not pass a latency
+        # objective by omission.
+        violations.append(f"{slo.scenario}: no p95 recorded")
+    elif p95 > slo.p95_ms_max:
+        violations.append(
+            f"{slo.scenario}: p95 {p95:.1f} ms exceeds SLO "
+            f"{slo.p95_ms_max:.1f} ms"
+        )
+    throughput = row.get("throughput_rps", 0.0)
+    if throughput < slo.throughput_rps_min:
+        violations.append(
+            f"{slo.scenario}: throughput {throughput:.2f} rps below SLO "
+            f"{slo.throughput_rps_min:.2f} rps"
+        )
+    shed_rate = row.get("shed_rate", 0.0)
+    if shed_rate > slo.shed_rate_max:
+        violations.append(
+            f"{slo.scenario}: shed rate {shed_rate:.2%} exceeds SLO "
+            f"{slo.shed_rate_max:.2%}"
+        )
+    return violations
+
+
+def check_regression(
+    current: dict,
+    baseline: dict,
+    p95_ratio: float = 1.5,
+    throughput_ratio: float = 0.6,
+    shed_slack: float = 0.10,
+    p95_floor_ms: float = 5.0,
+) -> list[str]:
+    """Violations of ``current`` against the checked-in ``baseline``.
+
+    Both arguments are BENCH_load-shaped documents
+    (``{"scenarios": [row, ...]}``).  Scenarios present only on one side
+    are reported: a vanished scenario silently exempts itself from the
+    gate otherwise.
+    """
+    for label, value in (
+        ("p95_ratio", p95_ratio),
+        ("throughput_ratio", throughput_ratio),
+    ):
+        if value <= 0:
+            raise ValueError(f"{label} must be positive, got {value}")
+    current_rows = {row["scenario"]: row for row in current.get("scenarios", [])}
+    baseline_rows = {
+        row["scenario"]: row for row in baseline.get("scenarios", [])
+    }
+    violations: list[str] = []
+    for name in sorted(set(baseline_rows) - set(current_rows)):
+        violations.append(f"{name}: present in baseline but not in this run")
+    for name in sorted(set(current_rows) - set(baseline_rows)):
+        violations.append(f"{name}: present in this run but not in baseline")
+    for name in sorted(set(current_rows) & set(baseline_rows)):
+        row, base = current_rows[name], baseline_rows[name]
+        p95, base_p95 = row.get("p95_ms"), base.get("p95_ms")
+        if (
+            p95 is not None
+            and base_p95 is not None
+            and p95 > p95_floor_ms
+            and p95 > base_p95 * p95_ratio
+        ):
+            violations.append(
+                f"{name}: p95 {p95:.1f} ms > {p95_ratio:.1f}x baseline "
+                f"{base_p95:.1f} ms"
+            )
+        throughput = row.get("throughput_rps", 0.0)
+        base_throughput = base.get("throughput_rps", 0.0)
+        if base_throughput > 0 and throughput < base_throughput * throughput_ratio:
+            violations.append(
+                f"{name}: throughput {throughput:.2f} rps < "
+                f"{throughput_ratio:.0%} of baseline {base_throughput:.2f} rps"
+            )
+        shed_rate = row.get("shed_rate", 0.0)
+        base_shed = base.get("shed_rate", 0.0)
+        if shed_rate > base_shed + shed_slack:
+            violations.append(
+                f"{name}: shed rate {shed_rate:.2%} > baseline "
+                f"{base_shed:.2%} + {shed_slack:.0%} slack"
+            )
+    return violations

@@ -25,28 +25,34 @@ from typing import Iterator
 from repro.obs import metrics as _metrics
 from repro.obs import trace as _trace
 from repro.obs.metrics import (
+    HISTOGRAM_BOUNDARIES_S,
     Counter,
     Gauge,
     Histogram,
     Registry,
     Timer,
     active_registry,
+    quantile_from_bucket_counts,
 )
 from repro.obs.report import render_json, render_text, report_data
-from repro.obs.trace import Span, Trace, active_trace, span
+from repro.obs.trace import FlightRecorder, Span, Trace, active_trace, span
 
 __all__ = [
     "Counter",
+    "FlightRecorder",
     "Gauge",
+    "HISTOGRAM_BOUNDARIES_S",
     "Histogram",
     "Observation",
     "Registry",
     "Span",
     "Timer",
     "Trace",
+    "activate",
     "active_registry",
     "active_trace",
     "observe",
+    "quantile_from_bucket_counts",
     "span",
 ]
 
@@ -71,6 +77,24 @@ class Observation:
 
 
 @contextmanager
+def activate(registry: Registry) -> Iterator[Registry]:
+    """Install ``registry`` as the active one for the ``with`` block.
+
+    The metrics half of :func:`observe`, public on its own for long-lived
+    components that own a registry and must bind it in *other* threads —
+    context vars do not cross thread boundaries, so a worker pool
+    activates its server's registry explicitly (see
+    ``repro.service.server``).  Re-entrant and nestable: the inner scope
+    shadows the outer and is restored on exit.
+    """
+    token = _metrics._activate(registry)
+    try:
+        yield registry
+    finally:
+        _metrics._deactivate(token)
+
+
+@contextmanager
 def observe() -> Iterator[Observation]:
     """Collect metrics and spans for the duration of the ``with`` block.
 
@@ -78,10 +102,9 @@ def observe() -> Iterator[Observation]:
     block exits.  Nested calls create fresh, isolated scopes.
     """
     observation = Observation()
-    registry_token = _metrics._activate(observation.registry)
-    trace_tokens = _trace._activate(observation.trace)
-    try:
-        yield observation
-    finally:
-        _trace._deactivate(trace_tokens)
-        _metrics._deactivate(registry_token)
+    with activate(observation.registry):
+        trace_tokens = _trace._activate(observation.trace)
+        try:
+            yield observation
+        finally:
+            _trace._deactivate(trace_tokens)

@@ -21,8 +21,10 @@ from __future__ import annotations
 
 import threading
 import time
+from bisect import bisect_left
 from contextlib import contextmanager
 from contextvars import ContextVar
+from math import ceil
 from typing import Iterator
 
 __all__ = [
@@ -30,9 +32,11 @@ __all__ = [
     "Gauge",
     "Timer",
     "Histogram",
+    "HISTOGRAM_BOUNDARIES_S",
     "Registry",
     "active_registry",
     "add",
+    "quantile_from_bucket_counts",
 ]
 
 
@@ -156,8 +160,161 @@ class Timer:
         }
 
 
-#: Alias — a :class:`Timer` *is* the library's duration histogram.
-Histogram = Timer
+#: Fixed log-spaced bucket upper boundaries, in seconds: 8 per decade
+#: from 100 µs to 100 s.  Fixed (never data-dependent) so two histograms
+#: are always bucket-aligned and merge by plain element-wise addition.
+HISTOGRAM_BOUNDARIES_S: tuple[float, ...] = tuple(
+    round(10.0 ** (-4.0 + index / 8.0), 10) for index in range(49)
+)
+
+#: Snapshot key of the overflow bucket (observations above the last
+#: boundary).
+OVERFLOW_KEY = "inf"
+
+
+def _boundary_key(boundary_s: float) -> str:
+    """The stable snapshot key of one bucket: its boundary in ms."""
+    return format(boundary_s * 1000.0, ".6g")
+
+
+_BOUNDARY_KEYS = tuple(
+    _boundary_key(boundary) for boundary in HISTOGRAM_BOUNDARIES_S
+)
+_KEY_TO_INDEX = {key: index for index, key in enumerate(_BOUNDARY_KEYS)}
+
+
+def quantile_from_bucket_counts(
+    buckets: dict[str, int], q: float, overflow_ms: float | None = None
+) -> float | None:
+    """Quantile (in ms) from a snapshot-shaped bucket dict, deterministically.
+
+    ``buckets`` maps boundary keys (``_boundary_key`` output, plus
+    ``"inf"``) to counts — the shape :meth:`Histogram.snapshot` emits and
+    the shape a subtraction of two snapshots produces, which is how the
+    load generator attributes per-scenario percentiles on a shared
+    server.  The result is the upper boundary of the bucket containing
+    the ``q``-th observation: an overestimate of at most one bucket
+    (≤ 33 %, at 8 buckets per decade), stable under merge order.  The
+    overflow bucket reports ``overflow_ms`` (pass the observed max) or
+    the last finite boundary.
+    """
+    if not 0.0 < q <= 1.0:
+        raise ValueError(f"quantile must be in (0, 1], got {q}")
+    total = sum(buckets.values())
+    if total <= 0:
+        return None
+    rank = max(1, ceil(q * total))
+    cumulative = 0
+    for index, key in enumerate(_BOUNDARY_KEYS):
+        cumulative += buckets.get(key, 0)
+        if cumulative >= rank:
+            return HISTOGRAM_BOUNDARIES_S[index] * 1000.0
+    if overflow_ms is not None:
+        return overflow_ms
+    return HISTOGRAM_BOUNDARIES_S[-1] * 1000.0
+
+
+class Histogram(Timer):
+    """A streaming latency histogram over fixed log-spaced buckets.
+
+    Extends :class:`Timer` (count / total / min / max) with a bucket
+    array over :data:`HISTOGRAM_BOUNDARIES_S`, giving deterministic
+    p50/p95/p99 extraction (bucket upper edge) and an order-independent
+    :meth:`merge` — two histograms recorded on different shards combine
+    into exactly the histogram of the combined stream.  Subclassing
+    keeps it drop-in where a :class:`Timer` is expected; a registry name
+    first created as a plain ``timer`` cannot be re-requested as a
+    ``histogram`` (and the mismatch raises, as for every metric kind).
+    """
+
+    __slots__ = ("_bucket_counts",)
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name)
+        # One count per boundary plus the overflow bucket.
+        self._bucket_counts = [0] * (len(HISTOGRAM_BOUNDARIES_S) + 1)
+
+    def observe(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError(
+                f"histogram {self.name!r} observed a negative duration"
+            )
+        index = bisect_left(HISTOGRAM_BOUNDARIES_S, seconds)
+        with self._lock:
+            self._count += 1
+            self._total += seconds
+            if self._min is None or seconds < self._min:
+                self._min = seconds
+            if self._max is None or seconds > self._max:
+                self._max = seconds
+            self._bucket_counts[index] += 1
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold ``other`` into this histogram (element-wise, exact)."""
+        if not isinstance(other, Histogram):
+            raise TypeError(
+                f"can only merge Histogram into Histogram, "
+                f"got {type(other).__name__}"
+            )
+        with other._lock:
+            other_counts = list(other._bucket_counts)
+            other_count = other._count
+            other_total = other._total
+            other_min = other._min
+            other_max = other._max
+        with self._lock:
+            self._count += other_count
+            self._total += other_total
+            if other_min is not None and (
+                self._min is None or other_min < self._min
+            ):
+                self._min = other_min
+            if other_max is not None and (
+                self._max is None or other_max > self._max
+            ):
+                self._max = other_max
+            for index, value in enumerate(other_counts):
+                self._bucket_counts[index] += value
+
+    def quantile(self, q: float) -> float | None:
+        """The ``q``-quantile in **seconds** (upper bucket boundary)."""
+        value_ms = quantile_from_bucket_counts(
+            self.bucket_counts(),
+            q,
+            overflow_ms=None if self._max is None else self._max * 1000.0,
+        )
+        return None if value_ms is None else value_ms / 1000.0
+
+    def bucket_counts(self) -> dict[str, int]:
+        """Non-zero buckets keyed by boundary-in-ms (``"inf"`` overflow)."""
+        with self._lock:
+            counts = list(self._bucket_counts)
+        result = {
+            _BOUNDARY_KEYS[index]: value
+            for index, value in enumerate(counts[:-1])
+            if value
+        }
+        if counts[-1]:
+            result[OVERFLOW_KEY] = counts[-1]
+        return result
+
+    def snapshot(self) -> dict:
+        def _ms(quantile: float) -> float | None:
+            value = self.quantile(quantile)
+            return None if value is None else value * 1000.0
+
+        return {
+            "type": "histogram",
+            "count": self._count,
+            "total_ms": self._total * 1000.0,
+            "mean_ms": self.mean * 1000.0,
+            "min_ms": None if self._min is None else self._min * 1000.0,
+            "max_ms": None if self._max is None else self._max * 1000.0,
+            "p50_ms": _ms(0.50),
+            "p95_ms": _ms(0.95),
+            "p99_ms": _ms(0.99),
+            "buckets": self.bucket_counts(),
+        }
 
 
 class Registry:
@@ -197,6 +354,9 @@ class Registry:
 
     def timer(self, name: str) -> Timer:
         return self._get_or_create(name, Timer)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get_or_create(name, Histogram)
 
     def __contains__(self, name: str) -> bool:
         return name in self._metrics

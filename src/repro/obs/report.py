@@ -77,6 +77,13 @@ def _render_metric(name: str, snapshot: dict) -> str:
         value, peak = snapshot["value"], snapshot["max"]
         suffix = "" if value == peak else f"  (max {peak})"
         return f"  {name:<42} {value!s:>14}{suffix}"
+    if kind == "histogram":
+        return (
+            f"  {name:<42} {snapshot['count']:>6} obs"
+            f"  p50 {_format_duration(snapshot['p50_ms'])}"
+            f"  p95 {_format_duration(snapshot['p95_ms'])}"
+            f"  p99 {_format_duration(snapshot['p99_ms'])}"
+        )
     # timer
     return (
         f"  {name:<42} {snapshot['count']:>6} obs"

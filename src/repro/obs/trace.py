@@ -15,12 +15,14 @@ gadgets, search verdicts, budgets.  Set them at open time
 
 from __future__ import annotations
 
+import threading
 import time
+from collections import deque
 from contextlib import contextmanager
 from contextvars import ContextVar
 from typing import Iterator
 
-__all__ = ["Span", "Trace", "span", "active_trace"]
+__all__ = ["FlightRecorder", "Span", "Trace", "span", "active_trace"]
 
 
 class Span:
@@ -95,6 +97,50 @@ class Trace:
 
     def snapshot(self) -> list[dict]:
         return [root.snapshot() for root in self.roots]
+
+
+class FlightRecorder:
+    """A bounded ring buffer of the most recent completed request traces.
+
+    The serving layer records one plain-data entry per finished request
+    (``{"trace_id", "request_id", "endpoint", "status", "spans": ...}``)
+    and exposes the buffer at ``GET /traces``.  Bounded so a busy server
+    never grows memory with traffic: once ``capacity`` entries are held,
+    each record evicts the oldest.  Entries are snapshots (plain dicts),
+    so nothing retains live :class:`Span` objects.  Thread-safe.
+    """
+
+    def __init__(self, capacity: int = 128) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._entries: deque[dict] = deque(maxlen=capacity)
+        self._recorded = 0
+        self._lock = threading.Lock()
+
+    def record(self, entry: dict) -> None:
+        with self._lock:
+            self._recorded += 1
+            self._entries.append(entry)
+
+    @property
+    def recorded(self) -> int:
+        """Entries ever recorded (evicted ones included)."""
+        return self._recorded
+
+    @property
+    def dropped(self) -> int:
+        """Entries evicted to honor the capacity bound."""
+        with self._lock:
+            return self._recorded - len(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def snapshot(self) -> list[dict]:
+        """Held entries, oldest first (shallow copies of the dicts)."""
+        with self._lock:
+            return [dict(entry) for entry in self._entries]
 
 
 _TRACE: ContextVar[Trace | None] = ContextVar("repro_obs_trace", default=None)

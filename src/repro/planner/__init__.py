@@ -20,7 +20,17 @@ from repro.planner.analyze import (
     analyze_component,
     greedy_treewidth_bound,
 )
-from repro.planner.cost import eligible_engines, estimate_cost, select_engine
+from repro.planner.cost import (
+    CostConstants,
+    eligible_engines,
+    estimate_cost,
+    estimate_visits,
+    fit_constants,
+    get_constants,
+    select_engine,
+    set_constants,
+    use_constants,
+)
 from repro.planner.plan import (
     Plan,
     PlanStep,
@@ -31,6 +41,7 @@ from repro.planner.plan import (
 
 __all__ = [
     "ComponentProfile",
+    "CostConstants",
     "Plan",
     "PlanCache",
     "PlanStep",
@@ -38,8 +49,13 @@ __all__ = [
     "default_plan_cache",
     "eligible_engines",
     "estimate_cost",
+    "estimate_visits",
+    "fit_constants",
+    "get_constants",
     "greedy_treewidth_bound",
     "plan",
     "select_engine",
     "select_for",
+    "set_constants",
+    "use_constants",
 ]

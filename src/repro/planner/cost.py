@@ -19,15 +19,39 @@ estimate costs time, never correctness.  Engines that could *raise* where
 the default engine would not are excluded up front by
 :func:`eligible_engines` — ``auto`` must be a drop-in for the default on
 every input, including the error-raising ones.
+
+**Calibration.**  The constants live in a :class:`CostConstants` value
+(the defaults are the hand-calibrated ones).  ``bagcq calibrate`` fits
+the per-engine *scale* factors from measured wall time per structural
+visit on a seeded workload (:func:`fit_constants`), and
+:func:`set_constants` / :func:`use_constants` install a fitted set —
+selection picks the engine minimizing ``scale × visits``, so scales put
+the three structural estimates in one common currency (seconds, up to a
+shared normalization).  Profiles cached by the planner stay valid across
+a swap: constants enter only at selection time, never at analysis time.
 """
 
 from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, fields, replace
+from typing import Iterator
 
 from repro.planner.analyze import ComponentProfile
 from repro.queries.cq import ConjunctiveQuery
 from repro.relational.structure import Structure
 
-__all__ = ["eligible_engines", "estimate_cost", "select_engine"]
+__all__ = [
+    "CostConstants",
+    "eligible_engines",
+    "estimate_cost",
+    "estimate_visits",
+    "fit_constants",
+    "get_constants",
+    "select_engine",
+    "set_constants",
+    "use_constants",
+]
 
 #: Estimates saturate here — beyond this every plan is "hopeless" alike.
 COST_CEILING = 1e18
@@ -35,12 +59,118 @@ COST_CEILING = 1e18
 #: Deterministic tie-break: the reference engine wins equal scores.
 _PREFERENCE = {"backtracking": 0, "acyclic": 1, "treewidth": 2}
 
-#: Calibrated constants (see the module docstring and the E16 benchmark).
-_ACYCLIC_BASE = 24.0
-_ACYCLIC_PER_FACT = 2.0
-_TREEWIDTH_BASE = 60.0
-_TREEWIDTH_PER_ENTRY = 6.0
-_BACKTRACKING_BASE = 10.0
+ENGINES = ("backtracking", "acyclic", "treewidth")
+
+
+@dataclass(frozen=True)
+class CostConstants:
+    """Every tunable of the cost model, as one immutable value.
+
+    The ``*_base`` / ``*_per_*`` fields shape each engine's *structural*
+    visit estimate; the ``*_scale`` fields convert visits to a common
+    currency (fitted by ``bagcq calibrate``, 1.0 when uncalibrated).
+    """
+
+    acyclic_base: float = 24.0
+    acyclic_per_fact: float = 2.0
+    acyclic_per_atom: float = 4.0
+    treewidth_base: float = 60.0
+    treewidth_per_entry: float = 6.0
+    backtracking_base: float = 10.0
+    acyclic_scale: float = 1.0
+    treewidth_scale: float = 1.0
+    backtracking_scale: float = 1.0
+
+    def scale(self, engine: str) -> float:
+        if engine not in ENGINES:
+            raise ValueError(f"no cost model for engine {engine!r}")
+        return getattr(self, f"{engine}_scale")
+
+    def to_dict(self) -> dict:
+        """A plain JSON-serializable mapping (field name → value)."""
+        return {field.name: getattr(self, field.name) for field in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CostConstants":
+        """Rebuild from :meth:`to_dict` output; unknown keys rejected,
+        missing keys default — so artifacts from older calibrations load
+        as long as they only *lack* fields."""
+        known = {field.name for field in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown cost constant(s): {', '.join(sorted(unknown))}"
+            )
+        values = {key: float(value) for key, value in data.items()}
+        constants = cls(**values)
+        for field in fields(cls):
+            if getattr(constants, field.name) <= 0:
+                raise ValueError(
+                    f"cost constant {field.name} must be positive"
+                )
+        return constants
+
+
+_DEFAULT_CONSTANTS = CostConstants()
+_current_constants = _DEFAULT_CONSTANTS
+
+
+def get_constants() -> CostConstants:
+    """The constants the planner is currently selecting with."""
+    return _current_constants
+
+
+def set_constants(constants: CostConstants | None) -> None:
+    """Install ``constants`` process-wide (``None`` restores defaults)."""
+    global _current_constants
+    _current_constants = constants or _DEFAULT_CONSTANTS
+
+
+@contextmanager
+def use_constants(constants: CostConstants) -> Iterator[CostConstants]:
+    """Temporarily install ``constants`` (tests, what-if EXPLAINs)."""
+    previous = _current_constants
+    set_constants(constants)
+    try:
+        yield constants
+    finally:
+        set_constants(previous)
+
+
+def fit_constants(
+    samples: list[tuple[str, float, float]],
+    base: CostConstants | None = None,
+) -> CostConstants:
+    """Fit per-engine scales from ``(engine, visits, seconds)`` samples.
+
+    Each engine's seconds-per-visit rate is the ratio of totals (robust
+    to a few noisy samples), normalized so ``backtracking_scale`` stays
+    1.0 — only *relative* rates matter to selection.  Engines with no
+    samples (or degenerate ones) keep their ``base`` scale.
+    """
+    base = base or _DEFAULT_CONSTANTS
+    visit_totals: dict[str, float] = {}
+    second_totals: dict[str, float] = {}
+    for engine, visits, seconds in samples:
+        if engine not in ENGINES:
+            raise ValueError(f"no cost model for engine {engine!r}")
+        if visits <= 0 or seconds <= 0:
+            continue
+        visit_totals[engine] = visit_totals.get(engine, 0.0) + visits
+        second_totals[engine] = second_totals.get(engine, 0.0) + seconds
+    rates = {
+        engine: second_totals[engine] / visit_totals[engine]
+        for engine in visit_totals
+    }
+    reference = rates.get("backtracking")
+    if reference is None or reference <= 0:
+        # Without the reference engine there is nothing to normalize
+        # against; keep whatever the base carried.
+        return base
+    updates = {
+        f"{engine}_scale": rate / reference for engine, rate in rates.items()
+    }
+    return replace(base, **updates)
 
 
 def _saturating_power(base: float, exponent: int) -> float:
@@ -98,17 +228,25 @@ def eligible_engines(
     return tuple(engines)
 
 
-def estimate_cost(
-    engine: str, profile: ComponentProfile, structure: Structure
+def estimate_visits(
+    engine: str,
+    profile: ComponentProfile,
+    structure: Structure,
+    constants: CostConstants | None = None,
 ) -> float:
-    """Predicted evaluation cost of ``engine`` on the component, in fact visits."""
+    """The *structural* visit estimate of ``engine``, before scaling.
+
+    This is the quantity ``bagcq calibrate`` pairs with measured wall
+    time: seconds ≈ scale × visits.
+    """
+    constants = constants or _current_constants
     domain_size = max(len(structure.domain), 1)
     facts = _relevant_facts(profile, structure)
     if engine == "acyclic":
         return (
-            _ACYCLIC_BASE
-            + _ACYCLIC_PER_FACT * facts
-            + 4.0 * profile.atom_count
+            constants.acyclic_base
+            + constants.acyclic_per_fact * facts
+            + constants.acyclic_per_atom * profile.atom_count
         )
     if engine == "treewidth":
         table = _saturating_power(
@@ -116,7 +254,8 @@ def estimate_cost(
         )
         bags = max(profile.variable_count, 1)
         return min(
-            _TREEWIDTH_BASE + _TREEWIDTH_PER_ENTRY * bags * table,
+            constants.treewidth_base
+            + constants.treewidth_per_entry * bags * table,
             COST_CEILING,
         )
     if engine == "backtracking":
@@ -134,19 +273,36 @@ def estimate_cost(
             if join >= COST_CEILING:
                 join = COST_CEILING
                 break
-        return _BACKTRACKING_BASE + min(assignments, join)
+        return constants.backtracking_base + min(assignments, join)
     raise ValueError(f"no cost model for engine {engine!r}")
+
+
+def estimate_cost(
+    engine: str,
+    profile: ComponentProfile,
+    structure: Structure,
+    constants: CostConstants | None = None,
+) -> float:
+    """Predicted cost of ``engine`` on the component: scale × visits."""
+    constants = constants or _current_constants
+    return min(
+        constants.scale(engine)
+        * estimate_visits(engine, profile, structure, constants),
+        COST_CEILING,
+    )
 
 
 def select_engine(
     component: ConjunctiveQuery,
     profile: ComponentProfile,
     structure: Structure,
+    constants: CostConstants | None = None,
 ) -> tuple[str, float]:
     """The cheapest safe engine for the component: ``(engine, est_cost)``."""
+    constants = constants or _current_constants
     best: tuple[float, int, str] | None = None
     for engine in eligible_engines(component, profile, structure):
-        cost = estimate_cost(engine, profile, structure)
+        cost = estimate_cost(engine, profile, structure, constants)
         candidate = (cost, _PREFERENCE[engine], engine)
         if best is None or candidate < best:
             best = candidate

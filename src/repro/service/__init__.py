@@ -10,12 +10,16 @@ This package provides exactly that, on the standard library alone:
   front over a bounded worker pool, with admission control (bounded
   queue, structured 429 shedding), **single-flight coalescing** of
   identical in-flight requests keyed by the canonicalization discipline
-  the caches already use, per-request deadlines, ``/healthz`` and
-  ``/metrics``, and graceful drain on shutdown.
+  the caches already use, per-request deadlines, request-scoped tracing
+  (``X-Trace-Id``/``X-Request-Id`` in and out, a bounded flight recorder
+  behind ``GET /traces``), per-endpoint latency histograms, ``/healthz``
+  and ``/metrics``, and graceful drain on shutdown.
 * :class:`ServiceClient` (``client.py``) — a small blocking client with
-  retry + exponential backoff + jitter, honoring ``Retry-After``.
-* ``protocol.py`` — the versioned JSON error envelope and the
-  single-flight request keys both sides agree on.
+  retry + exponential backoff + jitter, honoring ``Retry-After``; it
+  mints the trace/request ids and reuses the request id across retries.
+* ``protocol.py`` — the versioned JSON error envelope, the request
+  identity headers, and the single-flight request keys both sides agree
+  on.
 * ``handlers.py`` — the transport-free request handlers mapping JSON
   bodies onto :func:`repro.homomorphism.engine.count` /
   :func:`~repro.homomorphism.engine.count_ucq`, :func:`repro.planner.plan`
@@ -37,21 +41,31 @@ from repro.service.client import (
 )
 from repro.service.protocol import (
     PROTOCOL_VERSION,
+    REQUEST_ID_HEADER,
+    TRACE_ID_HEADER,
     error_envelope,
     error_from_exception,
     status_for_kind,
 )
-from repro.service.server import EvaluationServer, ServerConfig, serve
+from repro.service.server import (
+    EvaluationServer,
+    RequestContext,
+    ServerConfig,
+    serve,
+)
 
 __all__ = [
     "DeadlineExceeded",
     "EvaluationServer",
     "PROTOCOL_VERSION",
+    "REQUEST_ID_HEADER",
     "RemoteError",
+    "RequestContext",
     "ServerConfig",
     "ServiceClient",
     "ServiceProtocolError",
     "ServiceUnavailable",
+    "TRACE_ID_HEADER",
     "error_envelope",
     "error_from_exception",
     "serve",

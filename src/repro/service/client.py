@@ -9,6 +9,12 @@ bad requests, deadline exhaustion — is surfaced immediately as a typed
 exception carrying the envelope's ``kind``, because retrying a
 deterministic failure only wastes the server's admission budget.
 
+Request identity: the client mints one ``trace_id`` per instance (its
+session) and one ``request_id`` per logical request, and **reuses the
+request id across retries** — so the server's ``logical_requests``
+counter sees a retried request as one caller, and its traces link the
+attempts.  Seeded clients (``seed=``) mint reproducible ids.
+
 The client is deliberately blocking and dependency-free (``urllib``):
 one instance per thread is the intended usage, and the jitter RNG is
 injectable (``seed=``) so tests and benchmarks stay reproducible.
@@ -130,6 +136,12 @@ class ServiceClient:
         self.backoff_cap_s = backoff_cap_s
         self.timeout_s = timeout_s
         self._rng = random.Random(seed)
+        self._id_rng = random.Random(seed) if seed is not None else None
+        #: One trace groups everything this client instance sends.
+        self.trace_id = protocol.mint_id(self._id_rng)
+        #: Identity of the most recent logical request (for correlating
+        #: a client-side failure with the server's /traces view).
+        self.last_request_id: str | None = None
 
     # -- endpoints ---------------------------------------------------------
 
@@ -222,6 +234,10 @@ class ServiceClient:
     def metrics(self) -> dict:
         return self._request("GET", "metrics", None)
 
+    def traces(self) -> dict:
+        """The server's flight recorder (``GET /traces``)."""
+        return self._request("GET", "traces", None)
+
     # -- transport ---------------------------------------------------------
 
     def _post(self, endpoint: str, body: dict) -> dict:
@@ -236,10 +252,17 @@ class ServiceClient:
     def _request(self, method: str, endpoint: str, body: dict | None) -> dict:
         url = f"{self.base_url}/{endpoint}"
         payload = None if body is None else json.dumps(body).encode("utf-8")
+        # One request id per *logical* request: every retry below resends
+        # the same id, so server-side counters and traces see one caller.
+        request_id = protocol.mint_id(self._id_rng)
+        if method == "POST":
+            # GET introspection (healthz/metrics/traces) must not clobber
+            # the handle callers use to find their last POST in /traces.
+            self.last_request_id = request_id
         last_error: ServiceError | None = None
         for attempt in range(self.retries + 1):
             try:
-                return self._once(method, url, payload)
+                return self._once(method, url, payload, request_id, attempt)
             except ServiceUnavailable as error:
                 last_error = error
                 if attempt >= self.retries:
@@ -249,12 +272,24 @@ class ServiceClient:
         assert last_error is not None
         raise last_error
 
-    def _once(self, method: str, url: str, payload: bytes | None) -> dict:
+    def _once(
+        self,
+        method: str,
+        url: str,
+        payload: bytes | None,
+        request_id: str,
+        attempt: int,
+    ) -> dict:
         request = urllib.request.Request(
             url,
             data=payload if method == "POST" else None,
             method=method,
-            headers={"Content-Type": "application/json"},
+            headers={
+                "Content-Type": "application/json",
+                protocol.TRACE_ID_HEADER: self.trace_id,
+                protocol.REQUEST_ID_HEADER: request_id,
+                protocol.ATTEMPT_HEADER: str(attempt),
+            },
         )
         try:
             with urllib.request.urlopen(request, timeout=self.timeout_s) as response:

@@ -32,6 +32,8 @@ cache entry anyway (same canonical query, same structure, same engine).
 
 from __future__ import annotations
 
+import random
+import uuid
 from typing import Any
 
 from repro.errors import BagCQError
@@ -40,18 +42,86 @@ from repro.queries.cq import ConjunctiveQuery
 from repro.relational.structure import Structure
 
 __all__ = [
+    "ATTEMPT_HEADER",
     "BadRequestError",
     "PROTOCOL_VERSION",
+    "REQUEST_ID_HEADER",
     "RETRYABLE_KINDS",
+    "TRACE_ID_HEADER",
+    "clean_id",
     "error_envelope",
     "error_from_exception",
     "is_error_envelope",
+    "mint_id",
     "parse_error_envelope",
     "request_key",
+    "stamp_ids",
     "status_for_kind",
 ]
 
 PROTOCOL_VERSION = 1
+
+# -- request identity headers ----------------------------------------------
+
+#: One *trace* groups every request of a logical operation (a client
+#: session, a load-generator scenario); one *request id* names a single
+#: logical request — **reused across retries**, so server-side counters
+#: and traces see a retried request as one caller, not several.
+TRACE_ID_HEADER = "X-Trace-Id"
+REQUEST_ID_HEADER = "X-Request-Id"
+#: 0-based retry attempt of this send (debugging aid; the server relies
+#: on request-id reuse, not on this header, to recognize retries).
+ATTEMPT_HEADER = "X-Request-Attempt"
+
+_ID_ALPHABET = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789-_."
+)
+_MAX_ID_LENGTH = 64
+
+
+def mint_id(rng: random.Random | None = None) -> str:
+    """A fresh 16-hex-char identifier; seedable for reproducible clients."""
+    if rng is not None:
+        return f"{rng.getrandbits(64):016x}"
+    return uuid.uuid4().hex[:16]
+
+
+def clean_id(value: Any) -> str | None:
+    """``value`` as a usable id, or ``None`` when absent or malformed.
+
+    Tolerant by design — a proxy-mangled header degrades to a
+    server-minted id rather than a rejected request — but bounded, so a
+    hostile header cannot smuggle unbounded or unprintable bytes into
+    traces and envelopes.
+    """
+    if not isinstance(value, str):
+        return None
+    value = value.strip()
+    if not value or len(value) > _MAX_ID_LENGTH:
+        return None
+    if not set(value) <= _ID_ALPHABET:
+        return None
+    return value
+
+
+def stamp_ids(payload: dict, trace_id: str, request_id: str) -> dict:
+    """A copy of ``payload`` carrying the request's identity.
+
+    Copy, never mutate: coalesced waiters share one result (and one
+    pre-built error envelope), so stamping in place would leak one
+    waiter's ids into another's response.  Error envelopes are stamped
+    inside ``"error"``; everything else at top level.
+    """
+    stamped = dict(payload)
+    if is_error_envelope(stamped):
+        entry = dict(stamped["error"])
+        entry["trace_id"] = trace_id
+        entry["request_id"] = request_id
+        stamped["error"] = entry
+    else:
+        stamped["trace_id"] = trace_id
+        stamped["request_id"] = request_id
+    return stamped
 
 #: Service-level error kinds (library errors use their class names).
 KIND_OVERLOADED = "overloaded"

@@ -48,23 +48,27 @@ import json
 import queue
 import threading
 import time
+from collections import OrderedDict
 from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.errors import BagCQError
 from repro.homomorphism.cache import DEFAULT_CACHE_SIZE, CountCache
-from repro.obs import metrics as obs_metrics
+from repro.obs import activate
 from repro.obs.metrics import Registry
 from repro.obs.report import SCHEMA_VERSION, stable_json_dumps
+from repro.obs.trace import FlightRecorder, Span
 from repro.service import protocol
 from repro.service.handlers import ENDPOINTS, ParsedRequest
 
-__all__ = ["EvaluationServer", "ServerConfig", "serve"]
+__all__ = ["EvaluationServer", "RequestContext", "ServerConfig", "serve"]
 
 #: Every ``service.*`` counter, pre-registered at zero so a fresh
 #: ``/metrics`` scrape reports the full family deterministically.
 _SERVICE_COUNTERS = (
     "service.requests",
+    "service.logical_requests",
+    "service.retried_requests",
     "service.admitted",
     "service.coalesced",
     "service.shed",
@@ -95,12 +99,26 @@ class ServerConfig:
     #: ``Retry-After`` hint (seconds) sent with 429/503 envelopes.
     retry_after_s: float = 0.05
     count_cache_size: int = DEFAULT_CACHE_SIZE
+    #: Completed request traces held for ``GET /traces`` (flight recorder).
+    trace_buffer: int = 128
+    #: Request ids remembered for retry recognition (LRU-bounded).
+    recent_ids: int = 1024
 
 
 class _Flight:
     """One in-flight unit of work and everyone waiting on it."""
 
-    __slots__ = ("key", "event", "result", "error", "waiters", "deadline")
+    __slots__ = (
+        "key",
+        "event",
+        "result",
+        "error",
+        "waiters",
+        "deadline",
+        "enqueued_at",
+        "spans",
+        "leader_request_id",
+    )
 
     def __init__(self, key: tuple, deadline: float) -> None:
         self.key = key
@@ -109,6 +127,96 @@ class _Flight:
         self.error: BaseException | None = None
         self.waiters = 1
         self.deadline = deadline
+        #: ``perf_counter`` at admission; the worker derives queue wait.
+        self.enqueued_at: float | None = None
+        #: Worker-built spans (queue_wait, evaluate), attached before the
+        #: event is set so the leader's HTTP thread can adopt them into
+        #: its request trace without cross-thread context variables.
+        self.spans: list[Span] = []
+        #: Request id of the waiter that created the flight; coalesced
+        #: waiters record it so a trace names whose evaluation it shared.
+        self.leader_request_id: str | None = None
+
+
+class _RecentIds:
+    """A bounded LRU set of request ids, for recognizing retries.
+
+    ``seen(id)`` returns whether the id was already offered and records
+    it; capacity-bounded so a long-lived server cannot grow memory with
+    the number of requests it ever served.  Thread-safe.
+    """
+
+    __slots__ = ("_capacity", "_ids", "_lock")
+
+    def __init__(self, capacity: int) -> None:
+        self._capacity = max(1, capacity)
+        self._ids: OrderedDict[str, None] = OrderedDict()
+        self._lock = threading.Lock()
+
+    def seen(self, request_id: str) -> bool:
+        with self._lock:
+            present = request_id in self._ids
+            if present:
+                self._ids.move_to_end(request_id)
+            else:
+                self._ids[request_id] = None
+                if len(self._ids) > self._capacity:
+                    self._ids.popitem(last=False)
+            return present
+
+
+class RequestContext:
+    """Identity and trace skeleton of one HTTP request.
+
+    Created on the HTTP connection thread before any processing, so every
+    response — including parse failures — carries the same ``trace_id``
+    and ``request_id`` the client sent (or server-minted replacements).
+    The root span collects children (admission, coalesce/wait, shed, plus
+    worker-built queue_wait/evaluate spans adopted from the flight) and
+    is snapshotted into the flight recorder when the request finishes.
+    """
+
+    __slots__ = (
+        "endpoint",
+        "trace_id",
+        "request_id",
+        "retried",
+        "coalesced",
+        "root",
+        "started",
+    )
+
+    def __init__(
+        self, endpoint: str, trace_id: str, request_id: str, retried: bool
+    ) -> None:
+        self.endpoint = endpoint
+        self.trace_id = trace_id
+        self.request_id = request_id
+        self.retried = retried
+        self.coalesced = False
+        self.started = time.perf_counter()
+        self.root = Span(
+            "request",
+            attrs={
+                "endpoint": endpoint,
+                "trace_id": trace_id,
+                "request_id": request_id,
+            },
+        )
+        self.root.start = self.started
+
+    def child(self, name: str, **attrs) -> Span:
+        """Open a child span under the root (single-threaded: HTTP thread)."""
+        node = Span(name, attrs)
+        node.start = time.perf_counter()
+        self.root.children.append(node)
+        return node
+
+    @staticmethod
+    def end(node: Span, **attrs) -> None:
+        node.duration = time.perf_counter() - (node.start or 0.0)
+        if attrs:
+            node.set(**attrs)
 
 
 class EvaluationServer:
@@ -132,6 +240,14 @@ class EvaluationServer:
             self.registry.counter(name)
         self.registry.gauge("service.inflight").set(0)
         self.registry.gauge("service.queued").set(0)
+        # End-to-end and evaluate-only latency distributions, one
+        # histogram per endpoint, pre-registered so a fresh /metrics
+        # scrape reports the full family (with zero counts).
+        for endpoint in sorted(ENDPOINTS):
+            self.registry.histogram(f"service.request_ms.{endpoint}")
+            self.registry.histogram(f"service.time.{endpoint}")
+        self.recorder = FlightRecorder(self.config.trace_buffer)
+        self._recent_ids = _RecentIds(self.config.recent_ids)
         self.count_cache = CountCache(self.config.count_cache_size)
         self._queue: queue.Queue = queue.Queue(maxsize=self.config.queue_depth)
         self._flights: dict[tuple, _Flight] = {}
@@ -219,52 +335,113 @@ class EvaluationServer:
     def _counter(self, name: str, amount: int = 1) -> None:
         self.registry.counter(name).inc(amount)
 
-    def submit(self, endpoint: str, body: dict, deadline_ms: int | None) -> dict:
+    def new_context(self, endpoint: str, headers=None) -> RequestContext:
+        """Mint or adopt the request's identity; count logical vs retried.
+
+        A usable ``X-Trace-Id``/``X-Request-Id`` pair from the client is
+        adopted verbatim (retries reuse it, so the recent-id LRU can
+        recognize them); anything absent or malformed degrades to a
+        server-minted id rather than a rejection.
+        """
+        get = (lambda name: None) if headers is None else headers.get
+        trace_id = protocol.clean_id(get(protocol.TRACE_ID_HEADER))
+        if trace_id is None:
+            trace_id = protocol.mint_id()
+        request_id = protocol.clean_id(get(protocol.REQUEST_ID_HEADER))
+        if request_id is None:
+            request_id = protocol.mint_id()
+            retried = False
+        else:
+            retried = self._recent_ids.seen(request_id)
+        self._counter(
+            "service.retried_requests" if retried
+            else "service.logical_requests"
+        )
+        return RequestContext(endpoint, trace_id, request_id, retried)
+
+    def finish_request(self, context: RequestContext, status: str) -> None:
+        """Close the request trace: histogram + flight-recorder entry."""
+        context.root.duration = time.perf_counter() - context.started
+        context.root.set(status=status)
+        if context.endpoint in ENDPOINTS:
+            self.registry.histogram(
+                f"service.request_ms.{context.endpoint}"
+            ).observe(context.root.duration)
+        self.recorder.record(
+            {
+                "trace_id": context.trace_id,
+                "request_id": context.request_id,
+                "endpoint": context.endpoint,
+                "status": status,
+                "retried": context.retried,
+                "duration_ms": context.root.duration_ms,
+                "spans": context.root.snapshot(),
+            }
+        )
+
+    def submit(
+        self,
+        endpoint: str,
+        body: dict,
+        deadline_ms: int | None,
+        context: RequestContext | None = None,
+    ) -> dict:
         """Admit, (maybe) coalesce, execute, and wait — the whole request.
 
         Returns the response dict; raises :class:`_ServiceFailure` with a
         ready-made envelope for every structured failure mode.  Called on
         the HTTP connection thread.
         """
+        if context is None:
+            context = self.new_context(endpoint)
         self._counter("service.requests")
-        if self._draining:
-            self._counter("service.rejected_draining")
-            raise _ServiceFailure(
-                protocol.KIND_SHUTTING_DOWN,
-                "server is draining; retry against another replica",
-                retry_after=self.config.retry_after_s,
-            )
-        parser = ENDPOINTS.get(endpoint)
-        if parser is None:
-            raise _ServiceFailure(
-                protocol.KIND_NOT_FOUND, f"unknown endpoint /{endpoint}"
-            )
-        deadline_s = (
-            min(
-                deadline_ms if deadline_ms is not None
-                else self.config.default_deadline_ms,
-                self.config.max_deadline_ms,
-            )
-            / 1000.0
-        )
-        if deadline_s <= 0:
-            raise _ServiceFailure(
-                protocol.KIND_BAD_REQUEST,
-                f"deadline_ms must be positive, got {deadline_ms}",
-            )
+        admission = context.child("admission")
         try:
-            request = parser(body, self.count_cache)
-        except BagCQError as error:
-            self._counter("service.errors")
-            raise _ServiceFailure.from_exception(error) from error
-        deadline = time.monotonic() + deadline_s
+            if self._draining:
+                self._counter("service.rejected_draining")
+                raise _ServiceFailure(
+                    protocol.KIND_SHUTTING_DOWN,
+                    "server is draining; retry against another replica",
+                    retry_after=self.config.retry_after_s,
+                )
+            parser = ENDPOINTS.get(endpoint)
+            if parser is None:
+                raise _ServiceFailure(
+                    protocol.KIND_NOT_FOUND, f"unknown endpoint /{endpoint}"
+                )
+            deadline_s = (
+                min(
+                    deadline_ms if deadline_ms is not None
+                    else self.config.default_deadline_ms,
+                    self.config.max_deadline_ms,
+                )
+                / 1000.0
+            )
+            if deadline_s <= 0:
+                raise _ServiceFailure(
+                    protocol.KIND_BAD_REQUEST,
+                    f"deadline_ms must be positive, got {deadline_ms}",
+                )
+            try:
+                request = parser(body, self.count_cache)
+            except BagCQError as error:
+                self._counter("service.errors")
+                raise _ServiceFailure.from_exception(error) from error
+            deadline = time.monotonic() + deadline_s
+            flight, created = self._join_or_create_flight(
+                request, deadline, context
+            )
+        except _ServiceFailure as failure:
+            context.end(admission, outcome=failure.kind)
+            raise
 
-        flight, created = self._join_or_create_flight(request, deadline)
         if created:
             try:
+                flight.enqueued_at = time.perf_counter()
                 self._queue.put_nowait((request, flight))
                 self.registry.gauge("service.queued").set_max(self._queue.qsize())
                 self._counter("service.admitted")
+                context.end(admission, outcome="admitted")
             except queue.Full:
                 shed = _ServiceFailure(
                     protocol.KIND_OVERLOADED,
@@ -274,12 +451,25 @@ class EvaluationServer:
                 )
                 self._abandon_flight(flight, shed)
                 self._counter("service.shed")
+                context.end(admission, outcome="shed")
+                context.end(
+                    context.child("shed"),
+                    queue_depth=self.config.queue_depth,
+                )
                 raise shed from None
         else:
             self._counter("service.coalesced")
+            context.coalesced = True
+            context.end(admission, outcome="coalesced")
 
+        # "wait" for the leader (it owns the evaluation), "coalesce" for
+        # followers (they ride along on the leader's flight).
+        wait_span = context.child("wait" if created else "coalesce")
+        if not created and flight.leader_request_id is not None:
+            wait_span.set(leader_request_id=flight.leader_request_id)
         remaining = deadline - time.monotonic()
         completed = flight.event.wait(timeout=max(0.0, remaining))
+        context.end(wait_span, completed=completed)
         if not completed:
             self._leave_flight(flight)
             self._counter("service.deadline_exceeded")
@@ -288,6 +478,11 @@ class EvaluationServer:
                 f"deadline of {deadline_s * 1000:.0f} ms exceeded; "
                 "the evaluation may still complete and warm the cache",
             )
+        if created:
+            # Adopt the worker-built spans (queue_wait, evaluate) into
+            # the leader's request trace.  Safe: the worker attached them
+            # before setting the event, and only the leader adopts.
+            context.root.children.extend(flight.spans)
         if flight.error is not None:
             self._counter("service.errors")
             if isinstance(flight.error, _ServiceFailure):
@@ -297,10 +492,16 @@ class EvaluationServer:
         return flight.result
 
     def _join_or_create_flight(
-        self, request: ParsedRequest, deadline: float
+        self,
+        request: ParsedRequest,
+        deadline: float,
+        context: RequestContext | None = None,
     ) -> tuple[_Flight, bool]:
+        leader_id = None if context is None else context.request_id
         if not self.config.coalesce:
-            return _Flight(request.key, deadline), True
+            flight = _Flight(request.key, deadline)
+            flight.leader_request_id = leader_id
+            return flight, True
         with self._flights_lock:
             existing = self._flights.get(request.key)
             if existing is not None:
@@ -308,6 +509,7 @@ class EvaluationServer:
                 existing.deadline = max(existing.deadline, deadline)
                 return existing, False
             flight = _Flight(request.key, deadline)
+            flight.leader_request_id = leader_id
             self._flights[request.key] = flight
             return flight, True
 
@@ -330,46 +532,67 @@ class EvaluationServer:
         # not cross thread boundaries, so without this the engine/cache/
         # plan counters of evaluations would vanish instead of landing
         # in /metrics.
-        obs_metrics._activate(self.registry)
-        while True:
-            item = self._queue.get()
-            if item is None:  # shutdown sentinel
-                return
-            request, flight = item
-            self.registry.gauge("service.queued").set(self._queue.qsize())
-            with self._flights_lock:
-                expired = (
-                    flight.waiters <= 0
-                    and time.monotonic() > flight.deadline
+        with activate(self.registry):
+            while True:
+                item = self._queue.get()
+                if item is None:  # shutdown sentinel
+                    return
+                request, flight = item
+                self.registry.gauge("service.queued").set(self._queue.qsize())
+                dequeued = time.perf_counter()
+                queue_wait = Span("queue_wait")
+                queue_wait.start = (
+                    dequeued if flight.enqueued_at is None
+                    else flight.enqueued_at
                 )
-                if expired:
-                    # Nobody is listening anymore: drop the job instead
-                    # of spending a worker on it, and make the key
-                    # immediately reusable.
-                    self._flights.pop(flight.key, None)
-            if expired:
-                self._counter("service.expired_skipped")
-                flight.error = BagCQError("expired before execution")
-                flight.event.set()
-                continue
-            with self._inflight_lock:
-                self._inflight += 1
-                self.registry.gauge("service.inflight").set(self._inflight)
-            try:
-                with self.registry.timer(
-                    f"service.time.{request.endpoint}"
-                ).time():
-                    flight.result = request.run()
-                self._counter("service.completed")
-            except BaseException as error:  # noqa: BLE001 — fanned to waiters
-                flight.error = error
-            finally:
-                with self._inflight_lock:
-                    self._inflight -= 1
-                    self.registry.gauge("service.inflight").set(self._inflight)
+                queue_wait.duration = dequeued - queue_wait.start
                 with self._flights_lock:
-                    self._flights.pop(flight.key, None)
-                flight.event.set()
+                    expired = (
+                        flight.waiters <= 0
+                        and time.monotonic() > flight.deadline
+                    )
+                    if expired:
+                        # Nobody is listening anymore: drop the job instead
+                        # of spending a worker on it, and make the key
+                        # immediately reusable.
+                        self._flights.pop(flight.key, None)
+                if expired:
+                    self._counter("service.expired_skipped")
+                    queue_wait.set(outcome="expired_skipped")
+                    flight.spans = [queue_wait]
+                    flight.error = BagCQError("expired before execution")
+                    flight.event.set()
+                    continue
+                with self._inflight_lock:
+                    self._inflight += 1
+                    self.registry.gauge("service.inflight").set(self._inflight)
+                evaluate = Span(
+                    "evaluate", attrs={"endpoint": request.endpoint}
+                )
+                evaluate.start = time.perf_counter()
+                try:
+                    with self.registry.histogram(
+                        f"service.time.{request.endpoint}"
+                    ).time():
+                        flight.result = request.run()
+                    self._counter("service.completed")
+                    evaluate.set(outcome="ok")
+                except BaseException as error:  # noqa: BLE001 — fanned to waiters
+                    flight.error = error
+                    evaluate.set(outcome="error", error=type(error).__name__)
+                finally:
+                    evaluate.duration = time.perf_counter() - evaluate.start
+                    # Attach spans *before* event.set(): the leader reads
+                    # them only after wait() returns.
+                    flight.spans = [queue_wait, evaluate]
+                    with self._inflight_lock:
+                        self._inflight -= 1
+                        self.registry.gauge("service.inflight").set(
+                            self._inflight
+                        )
+                    with self._flights_lock:
+                        self._flights.pop(flight.key, None)
+                    flight.event.set()
 
     # -- introspection -----------------------------------------------------
 
@@ -383,6 +606,11 @@ class EvaluationServer:
             "queue_depth": self.config.queue_depth,
             "coalesce": self.config.coalesce,
             "count_cache": self.count_cache.stats(),
+            "traces": {
+                "capacity": self.recorder.capacity,
+                "recorded": self.recorder.recorded,
+                "dropped": self.recorder.dropped,
+            },
         }
 
     def metrics_json(self) -> str:
@@ -390,6 +618,18 @@ class EvaluationServer:
             {
                 "schema_version": SCHEMA_VERSION,
                 "metrics": self.registry.snapshot(),
+            }
+        )
+
+    def traces_json(self) -> str:
+        """``GET /traces``: the flight recorder as stable JSON."""
+        return stable_json_dumps(
+            {
+                "schema_version": SCHEMA_VERSION,
+                "capacity": self.recorder.capacity,
+                "recorded": self.recorder.recorded,
+                "dropped": self.recorder.dropped,
+                "traces": self.recorder.snapshot(),
             }
         )
 
@@ -429,7 +669,11 @@ class _RequestHandler(BaseHTTPRequestHandler):
         self.evaluation_server.registry.counter("service.http_lines").inc()
 
     def _send_json(
-        self, status: int, payload: dict, retry_after: float | None = None
+        self,
+        status: int,
+        payload: dict,
+        retry_after: float | None = None,
+        context: RequestContext | None = None,
     ) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
@@ -437,11 +681,30 @@ class _RequestHandler(BaseHTTPRequestHandler):
         self.send_header("Content-Length", str(len(body)))
         if retry_after is not None:
             self.send_header("Retry-After", f"{retry_after:.3f}")
+        if context is not None:
+            self.send_header(protocol.TRACE_ID_HEADER, context.trace_id)
+            self.send_header(protocol.REQUEST_ID_HEADER, context.request_id)
         self.end_headers()
         self.wfile.write(body)
 
-    def _send_failure(self, failure: _ServiceFailure) -> None:
-        self._send_json(failure.status, failure.envelope, failure.retry_after)
+    def _send_failure(
+        self,
+        failure: _ServiceFailure,
+        context: RequestContext | None = None,
+    ) -> None:
+        payload = failure.envelope
+        if context is not None:
+            payload = protocol.stamp_ids(
+                payload, context.trace_id, context.request_id
+            )
+        self._send_json(failure.status, payload, failure.retry_after, context)
+
+    def _fail_request(
+        self, failure: _ServiceFailure, context: RequestContext
+    ) -> None:
+        """Send the envelope and close out the request's trace."""
+        self._send_failure(failure, context)
+        self.evaluation_server.finish_request(context, failure.kind)
 
     def do_GET(self) -> None:  # noqa: N802 — http.server API
         server = self.evaluation_server
@@ -449,6 +712,13 @@ class _RequestHandler(BaseHTTPRequestHandler):
             self._send_json(200, server.health())
         elif self.path == "/metrics":
             body = server.metrics_json().encode("utf-8")
+            self.send_response(200)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+        elif self.path == "/traces":
+            body = server.traces_json().encode("utf-8")
             self.send_response(200)
             self.send_header("Content-Type", "application/json")
             self.send_header("Content-Length", str(len(body)))
@@ -471,11 +741,13 @@ class _RequestHandler(BaseHTTPRequestHandler):
     def do_POST(self) -> None:  # noqa: N802 — http.server API
         server = self.evaluation_server
         endpoint = self.path.lstrip("/")
-        if endpoint in ("healthz", "metrics"):
-            self._send_failure(
+        context = server.new_context(endpoint, self.headers)
+        if endpoint in ("healthz", "metrics", "traces"):
+            self._fail_request(
                 _ServiceFailure(
                     protocol.KIND_METHOD, f"{self.path} requires GET"
-                )
+                ),
+                context,
             )
             return
         try:
@@ -484,11 +756,12 @@ class _RequestHandler(BaseHTTPRequestHandler):
             body = json.loads(raw.decode("utf-8")) if raw else {}
         except (ValueError, UnicodeDecodeError) as error:
             server.registry.counter("service.errors").inc()
-            self._send_failure(
+            self._fail_request(
                 _ServiceFailure(
                     protocol.KIND_BAD_REQUEST,
                     f"request body is not valid JSON: {error}",
-                )
+                ),
+                context,
             )
             return
         deadline_ms = None
@@ -497,21 +770,29 @@ class _RequestHandler(BaseHTTPRequestHandler):
             if isinstance(deadline_value, bool) or not isinstance(
                 deadline_value, int
             ):
-                self._send_failure(
+                self._fail_request(
                     _ServiceFailure(
                         protocol.KIND_BAD_REQUEST,
                         f"'deadline_ms' must be an integer, "
                         f"got {deadline_value!r}",
-                    )
+                    ),
+                    context,
                 )
                 return
             deadline_ms = deadline_value
         try:
-            result = server.submit(endpoint, body, deadline_ms)
+            result = server.submit(endpoint, body, deadline_ms, context)
         except _ServiceFailure as failure:
-            self._send_failure(failure)
+            self._fail_request(failure, context)
             return
-        self._send_json(200, result)
+        self._send_json(
+            200,
+            protocol.stamp_ids(result, context.trace_id, context.request_id),
+            context=context,
+        )
+        server.finish_request(
+            context, "coalesced" if context.coalesced else "completed"
+        )
 
 
 def serve(config: ServerConfig | None = None) -> None:

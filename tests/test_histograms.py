@@ -1,0 +1,180 @@
+"""The streaming latency histogram: boundaries, quantiles, merge.
+
+The histogram's contract is *determinism under aggregation*: fixed
+log-spaced boundaries shared by every instance, quantiles read as bucket
+upper edges, and an element-wise merge — so two histograms recorded on
+different threads (or scraped at different times) combine into exactly
+the histogram of the combined stream, and a quantile computed from a
+bucket-count *delta* (the load generator's trick) is as trustworthy as
+one computed live.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs import observe
+from repro.obs.metrics import (
+    HISTOGRAM_BOUNDARIES_S,
+    Histogram,
+    Registry,
+    quantile_from_bucket_counts,
+)
+
+
+class TestBoundaries:
+    def test_boundary_ladder_shape(self):
+        # 8 buckets per decade across 100 µs .. 100 s: 6 decades + 1.
+        assert len(HISTOGRAM_BOUNDARIES_S) == 49
+        assert HISTOGRAM_BOUNDARIES_S[0] == pytest.approx(1e-4)
+        assert HISTOGRAM_BOUNDARIES_S[-1] == pytest.approx(100.0)
+
+    def test_boundaries_strictly_increasing(self):
+        assert all(
+            a < b
+            for a, b in zip(HISTOGRAM_BOUNDARIES_S, HISTOGRAM_BOUNDARIES_S[1:])
+        )
+
+    def test_exact_decades_are_boundaries(self):
+        for decade in (1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0, 100.0):
+            assert any(
+                boundary == pytest.approx(decade, rel=1e-9)
+                for boundary in HISTOGRAM_BOUNDARIES_S
+            ), decade
+
+
+class TestHistogram:
+    def test_observe_lands_in_le_bucket(self):
+        histogram = Histogram("h")
+        histogram.observe(0.0005)  # 0.5 ms
+        buckets = histogram.bucket_counts()
+        assert sum(buckets.values()) == 1
+        [(key, count)] = buckets.items()
+        assert count == 1
+        # le-semantics: the bucket's boundary is >= the observation.
+        assert float(key) >= 0.5
+
+    def test_observation_beyond_ladder_overflows(self):
+        histogram = Histogram("h")
+        histogram.observe(250.0)  # beyond the 100 s top boundary
+        assert histogram.bucket_counts() == {"inf": 1}
+
+    def test_snapshot_carries_quantiles_and_type(self):
+        histogram = Histogram("h")
+        for ms in range(1, 101):
+            histogram.observe(ms / 1000.0)
+        snapshot = histogram.snapshot()
+        assert snapshot["type"] == "histogram"
+        assert snapshot["count"] == 100
+        assert snapshot["p50_ms"] <= snapshot["p95_ms"] <= snapshot["p99_ms"]
+        # Bucket-edge quantiles overestimate by at most one bucket (33%).
+        assert 50.0 <= snapshot["p50_ms"] <= 50.0 * 1.34
+        assert 95.0 <= snapshot["p95_ms"] <= 95.0 * 1.34
+
+    def test_merge_equals_combined_stream(self):
+        combined = Histogram("c")
+        left, right = Histogram("l"), Histogram("r")
+        for index in range(200):
+            value = (index % 37 + 1) / 1000.0
+            combined.observe(value)
+            (left if index % 2 else right).observe(value)
+        left.merge(right)
+        assert left.bucket_counts() == combined.bucket_counts()
+        assert left.snapshot()["p95_ms"] == combined.snapshot()["p95_ms"]
+        assert left.snapshot()["count"] == 200
+
+    def test_merge_order_independent(self):
+        streams = [[0.001, 0.004], [0.05, 0.0001], [1.2, 0.9, 0.3]]
+
+        def merged(order):
+            histograms = []
+            for stream in order:
+                histogram = Histogram("h")
+                for value in stream:
+                    histogram.observe(value)
+                histograms.append(histogram)
+            target = histograms[0]
+            for other in histograms[1:]:
+                target.merge(other)
+            return target.bucket_counts()
+
+        assert merged(streams) == merged(list(reversed(streams)))
+
+    def test_concurrent_observe_loses_nothing(self):
+        histogram = Histogram("h")
+
+        def record():
+            for index in range(500):
+                histogram.observe((index % 23 + 1) / 1000.0)
+
+        threads = [threading.Thread(target=record) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert histogram.snapshot()["count"] == 2000
+        assert sum(histogram.bucket_counts().values()) == 2000
+
+
+class TestQuantileFromBucketCounts:
+    def test_delta_quantile_matches_live_quantile(self):
+        # The loadgen attribution path: subtracting a before-scrape from
+        # an after-scrape yields the same quantiles as the run alone.
+        before, run = Histogram("before"), Histogram("run")
+        for ms in (1, 2, 3, 1000):
+            before.observe(ms / 1000.0)
+        after = Histogram("after")
+        after.merge(before)
+        for ms in (5, 10, 20, 40, 80):
+            run.observe(ms / 1000.0)
+            after.observe(ms / 1000.0)
+        delta = {
+            key: after.bucket_counts()[key] - before.bucket_counts().get(key, 0)
+            for key in after.bucket_counts()
+        }
+        delta = {key: count for key, count in delta.items() if count > 0}
+        assert quantile_from_bucket_counts(
+            delta, 0.5
+        ) == run.snapshot()["p50_ms"]
+        assert quantile_from_bucket_counts(
+            delta, 0.95
+        ) == run.snapshot()["p95_ms"]
+
+    def test_empty_buckets_yield_none(self):
+        assert quantile_from_bucket_counts({}, 0.5) is None
+
+    def test_overflow_reports_observed_max(self):
+        assert quantile_from_bucket_counts({"inf": 3}, 0.5, 2500.0) == 2500.0
+
+    def test_rejects_out_of_range_quantile(self):
+        with pytest.raises(ValueError):
+            quantile_from_bucket_counts({"inf": 1}, 0.0)
+        with pytest.raises(ValueError):
+            quantile_from_bucket_counts({"inf": 1}, 1.5)
+
+
+class TestRegistryIntegration:
+    def test_histogram_is_a_timer_drop_in(self):
+        registry = Registry()
+        histogram = registry.histogram("service.time.evaluate")
+        # Existing timer-path code may re-request the same name as a
+        # timer; it must get the histogram back, not a clash.
+        assert registry.timer("service.time.evaluate") is histogram
+        with histogram.time():
+            pass
+        assert histogram.snapshot()["count"] == 1
+
+    def test_plain_timer_cannot_become_histogram(self):
+        registry = Registry()
+        registry.timer("t")
+        with pytest.raises(ValueError):
+            registry.histogram("t")
+
+    def test_observe_report_renders_histograms(self):
+        with observe() as observation:
+            observation.registry.histogram("h").observe(0.01)
+        text = observation.render_text()
+        assert "p95" in text
+        assert "h" in text

@@ -1,0 +1,142 @@
+"""Seeded traffic scenarios and the closed-loop replay runner.
+
+Scenarios must be pure functions of ``(name, seed, requests, clients)``
+— the load generator's numbers are only comparable across commits if the
+traffic itself is bit-identical — and the runner must account for every
+scheduled request exactly once (completed, shed, deadline-exceeded, or
+error) while reading its percentiles from the *server's* histogram
+delta, not client-side stopwatches.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.loadgen import SCENARIO_NAMES, build_scenario, run_scenario
+from repro.loadgen.scenarios import _DEADLINE_CHOICES_MS
+from repro.service import EvaluationServer, ServerConfig
+
+
+class TestScenarioDeterminism:
+    @pytest.mark.parametrize("name", SCENARIO_NAMES)
+    def test_same_seed_same_schedule(self, name):
+        first = build_scenario(name, seed=7, requests=30, clients=3)
+        second = build_scenario(name, seed=7, requests=30, clients=3)
+        assert first == second
+        assert first.schedule == second.schedule
+
+    def test_different_seeds_differ(self):
+        first = build_scenario("zipf-duplicates", seed=0, requests=30)
+        second = build_scenario("zipf-duplicates", seed=1, requests=30)
+        assert first.schedule != second.schedule
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ValueError):
+            build_scenario("steady-state", seed=0)
+
+    @pytest.mark.parametrize("name", SCENARIO_NAMES)
+    def test_schedule_shape(self, name):
+        scenario = build_scenario(name, seed=0, requests=24, clients=4)
+        assert len(scenario.schedule) == 24
+        assert {request.tenant for request in scenario.schedule} <= set(
+            range(4)
+        )
+        for position, request in enumerate(scenario.schedule):
+            assert request.index == position
+            assert request.kind in ("cq", "ucq")
+            if request.kind == "cq":
+                assert request.query is not None
+            else:
+                assert request.disjuncts
+
+    def test_zipf_traffic_is_duplicate_heavy(self):
+        scenario = build_scenario("zipf-duplicates", seed=0, requests=100)
+        distinct = {
+            str(request.query) for request in scenario.schedule
+        }
+        # A Zipf draw over a 24-query pool repeats heavily — that is the
+        # point of the scenario (it exercises cache + single-flight).
+        assert len(distinct) < 60
+
+    def test_multi_tenant_pools_are_disjoint(self):
+        scenario = build_scenario("multi-tenant", seed=0, requests=40, clients=4)
+        by_tenant: dict[int, set] = {}
+        for request in scenario.schedule:
+            fingerprint = (
+                request.kind,
+                str(request.query),
+                tuple(
+                    (str(disjunct), multiplicity)
+                    for disjunct, multiplicity in request.disjuncts
+                ),
+            )
+            by_tenant.setdefault(request.tenant, set()).add(fingerprint)
+        tenants = sorted(by_tenant)
+        assert len(tenants) == 4
+        for a in tenants:
+            for b in tenants:
+                if a < b:
+                    assert not (by_tenant[a] & by_tenant[b]), (a, b)
+
+    def test_deadline_spread_cycles_declared_deadlines(self):
+        scenario = build_scenario("deadline-spread", seed=0, requests=20)
+        deadlines = [request.deadline_ms for request in scenario.schedule]
+        assert set(deadlines) == set(_DEADLINE_CHOICES_MS)
+        expected = [
+            _DEADLINE_CHOICES_MS[index % len(_DEADLINE_CHOICES_MS)]
+            for index in range(20)
+        ]
+        assert deadlines == expected
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_scenario("zipf-duplicates", requests=0)
+        with pytest.raises(ValueError):
+            build_scenario("zipf-duplicates", clients=0)
+
+
+class TestRunner:
+    def test_small_replay_accounts_every_request(self):
+        scenario = build_scenario(
+            "zipf-duplicates", seed=0, requests=16, clients=2
+        )
+        config = ServerConfig(workers=2, queue_depth=16)
+        with EvaluationServer(config) as server:
+            result = run_scenario(scenario, server.url, keep_outcomes=True)
+        assert result.scenario == "zipf-duplicates"
+        assert result.completed == 16
+        assert result.shed == 0
+        assert result.deadline_exceeded == 0
+        assert result.errors == 0
+        assert len(result.outcomes) == 16
+        assert {outcome.index for outcome in result.outcomes} == set(range(16))
+        # Percentiles come from the server's histogram delta.
+        assert result.p50_ms is not None
+        assert result.p50_ms <= result.p95_ms <= result.p99_ms
+        assert result.throughput_rps > 0
+        row = result.to_dict()
+        assert row["scenario"] == "zipf-duplicates"
+        assert row["shed_rate"] == 0.0
+        for field in (
+            "completed",
+            "shed",
+            "deadline_exceeded",
+            "errors",
+            "wall_s",
+            "throughput_rps",
+            "p50_ms",
+            "p95_ms",
+            "p99_ms",
+            "shed_rate",
+        ):
+            assert field in row, field
+
+    def test_deadline_spread_replay_never_errors(self):
+        scenario = build_scenario(
+            "deadline-spread", seed=0, requests=10, clients=2
+        )
+        config = ServerConfig(workers=2, queue_depth=16)
+        with EvaluationServer(config) as server:
+            result = run_scenario(scenario, server.url)
+        assert result.errors == 0
+        assert result.completed + result.deadline_exceeded + result.shed == 10

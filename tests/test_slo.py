@@ -1,0 +1,174 @@
+"""The SLO layer: absolute objectives and the baseline regression gate.
+
+A gate earns its keep in two directions: a healthy run sails through,
+and a degraded run *fails loudly* — so alongside the pass-path tests,
+this file carries the deliberate-regression negative controls the CI
+``load-smoke`` job relies on (a gate that cannot fire gates nothing).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.loadgen import (
+    DEFAULT_SLOS,
+    SCENARIO_NAMES,
+    ScenarioSLO,
+    check_regression,
+    evaluate_slo,
+)
+
+
+def _row(
+    scenario: str = "zipf-duplicates",
+    p95_ms: float | None = 12.0,
+    throughput_rps: float = 400.0,
+    shed_rate: float = 0.0,
+) -> dict:
+    return {
+        "scenario": scenario,
+        "completed": 80,
+        "shed": 0,
+        "deadline_exceeded": 0,
+        "errors": 0,
+        "wall_s": 0.2,
+        "throughput_rps": throughput_rps,
+        "p50_ms": 3.0,
+        "p95_ms": p95_ms,
+        "p99_ms": 20.0,
+        "shed_rate": shed_rate,
+    }
+
+
+def _run(rows: list[dict]) -> dict:
+    return {"scenarios": rows}
+
+
+SLO = ScenarioSLO(
+    scenario="zipf-duplicates",
+    p95_ms_max=100.0,
+    throughput_rps_min=50.0,
+    shed_rate_max=0.05,
+)
+
+
+class TestEvaluateSLO:
+    def test_healthy_row_passes(self):
+        assert evaluate_slo(_row(), SLO) == []
+
+    def test_p95_breach_is_flagged(self):
+        violations = evaluate_slo(_row(p95_ms=250.0), SLO)
+        assert len(violations) == 1
+        assert "p95" in violations[0]
+
+    def test_throughput_breach_is_flagged(self):
+        violations = evaluate_slo(_row(throughput_rps=10.0), SLO)
+        assert len(violations) == 1
+        assert "throughput" in violations[0]
+
+    def test_shed_breach_is_flagged(self):
+        violations = evaluate_slo(_row(shed_rate=0.5), SLO)
+        assert len(violations) == 1
+        assert "shed" in violations[0]
+
+    def test_multiple_breaches_all_reported(self):
+        violations = evaluate_slo(
+            _row(p95_ms=250.0, throughput_rps=10.0, shed_rate=0.5), SLO
+        )
+        assert len(violations) == 3
+
+    def test_missing_p95_is_flagged_not_skipped(self):
+        # A run that recorded no latency at all must not silently pass.
+        violations = evaluate_slo(_row(p95_ms=None), SLO)
+        assert violations, "absent p95 should violate a p95 objective"
+
+    def test_default_slos_cover_every_scenario(self):
+        assert set(DEFAULT_SLOS) == set(SCENARIO_NAMES)
+        for name, slo in DEFAULT_SLOS.items():
+            assert slo.scenario == name
+            assert slo.to_dict()["scenario"] == name
+
+
+class TestRegressionGate:
+    def test_identical_runs_do_not_regress(self):
+        run = _run([_row(scenario=name) for name in SCENARIO_NAMES])
+        assert check_regression(run, run) == []
+
+    def test_p95_regression_fires(self):
+        baseline = _run([_row(p95_ms=12.0)])
+        current = _run([_row(p95_ms=40.0)])  # > 1.5x and above floor
+        violations = check_regression(current, baseline)
+        assert len(violations) == 1
+        assert "p95" in violations[0]
+
+    def test_p95_floor_absorbs_microsecond_noise(self):
+        # 0.8 ms -> 3 ms is a 3.75x ratio but both are below the 5 ms
+        # floor: sub-floor latencies are timer noise, not regressions.
+        baseline = _run([_row(p95_ms=0.8)])
+        current = _run([_row(p95_ms=3.0)])
+        assert check_regression(current, baseline) == []
+
+    def test_throughput_regression_fires(self):
+        baseline = _run([_row(throughput_rps=400.0)])
+        current = _run([_row(throughput_rps=100.0)])  # < 0.6x
+        violations = check_regression(current, baseline)
+        assert len(violations) == 1
+        assert "throughput" in violations[0]
+
+    def test_shed_increase_beyond_slack_fires(self):
+        baseline = _run([_row(shed_rate=0.0)])
+        current = _run([_row(shed_rate=0.25)])  # +0.25 > 0.10 slack
+        violations = check_regression(current, baseline)
+        assert len(violations) == 1
+        assert "shed" in violations[0]
+
+    def test_shed_within_slack_passes(self):
+        baseline = _run([_row(shed_rate=0.02)])
+        current = _run([_row(shed_rate=0.08)])
+        assert check_regression(current, baseline) == []
+
+    def test_scenario_missing_from_current_is_reported(self):
+        baseline = _run(
+            [_row(), _row(scenario="multi-tenant")]
+        )
+        current = _run([_row()])
+        violations = check_regression(current, baseline)
+        assert any("multi-tenant" in violation for violation in violations)
+
+    def test_scenario_missing_from_baseline_is_reported(self):
+        baseline = _run([_row()])
+        current = _run([_row(), _row(scenario="multi-tenant")])
+        violations = check_regression(current, baseline)
+        assert any("multi-tenant" in violation for violation in violations)
+
+    def test_custom_thresholds_respected(self):
+        baseline = _run([_row(p95_ms=10.0)])
+        current = _run([_row(p95_ms=13.0)])
+        assert check_regression(current, baseline) == []
+        strict = check_regression(current, baseline, p95_ratio=1.2)
+        assert len(strict) == 1
+
+    @pytest.mark.parametrize("bad_ratio", [0.0, -1.0])
+    def test_rejects_nonpositive_thresholds(self, bad_ratio):
+        run = _run([_row()])
+        with pytest.raises(ValueError):
+            check_regression(run, run, p95_ratio=bad_ratio)
+
+    def test_deliberate_regression_negative_control(self):
+        # The CI gate's reason to exist: degrade every scenario and the
+        # gate must flag every one of them.
+        baseline = _run([_row(scenario=name) for name in SCENARIO_NAMES])
+        degraded = _run(
+            [
+                _row(
+                    scenario=name,
+                    p95_ms=12.0 * 10 + 1000.0,
+                    throughput_rps=400.0 * 0.1,
+                )
+                for name in SCENARIO_NAMES
+            ]
+        )
+        violations = check_regression(degraded, baseline)
+        assert len(violations) >= 2 * len(SCENARIO_NAMES)
+        for name in SCENARIO_NAMES:
+            assert any(name in violation for violation in violations), name
