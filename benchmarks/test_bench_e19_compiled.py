@@ -1,0 +1,159 @@
+"""E19 — the compiled engine: ``engine="compiled"`` vs fixed backtracking.
+
+PR 7's acceptance benchmark: the per-component compilation layer
+(per-relation fact indexes, the planner's variable order baked into a
+flat closure chain, and array-based semiring aggregation for the
+acyclic passes) must beat the recursive interpreter by at least 2x on
+the slices the earlier experiments established — the E16 acyclic slice
+(paths and trees over sparse random graphs) and the E13 engine-shootout
+slice (stars and thin cycles over a dense 8-vertex graph) — while
+staying bit-identical on every cell.
+
+Timings are warm: ``_time_count`` takes the best of three runs, so the
+first run pays the one-time artifact build (amortized by the PlanCache
+across the process) and the reported figure is the steady-state replay
+cost, which is what the planner's cost model prices.
+
+The run emits ``BENCH_compiled.json`` (path overridable via the
+``BENCH_COMPILED`` environment variable): one record per (shape, size)
+cell with both latencies, the speedup, the compiled artifact's mode,
+and whether the cell carries the 2x acceptance gate — the artifact CI
+uploads and the repository checks in.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import time
+
+from repro.homomorphism import compile_component, count
+from repro.queries import parse_query
+from repro.relational import Schema, Structure
+from repro.workloads import cycle_query, path_query, star_query
+
+from benchmarks.conftest import print_table
+
+TREE_QUERY = parse_query("E(x, y) & E(y, z) & E(y, w) & E(w, u) & E(w, v)")
+
+
+def _graph(n: int, seed: int = 0) -> Structure:
+    rng = random.Random(seed)
+    edges = {(rng.randrange(n), rng.randrange(n)) for _ in range(3 * n)}
+    return Structure(
+        Schema.from_arities({"E": 2}), {"E": edges}, domain=range(n)
+    )
+
+
+def _dense_graph(n: int, seed: int = 0, p: float = 0.5) -> Structure:
+    rng = random.Random(seed)
+    edges = {
+        (i, j) for i in range(n) for j in range(n) if rng.random() < p
+    }
+    return Structure(
+        Schema.from_arities({"E": 2}), {"E": edges}, domain=range(n)
+    )
+
+
+#: (slice, shape, query, structure, carries_gate).  The gate sits on the
+#: largest E16 instances and on both E13 cells — the rows the earlier
+#: experiments used as their own acceptance bars.
+def _cells() -> list[tuple[str, str, object, Structure, int, bool]]:
+    cells = []
+    for shape, query in (("path-6", path_query(6)), ("tree-5", TREE_QUERY)):
+        for n in (16, 32, 64):
+            cells.append(("E16", shape, query, _graph(n), n, n == 64))
+    dense = _dense_graph(8)
+    for shape, query in (
+        ("star-6", star_query(6)),
+        ("cycle-6", cycle_query(6)),
+    ):
+        cells.append(("E13", shape, query, dense, 8, True))
+    return cells
+
+
+def _time_count(query, graph, engine: str, repeats: int = 3) -> tuple[int, float]:
+    """Best-of-``repeats`` latency (ms) and the count, for one engine."""
+    best = float("inf")
+    value = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        value = count(query, graph, engine=engine)
+        best = min(best, (time.perf_counter() - t0) * 1000)
+    return value, best
+
+
+def _rows() -> tuple[list[list], list[dict]]:
+    rows: list[list] = []
+    records: list[dict] = []
+    for slice_name, shape, query, graph, n, gated in _cells():
+        modes = sorted(
+            {
+                compile_component(component, graph).mode
+                for component in query.connected_components()
+            }
+        )
+        compiled_value, compiled_ms = _time_count(query, graph, "compiled")
+        bt_value, bt_ms = _time_count(query, graph, "backtracking")
+        speedup = bt_ms / compiled_ms if compiled_ms > 0 else float("inf")
+        rows.append(
+            [
+                slice_name,
+                shape,
+                n,
+                ",".join(modes),
+                f"{compiled_ms:.2f}",
+                f"{bt_ms:.2f}",
+                f"{speedup:.1f}x",
+                compiled_value == bt_value,
+            ]
+        )
+        records.append(
+            {
+                "slice": slice_name,
+                "shape": shape,
+                "domain_size": n,
+                "compiled_modes": modes,
+                "count": compiled_value,
+                "compiled_ms": round(compiled_ms, 3),
+                "backtracking_ms": round(bt_ms, 3),
+                "speedup": round(speedup, 2),
+                "agree": compiled_value == bt_value,
+                "gated": gated,
+            }
+        )
+    return rows, records
+
+
+def test_e19_compiled_vs_backtracking(benchmark):
+    rows, records = _rows()
+    print_table(
+        "E19 — engine=compiled vs fixed backtracking, E16/E13 slices",
+        [
+            "slice",
+            "shape",
+            "|V(D)|",
+            "mode",
+            "compiled ms",
+            "backtracking ms",
+            "speedup",
+            "agree",
+        ],
+        rows,
+    )
+    assert all(row[-1] for row in rows)
+    # The acceptance bar: on the largest E16 instances and on both E13
+    # cells, compilation beats the interpreter by at least 2x.
+    gated = [record for record in records if record["gated"]]
+    assert gated and all(record["speedup"] >= 2.0 for record in gated), gated
+
+    artifact = os.environ.get("BENCH_COMPILED", "BENCH_compiled.json")
+    with open(artifact, "w", encoding="utf-8") as handle:
+        json.dump({"experiment": "E19", "rows": records}, handle, indent=2)
+        handle.write("\n")
+
+    graph = _graph(64)
+    query = path_query(6)
+    result = benchmark(count, query, graph, engine="compiled")
+    assert result == count(query, graph, engine="backtracking")

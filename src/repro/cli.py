@@ -619,7 +619,7 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate_parser.add_argument("--facts", required=True)
     evaluate_parser.add_argument(
         "--engine",
-        choices=("auto", "backtracking", "treewidth", "acyclic"),
+        choices=("auto", "backtracking", "treewidth", "acyclic", "compiled"),
         default="auto",
         help="counting engine; 'auto' (default) plans per component",
     )
@@ -705,7 +705,7 @@ def build_parser() -> argparse.ArgumentParser:
     call_parser.add_argument("--phi-b", default=None)
     call_parser.add_argument(
         "--engine",
-        choices=("auto", "backtracking", "treewidth", "acyclic"),
+        choices=("auto", "backtracking", "treewidth", "acyclic", "compiled"),
         default="auto",
     )
     call_parser.add_argument("--multiplier", type=int, default=1)
@@ -827,7 +827,7 @@ def build_parser() -> argparse.ArgumentParser:
     search_parser.add_argument("--max-candidates", type=int, default=None)
     search_parser.add_argument(
         "--engine",
-        choices=("auto", "backtracking", "treewidth", "acyclic"),
+        choices=("auto", "backtracking", "treewidth", "acyclic", "compiled"),
         default="auto",
         help="counting engine; 'auto' (default) plans per component",
     )

@@ -13,6 +13,11 @@ from repro.homomorphism.backtracking import (
 )
 from repro.homomorphism.batch import count_many
 from repro.homomorphism.cache import CountCache, canonical_component
+from repro.homomorphism.compiled import (
+    compile_component,
+    compiled_supported,
+    count_homomorphisms_compiled,
+)
 from repro.homomorphism.containment import (
     bag_contained_on,
     bag_counterexample_on,
@@ -31,11 +36,14 @@ __all__ = [
     "bag_contained_on",
     "bag_counterexample_on",
     "canonical_component",
+    "compile_component",
+    "compiled_supported",
     "count",
     "count_at_least",
     "count_homomorphisms",
     "count_many",
     "count_homomorphisms_acyclic",
+    "count_homomorphisms_compiled",
     "count_homomorphisms_td",
     "count_ucq",
     "enumerate_homomorphisms",

@@ -32,7 +32,12 @@ from repro.queries.cq import ConjunctiveQuery
 from repro.queries.terms import Constant, Variable
 from repro.relational.structure import Structure
 
-__all__ = ["is_acyclic", "join_tree", "count_homomorphisms_acyclic"]
+__all__ = [
+    "count_homomorphisms_acyclic",
+    "is_acyclic",
+    "join_tree",
+    "matching_facts",
+]
 
 Element = Hashable
 
@@ -95,10 +100,16 @@ def is_acyclic(query: ConjunctiveQuery) -> bool:
     return join_tree(query) is not None
 
 
-def _matching_facts(
+def matching_facts(
     atom: Atom, structure: Structure
 ) -> list[tuple[dict[Variable, Element], tuple]]:
-    """(variable binding, fact) pairs for facts consistent with the atom."""
+    """(variable binding, fact) pairs for facts consistent with the atom.
+
+    Constants and repeated-variable positions are discharged here, so
+    callers see only genuinely consistent facts.  Shared with the
+    compiled engine's index builder (a relation absent from the schema
+    is the empty relation, per the standard convention).
+    """
     if atom.relation not in structure.schema:
         return []
     results = []
@@ -156,7 +167,7 @@ def count_homomorphisms_acyclic(
     tables: dict[int, list[tuple[dict[Variable, Element], int]]] = {}
     for index, atom in enumerate(atoms):
         tables[index] = [
-            (binding, 1) for binding, _ in _matching_facts(atom, structure)
+            (binding, 1) for binding, _ in matching_facts(atom, structure)
         ]
     if registry is not None:
         registry.counter("ac.atoms").inc(len(atoms))

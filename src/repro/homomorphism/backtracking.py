@@ -38,6 +38,7 @@ from repro.relational.structure import Structure
 
 __all__ = [
     "count_homomorphisms",
+    "ensure_stack_for",
     "enumerate_homomorphisms",
     "exists_homomorphism",
     "is_homomorphism",
@@ -49,12 +50,13 @@ Assignment = dict[Variable, Element]
 _UNBOUND = object()
 
 
-def _ensure_stack_for(query: ConjunctiveQuery) -> None:
+def ensure_stack_for(query: ConjunctiveQuery) -> None:
     """Raise the interpreter recursion limit to fit this query's search.
 
     The search recurses once per atom plus once per inequality-only
     variable; long-ray queries (π_b's coefficient chains, Section 4.3) can
-    run thousands of atoms deep.
+    run thousands of atoms deep.  Public: the compiled engine's closure
+    chains recurse once per atom too and share this bound.
     """
     needed = 4 * (query.atom_count + query.variable_count) + 1_000
     if sys.getrecursionlimit() < needed:
@@ -576,7 +578,7 @@ def count_homomorphisms(
     (arbitrary precision).  The keyword flags disable individual
     optimizations for ablation studies; results are identical either way.
     """
-    _ensure_stack_for(query)
+    ensure_stack_for(query)
     problem = _Problem(
         query,
         structure,
@@ -660,7 +662,7 @@ def enumerate_homomorphisms(
     of enumeration is deterministic for a given structure but otherwise
     unspecified.
     """
-    _ensure_stack_for(query)
+    ensure_stack_for(query)
     problem = _Problem(query, structure)
     if not problem.ground_part_holds():
         return

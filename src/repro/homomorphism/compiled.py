@@ -1,0 +1,536 @@
+"""Per-plan compilation: specialized evaluators for one (component, D).
+
+The interpreted engines re-discover the same structure on every call: the
+backtracking engine re-scans relation fact lists to find consistent
+facts, and the Yannakakis engine re-groups dict-of-int weight tables —
+even though the planner already knows each component's shape before
+evaluation.  This module *compiles* a connected component against a
+structure once and reuses the artifact:
+
+* **Fact indexes** — for every atom, a hash map from bound-variable
+  prefix tuples to the candidate extensions, built in one pass over the
+  relation's facts.  Runtime candidate discovery becomes one dict lookup
+  instead of a fact-list scan.
+* **Closure chains** (cyclic components) — the chosen variable order is
+  baked into a flat chain of specialized closures, one per atom, each
+  hard-wired to its key slots and newly-bound slots.  No atom selection,
+  no assignment dicts, no retraction bookkeeping at runtime.
+* **Array-based semiring aggregation** (α-acyclic components) — the
+  Yannakakis bottom-up count runs over parallel ``array('q')`` weight
+  columns with precomputed group ids per join pass, instead of
+  dict-of-int message tables.  Counts that overflow 64-bit storage
+  transparently re-run on plain Python ``int`` columns
+  (``compiled.overflow_fallbacks``), so results stay exact.
+
+Artifacts are cached in the planner's :class:`~repro.planner.analyze.
+PlanCache` keyed by ``(canonical component, structure)`` — α-equivalent
+components on the same database share one compilation, exactly as their
+counts share one evaluation in
+:class:`~repro.homomorphism.cache.CountCache` — so warm service traffic
+pays the compile once.
+
+**Totality.**  :func:`count_homomorphisms_compiled` never raises where
+the backtracking engine would not: components outside the specializer's
+envelope (inequalities, uninterpreted constants, arity mismatches — see
+:func:`compiled_supported`, mirrored by the planner's eligibility gates)
+fall back to the interpreter, which raises exactly the interpreter's
+error classes.  ``engine="compiled"`` is therefore a drop-in for the
+default engine on *every* input, and the qa ``cross_engine`` oracle
+enforces bit-identity differentially.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Callable, Hashable
+
+from repro.homomorphism.acyclic import join_tree, matching_facts
+from repro.homomorphism.backtracking import count_homomorphisms, ensure_stack_for
+from repro.obs import metrics as obs_metrics
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.terms import Constant, Variable
+from repro.relational.structure import Structure
+
+__all__ = [
+    "CompiledComponent",
+    "compile_component",
+    "compiled_supported",
+    "count_homomorphisms_compiled",
+]
+
+Element = Hashable
+
+
+def compiled_supported(query: ConjunctiveQuery, structure: Structure) -> bool:
+    """Is the component inside the specializer's envelope?
+
+    The gates mirror :func:`repro.planner.cost.eligible_engines` (and the
+    acyclic engine's preconditions, minus GYO-reducibility — the compiler
+    handles cyclic shapes through the closure chain):
+
+    * no inequalities — the index keys and closure chains assume pure
+      relational joins;
+    * every constant interpreted by the structure — the interpreter
+      raises :class:`~repro.errors.ConstantError` here, and the fallback
+      must preserve that class;
+    * atom arities matching the structure's schema — ditto for
+      :class:`~repro.errors.EvaluationError`.
+
+    Outside the envelope :func:`count_homomorphisms_compiled` falls back
+    to the interpreter rather than erroring.
+    """
+    if query.inequalities:
+        return False
+    for constant in query.constants:
+        if not structure.interprets(constant.name):
+            return False
+    for atom in query.atoms:
+        if (
+            atom.relation in structure.schema
+            and structure.schema.arity(atom.relation) != atom.arity
+        ):
+            return False
+    return True
+
+
+def _facts_of(structure: Structure, relation: str) -> tuple[tuple, ...]:
+    """The relation's facts, with missing relations interpreted as empty."""
+    if relation not in structure.schema:
+        return ()
+    return tuple(structure.facts(relation))
+
+
+class CompiledComponent:
+    """One compiled evaluator: ``run()`` returns the exact count.
+
+    ``mode`` records which specialization was selected (``"acyclic"`` for
+    the array-semiring Yannakakis pass, ``"chain"`` for the baked
+    backtracking closure chain) and ``indexed_facts`` how many facts the
+    compile pass indexed — both surfaced through the ``compiled.*``
+    observability counters and useful in tests.
+    """
+
+    __slots__ = ("mode", "indexed_facts", "_run")
+
+    def __init__(self, mode: str, indexed_facts: int, run: Callable[[], int]) -> None:
+        self.mode = mode
+        self.indexed_facts = indexed_facts
+        self._run = run
+
+    def run(self) -> int:
+        return self._run()
+
+    def __repr__(self) -> str:
+        return (
+            f"CompiledComponent(mode={self.mode!r}, "
+            f"indexed_facts={self.indexed_facts})"
+        )
+
+
+# -- acyclic components: array-based semiring aggregation ---------------------
+
+
+def _atom_rows(
+    atom, structure: Structure
+) -> tuple[tuple[Variable, ...], list[tuple]]:
+    """``(variable order, rows)``: one value tuple per consistent fact.
+
+    The variable order is the atom's first-occurrence order; each row
+    holds the binding's values in that order.  Consistency (constants,
+    repeated-variable positions) is discharged at compile time by the
+    acyclic engine's :func:`~repro.homomorphism.acyclic.matching_facts`.
+    """
+    variables: list[Variable] = []
+    seen: set[Variable] = set()
+    for term in atom.terms:
+        if not isinstance(term, Constant) and term not in seen:
+            seen.add(term)
+            variables.append(term)
+    order = tuple(variables)
+    rows = [
+        tuple(binding[variable] for variable in order)
+        for binding, _ in matching_facts(atom, structure)
+    ]
+    return order, rows
+
+
+def _int_column(length: int, fill: int) -> list[int]:
+    return [fill] * length
+
+
+def _machine_column(length: int, fill: int):
+    return array("q", [fill]) * length if length else array("q")
+
+
+def _compile_acyclic(
+    query: ConjunctiveQuery,
+    structure: Structure,
+    tree: list[tuple[int, int | None]],
+) -> CompiledComponent:
+    """Yannakakis counting with all grouping resolved at compile time.
+
+    Every bottom-up join pass is reduced to two precomputed group-id
+    vectors: child row → accumulator slot, parent row → accumulator slot
+    (or ``-1`` when the parent's separator binding matches no child row).
+    The runtime is then pure array arithmetic — scatter-add the child
+    weights, multiply them into the parent — over whichever column type
+    the counts fit in.
+    """
+    atoms = list(query.atoms)
+    var_orders: list[tuple[Variable, ...]] = []
+    all_rows: list[list[tuple]] = []
+    indexed = 0
+    for atom in atoms:
+        order, rows = _atom_rows(atom, structure)
+        var_orders.append(order)
+        all_rows.append(rows)
+        indexed += len(rows)
+
+    #: Per pass: (child, parent, child_groups, parent_groups, group_count).
+    passes: list[tuple[int, int, array, array, int]] = []
+    root = tree[-1][0] if tree else None
+    for index, parent in tree:
+        if parent is None:
+            root = index
+            continue
+        separator = sorted(
+            set(var_orders[index]) & set(var_orders[parent]),
+            key=lambda variable: variable.name,
+        )
+        child_take = tuple(var_orders[index].index(v) for v in separator)
+        parent_take = tuple(var_orders[parent].index(v) for v in separator)
+        groups: dict[tuple, int] = {}
+        child_groups = array("l")
+        for row in all_rows[index]:
+            key = tuple(row[position] for position in child_take)
+            child_groups.append(groups.setdefault(key, len(groups)))
+        parent_groups = array("l")
+        for row in all_rows[parent]:
+            key = tuple(row[position] for position in parent_take)
+            parent_groups.append(groups.get(key, -1))
+        passes.append((index, parent, child_groups, parent_groups, len(groups)))
+
+    row_counts = tuple(len(rows) for rows in all_rows)
+    atom_variables: set[Variable] = set()
+    for order in var_orders:
+        atom_variables.update(order)
+    free = len(query.variables - atom_variables)
+    domain_size = len(structure.domain)
+
+    def execute(make_column) -> int:
+        weights = [make_column(count, 1) for count in row_counts]
+        for child, parent, child_groups, parent_groups, group_count in passes:
+            acc = make_column(group_count, 0)
+            for group, weight in zip(child_groups, weights[child]):
+                acc[group] += weight
+            parent_weights = weights[parent]
+            for position, group in enumerate(parent_groups):
+                parent_weights[position] = (
+                    parent_weights[position] * acc[group] if group >= 0 else 0
+                )
+        if root is None:
+            return 1
+        return sum(weights[root])
+
+    def run() -> int:
+        try:
+            total = execute(_machine_column)
+        except OverflowError:
+            # Counts outgrew 64-bit columns; re-run on exact int columns.
+            obs_metrics.add("compiled.overflow_fallbacks")
+            total = execute(_int_column)
+        if total == 0:
+            return 0
+        return total * domain_size**free
+
+    return CompiledComponent("acyclic", indexed, run)
+
+
+# -- cyclic components: baked closure chains ----------------------------------
+
+
+def _order_atoms(query: ConjunctiveQuery, structure: Structure) -> list:
+    """A static join order: connected-first, small relations early.
+
+    A greedy stand-in for the interpreter's dynamic fail-first selection:
+    start from the atom with the fewest facts, then repeatedly take the
+    atom with the most already-bound variables (maximally constrained ⇒
+    smallest candidate buckets), breaking ties towards smaller relations
+    and finally towards the query's stored atom order, which keeps the
+    choice deterministic across α-equivalent copies.
+    """
+    remaining = list(range(len(query.atoms)))
+    atoms = list(query.atoms)
+    fact_counts = [len(_facts_of(structure, atom.relation)) for atom in atoms]
+    atom_vars = [set(atom.variables()) for atom in atoms]
+    bound: set[Variable] = set()
+    order: list[int] = []
+    while remaining:
+        best = min(
+            remaining,
+            key=lambda index: (
+                -len(atom_vars[index] & bound),
+                fact_counts[index],
+                index,
+            ),
+        )
+        remaining.remove(best)
+        bound |= atom_vars[best]
+        order.append(best)
+    return [atoms[index] for index in order]
+
+
+def _build_index(
+    atom,
+    structure: Structure,
+    slot_of: dict[Variable, int],
+) -> tuple[tuple[int, ...], tuple[int, ...], dict]:
+    """``(key_slots, new_slots, index)`` for one atom in the chain.
+
+    ``index`` maps a tuple of already-bound values (at ``key_slots``, in
+    position order) to the candidate extensions: the values the atom's
+    newly-bound variables take, one entry per consistent fact.  Constants
+    and repeated variables are discharged at build time.
+    """
+    key_positions: list[int] = []
+    key_slots: list[int] = []
+    checks: list[tuple[int, Element]] = []
+    duplicates: list[tuple[int, int]] = []
+    new_first: dict[Variable, int] = {}
+    new_variables: list[Variable] = []
+    for position, term in enumerate(atom.terms):
+        if isinstance(term, Constant):
+            checks.append((position, structure.interpret(term.name)))
+        elif term in slot_of:
+            key_positions.append(position)
+            key_slots.append(slot_of[term])
+        elif term in new_first:
+            duplicates.append((new_first[term], position))
+        else:
+            new_first[term] = position
+            new_variables.append(term)
+    for variable in new_variables:
+        slot_of[variable] = len(slot_of)
+    new_slots = tuple(slot_of[variable] for variable in new_variables)
+    take = tuple(new_first[variable] for variable in new_variables)
+    index: dict = {}
+    for fact in _facts_of(structure, atom.relation):
+        if any(fact[position] != value for position, value in checks):
+            continue
+        if any(fact[i] != fact[j] for i, j in duplicates):
+            continue
+        key = tuple(fact[position] for position in key_positions)
+        if len(take) == 1:
+            index.setdefault(key, []).append(fact[take[0]])
+        else:
+            index.setdefault(key, []).append(
+                tuple(fact[position] for position in take)
+            )
+    return tuple(key_slots), new_slots, index
+
+
+def _make_step(
+    key_slots: tuple[int, ...],
+    new_slots: tuple[int, ...],
+    index: dict,
+    private: bool,
+    after: Callable,
+) -> Callable:
+    """One specialized closure of the chain, hard-wired to its slots.
+
+    The common small shapes get dedicated bodies (scalar keys, single
+    new variable, fully-bound membership checks); everything else runs
+    the generic tuple path.  ``private`` atoms — whose new variables
+    occur in no later atom — contribute the *size* of their candidate
+    bucket instead of being enumerated, mirroring the interpreter's
+    private-variable counting.
+    """
+    if not new_slots:
+        # Membership check: every position bound (or constant); the
+        # bucket is empty or a singleton by fact-set uniqueness.
+        if len(key_slots) == 1:
+            slot = key_slots[0]
+
+            def step(env, _index=index, _after=after, _slot=slot):
+                return _after(env) if (env[_slot],) in _index else 0
+
+        else:
+
+            def step(env, _index=index, _after=after, _slots=key_slots):
+                return (
+                    _after(env)
+                    if tuple(env[slot] for slot in _slots) in _index
+                    else 0
+                )
+
+        return step
+    if private:
+        counts = {key: len(bucket) for key, bucket in index.items()}
+        if not key_slots:
+            factor = counts.get((), 0)
+
+            def step(env, _factor=factor, _after=after):
+                return _factor * _after(env) if _factor else 0
+
+        elif len(key_slots) == 1:
+            slot = key_slots[0]
+
+            def step(env, _counts=counts, _after=after, _slot=slot):
+                factor = _counts.get((env[_slot],), 0)
+                return factor * _after(env) if factor else 0
+
+        else:
+
+            def step(env, _counts=counts, _after=after, _slots=key_slots):
+                factor = _counts.get(tuple(env[slot] for slot in _slots), 0)
+                return factor * _after(env) if factor else 0
+
+        return step
+    if len(new_slots) == 1:
+        write = new_slots[0]
+        if not key_slots:
+            bucket = index.get((), ())
+
+            def step(env, _bucket=bucket, _after=after, _write=write):
+                total = 0
+                for value in _bucket:
+                    env[_write] = value
+                    total += _after(env)
+                return total
+
+        elif len(key_slots) == 1:
+            slot = key_slots[0]
+
+            def step(env, _index=index, _after=after, _slot=slot, _write=write):
+                bucket = _index.get((env[_slot],))
+                if bucket is None:
+                    return 0
+                total = 0
+                for value in bucket:
+                    env[_write] = value
+                    total += _after(env)
+                return total
+
+        else:
+
+            def step(
+                env, _index=index, _after=after, _slots=key_slots, _write=write
+            ):
+                bucket = _index.get(tuple(env[slot] for slot in _slots))
+                if bucket is None:
+                    return 0
+                total = 0
+                for value in bucket:
+                    env[_write] = value
+                    total += _after(env)
+                return total
+
+        return step
+
+    def step(
+        env, _index=index, _after=after, _slots=key_slots, _writes=new_slots
+    ):
+        bucket = _index.get(tuple(env[slot] for slot in _slots))
+        if bucket is None:
+            return 0
+        total = 0
+        for values in bucket:
+            for write, value in zip(_writes, values):
+                env[write] = value
+            total += _after(env)
+        return total
+
+    return step
+
+
+def _compile_chain(
+    query: ConjunctiveQuery, structure: Structure
+) -> CompiledComponent:
+    """The baked backtracking chain for a (cyclic) component."""
+    ordered = _order_atoms(query, structure)
+    slot_of: dict[Variable, int] = {}
+    built: list[tuple[tuple[int, ...], tuple[int, ...], dict]] = []
+    indexed = 0
+    for atom in ordered:
+        key_slots, new_slots, index = _build_index(atom, structure, slot_of)
+        built.append((key_slots, new_slots, index))
+        indexed += sum(len(bucket) for bucket in index.values())
+    # An atom is private when its new slots are read by no later step.
+    later_reads: set[int] = set()
+    privacy: list[bool] = [False] * len(built)
+    for position in range(len(built) - 1, -1, -1):
+        key_slots, new_slots, _ = built[position]
+        privacy[position] = not (set(new_slots) & later_reads)
+        later_reads.update(key_slots)
+
+    chain: Callable = lambda env: 1  # noqa: E731 — the chain's terminal
+    for position in range(len(built) - 1, -1, -1):
+        key_slots, new_slots, index = built[position]
+        chain = _make_step(key_slots, new_slots, index, privacy[position], chain)
+
+    slots = len(slot_of)
+    domain_size = len(structure.domain)
+    free = len(query.variables) - slots
+    first = chain
+
+    def run() -> int:
+        total = first([None] * slots)
+        if total == 0:
+            return 0
+        return total * domain_size**free
+
+    return CompiledComponent("chain", indexed, run)
+
+
+# -- the public engine --------------------------------------------------------
+
+
+def compile_component(
+    query: ConjunctiveQuery, structure: Structure
+) -> CompiledComponent:
+    """Compile one supported component against one structure.
+
+    Picks the array-semiring Yannakakis evaluator for α-acyclic shapes
+    and the closure chain otherwise.  Callers are expected to have
+    checked :func:`compiled_supported`; this function assumes the
+    envelope holds.
+    """
+    obs_metrics.add("plan.compile.builds")
+    tree = join_tree(query)
+    if tree is not None:
+        artifact = _compile_acyclic(query, structure, tree)
+    else:
+        artifact = _compile_chain(query, structure)
+    obs_metrics.add("compiled.indexed_facts", artifact.indexed_facts)
+    return artifact
+
+
+def count_homomorphisms_compiled(
+    query: ConjunctiveQuery, structure: Structure
+) -> int:
+    """``φ(D)`` via a compiled per-component evaluator.
+
+    Bit-identical to :func:`~repro.homomorphism.backtracking.
+    count_homomorphisms` on every input: supported components run the
+    compiled artifact (cached across calls in the planner's
+    :class:`~repro.planner.analyze.PlanCache`), everything else falls
+    back to the interpreter — same counts, same error classes.
+    """
+    registry = obs_metrics.active_registry()
+    if registry is not None:
+        registry.counter("compiled.calls").inc()
+    if not compiled_supported(query, structure):
+        if registry is not None:
+            registry.counter("compiled.fallbacks").inc()
+        return count_homomorphisms(query, structure)
+    ensure_stack_for(query)
+    from repro.planner.plan import default_plan_cache
+
+    artifact, was_hit = default_plan_cache().compiled_artifact(
+        query, structure, compile_component
+    )
+    if registry is not None:
+        registry.counter(f"compiled.{artifact.mode}_runs").inc()
+        if was_hit:
+            registry.counter("compiled.artifact_reuses").inc()
+    return artifact.run()

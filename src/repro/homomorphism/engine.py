@@ -8,13 +8,15 @@ the lazy exponents of :class:`repro.queries.product.QueryProduct`
 (``(θ↑k)(D) = θ(D)^k``, Definition 2), and dispatches each component to a
 counting engine.
 
-``engine`` selects that engine per component: one of the three explicit
-engines (``"backtracking"``, ``"treewidth"``, ``"acyclic"``), or
-``"auto"`` — the :mod:`repro.planner` cost model picks the cheapest safe
-engine for each component individually.  ``auto`` is a drop-in for the
-default: the count is bit-identical (all engines agree exactly; the qa
-oracles enforce it differentially), and the planner only ever selects an
-engine that cannot raise where the backtracking engine would not.
+``engine`` selects that engine per component: one of the four explicit
+engines (``"backtracking"``, ``"treewidth"``, ``"acyclic"``, or
+``"compiled"`` — the specialized per-plan evaluators of
+:mod:`repro.homomorphism.compiled`), or ``"auto"`` — the
+:mod:`repro.planner` cost model picks the cheapest safe engine for each
+component individually.  ``auto`` is a drop-in for the default: the
+count is bit-identical (all engines agree exactly; the qa oracles
+enforce it differentially), and the planner only ever selects an engine
+that cannot raise where the backtracking engine would not.
 """
 
 from __future__ import annotations
@@ -25,6 +27,7 @@ from typing import Literal, Union
 from repro.errors import EvaluationError
 from repro.homomorphism.acyclic import count_homomorphisms_acyclic
 from repro.homomorphism.backtracking import count_homomorphisms
+from repro.homomorphism.compiled import count_homomorphisms_compiled
 from repro.homomorphism.treewidth_dp import count_homomorphisms_td
 from repro.obs import metrics as obs_metrics
 from repro.queries.atoms import Inequality
@@ -35,13 +38,14 @@ from repro.queries.ucq import UnionOfConjunctiveQueries
 
 __all__ = ["count", "evaluate", "count_ucq", "Engine"]
 
-Engine = Literal["backtracking", "treewidth", "acyclic", "auto"]
+Engine = Literal["backtracking", "treewidth", "acyclic", "compiled", "auto"]
 Countable = Union[ConjunctiveQuery, QueryProduct]
 
 _ENGINES = {
     "backtracking": count_homomorphisms,
     "treewidth": count_homomorphisms_td,
     "acyclic": count_homomorphisms_acyclic,
+    "compiled": count_homomorphisms_compiled,
 }
 
 #: Guard for the opt-in inclusion-exclusion path (2^q terms).

@@ -35,6 +35,10 @@ __all__ = [
 #: Default bound on cached component profiles (entries, not bytes).
 DEFAULT_PLAN_CACHE_SIZE = 2048
 
+#: Default bound on cached compiled artifacts — far smaller than the
+#: profile bound, since each artifact holds per-relation fact indexes.
+DEFAULT_COMPILED_CACHE_SIZE = 256
+
 
 @dataclass(frozen=True)
 class ComponentProfile:
@@ -125,17 +129,37 @@ class PlanCache:
     far cheaper than 1-WL refinement.  Hits and misses are mirrored into
     the active :mod:`repro.obs` registry as ``plan.cache_hits`` /
     ``plan.cache_misses``.
+
+    The cache also stores the *compiled artifacts* of
+    :mod:`repro.homomorphism.compiled` alongside the profile IR (see
+    :meth:`compiled_artifact`): those are keyed by ``(canonical
+    component, structure)`` — unlike profiles they depend on the
+    database — with their own, smaller LRU bound, and mirror their
+    traffic as ``plan.compile.cache_hits`` / ``plan.compile.cache_misses``.
     """
 
-    def __init__(self, max_entries: int = DEFAULT_PLAN_CACHE_SIZE) -> None:
+    def __init__(
+        self,
+        max_entries: int = DEFAULT_PLAN_CACHE_SIZE,
+        compiled_entries: int = DEFAULT_COMPILED_CACHE_SIZE,
+    ) -> None:
         if max_entries < 1:
             raise ValueError(f"cache needs max_entries >= 1, got {max_entries}")
+        if compiled_entries < 1:
+            raise ValueError(
+                f"cache needs compiled_entries >= 1, got {compiled_entries}"
+            )
         self._max_entries = max_entries
         self._entries: OrderedDict = OrderedDict()
         self._front: OrderedDict = OrderedDict()
         self._lock = threading.Lock()
         self._hits = 0
         self._misses = 0
+        self._compiled_max = compiled_entries
+        self._compiled: OrderedDict = OrderedDict()
+        self._compiled_front: OrderedDict = OrderedDict()
+        self._compiled_hits = 0
+        self._compiled_misses = 0
 
     def _record_hit(self) -> None:
         self._hits += 1
@@ -178,10 +202,67 @@ class PlanCache:
         while len(self._front) > self._max_entries:
             self._front.popitem(last=False)
 
+    def compiled_artifact(self, component: ConjunctiveQuery, structure, build):
+        """``(artifact, was_hit)``; calls ``build(canonical, structure)`` on a miss.
+
+        The artifact is built from (and keyed by) the component's
+        *canonical* form, so α-equivalent components on the same
+        structure — the ``φ ↑ k`` copies — share one compilation.
+        Homomorphism counts are invariant under variable renaming, which
+        is exactly what makes the shared artifact sound.  An
+        exact-equality front level mirrors :meth:`profile`'s.
+        """
+        from repro.homomorphism.cache import canonical_component
+
+        front_key = (component, structure)
+        with self._lock:
+            cached = self._compiled_front.get(front_key)
+            if cached is not None:
+                self._compiled_front.move_to_end(front_key)
+                self._compiled_hits += 1
+                obs_metrics.add("plan.compile.cache_hits")
+                return cached, True
+        key = (canonical_component(component), structure)
+        with self._lock:
+            cached = self._compiled.get(key)
+            if cached is not None:
+                self._compiled.move_to_end(key)
+                self._store_compiled_front(front_key, cached)
+                self._compiled_hits += 1
+                obs_metrics.add("plan.compile.cache_hits")
+                return cached, True
+            self._compiled_misses += 1
+        obs_metrics.add("plan.compile.cache_misses")
+        artifact = build(key[0], structure)
+        with self._lock:
+            self._compiled[key] = artifact
+            self._compiled.move_to_end(key)
+            while len(self._compiled) > self._compiled_max:
+                self._compiled.popitem(last=False)
+            self._store_compiled_front(front_key, artifact)
+        return artifact, False
+
+    def _store_compiled_front(self, front_key, artifact) -> None:
+        self._compiled_front[front_key] = artifact
+        self._compiled_front.move_to_end(front_key)
+        while len(self._compiled_front) > self._compiled_max:
+            self._compiled_front.popitem(last=False)
+
+    def compiled_stats(self) -> dict:
+        """A plain-data snapshot of the artifact store (reports, tests)."""
+        return {
+            "entries": len(self._compiled),
+            "max_entries": self._compiled_max,
+            "hits": self._compiled_hits,
+            "misses": self._compiled_misses,
+        }
+
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
             self._front.clear()
+            self._compiled.clear()
+            self._compiled_front.clear()
 
     def __len__(self) -> int:
         return len(self._entries)

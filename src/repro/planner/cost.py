@@ -11,7 +11,13 @@ between engines is right on the workloads this repository actually runs
 * **backtracking** is bounded by the naive join size (the product of the
   per-atom fact counts) and by ``d^vars``, whichever is smaller — its
   subtree memoization and private-variable counting usually beat both,
-  which the small additive bias accounts for.
+  which the small additive bias accounts for;
+* **compiled** (specialized per-plan evaluators,
+  :mod:`repro.homomorphism.compiled`) pays a one-time indexing pass that
+  is linear in the matching facts, then runs either the array-semiring
+  Yannakakis loop (acyclic shapes) or a closure chain whose residual
+  search is a fraction of the interpreted join — modelled as
+  index-build cost plus a discounted join bound.
 
 The model never has to be *right*, only *monotone enough*: every engine
 returns the same exact count (the qa oracles enforce it), so a bad
@@ -57,9 +63,9 @@ __all__ = [
 COST_CEILING = 1e18
 
 #: Deterministic tie-break: the reference engine wins equal scores.
-_PREFERENCE = {"backtracking": 0, "acyclic": 1, "treewidth": 2}
+_PREFERENCE = {"backtracking": 0, "acyclic": 1, "treewidth": 2, "compiled": 3}
 
-ENGINES = ("backtracking", "acyclic", "treewidth")
+ENGINES = ("backtracking", "acyclic", "treewidth", "compiled")
 
 
 @dataclass(frozen=True)
@@ -77,9 +83,14 @@ class CostConstants:
     treewidth_base: float = 60.0
     treewidth_per_entry: float = 6.0
     backtracking_base: float = 10.0
+    compiled_base: float = 30.0
+    compiled_per_fact: float = 1.0
+    compiled_per_atom: float = 2.0
+    compiled_per_node: float = 0.5
     acyclic_scale: float = 1.0
     treewidth_scale: float = 1.0
     backtracking_scale: float = 1.0
+    compiled_scale: float = 1.0
 
     def scale(self, engine: str) -> float:
         if engine not in ENGINES:
@@ -209,11 +220,17 @@ def eligible_engines(
     requires an inequality-free, GYO-reducible component whose constants
     the structure interprets and whose atom arities match the structure's
     schema — outside that envelope it raises where the others would not.
+
+    ``compiled`` is *total* (it falls back to the interpreter outside
+    its envelope), but the planner still gates it on the specializer's
+    own envelope — no inequalities, interpreted constants, matching
+    arities (GYO-reducibility is **not** required: cyclic shapes take
+    the closure chain) — so that selecting it always means actually
+    compiling, never a silent round-trip through the fallback.
     """
     engines = ["backtracking", "treewidth"]
-    if (
+    specializable = (
         profile.inequality_count == 0
-        and profile.acyclic
         and all(
             structure.interprets(constant.name)
             for constant in component.constants
@@ -223,8 +240,11 @@ def eligible_engines(
             or structure.schema.arity(relation) == arity
             for relation, arity in profile.relations
         )
-    ):
+    )
+    if specializable and profile.acyclic:
         engines.append("acyclic")
+    if specializable:
+        engines.append("compiled")
     return tuple(engines)
 
 
@@ -274,6 +294,37 @@ def estimate_visits(
                 join = COST_CEILING
                 break
         return constants.backtracking_base + min(assignments, join)
+    if engine == "compiled":
+        # Index build: linear in the facts, plus a per-atom closure /
+        # grouping setup.  Residual search: free for acyclic shapes (the
+        # array passes are folded into the per-fact term); a discounted
+        # node bound for cyclic ones (the chain still explores the join,
+        # but each step is a hash lookup instead of a fact scan).
+        build = (
+            constants.compiled_base
+            + constants.compiled_per_fact * facts
+            + constants.compiled_per_atom * profile.atom_count
+        )
+        if profile.acyclic:
+            return build
+        assignments = _saturating_power(
+            float(domain_size), profile.variable_count
+        )
+        join = 1.0
+        for relation, _ in profile.relations:
+            cardinality = (
+                structure.fact_count(relation)
+                if relation in structure.schema
+                else 0
+            )
+            join *= float(max(cardinality, 1))
+            if join >= COST_CEILING:
+                join = COST_CEILING
+                break
+        return min(
+            build + constants.compiled_per_node * min(assignments, join),
+            COST_CEILING,
+        )
     raise ValueError(f"no cost model for engine {engine!r}")
 
 

@@ -15,8 +15,11 @@ counter family at zero (the convention ``repro.qa`` established for
 * ``plan.components`` — component selections performed (cached or not);
 * ``plan.cache_hits`` / ``plan.cache_misses`` — :class:`PlanCache`
   profile lookups;
-* ``plan.selected.backtracking`` / ``.treewidth`` / ``.acyclic`` — which
-  engine won.
+* ``plan.selected.backtracking`` / ``.treewidth`` / ``.acyclic`` /
+  ``.compiled`` — which engine won;
+* ``plan.compile.builds`` / ``plan.compile.cache_hits`` /
+  ``plan.compile.cache_misses`` — compiled-artifact traffic in the
+  :class:`PlanCache` (see :mod:`repro.homomorphism.compiled`).
 
 :func:`plan` additionally opens ``plan.analyze`` / ``plan.select`` spans
 (attributed with component counts and the winning engines) — coarse,
@@ -50,6 +53,10 @@ _PLAN_COUNTERS = (
     "plan.selected.backtracking",
     "plan.selected.treewidth",
     "plan.selected.acyclic",
+    "plan.selected.compiled",
+    "plan.compile.builds",
+    "plan.compile.cache_hits",
+    "plan.compile.cache_misses",
 )
 
 #: Process-wide profile cache: planning is pure query analysis, so sharing

@@ -6,9 +6,11 @@ crisp failure criterion — two numbers that must be equal and are not.
 Registered oracles (``bagcq fuzz --oracle NAME`` selects a subset):
 
 ``cross_engine``
-    The three homomorphism engines and the planner-driven ``auto``
-    engine agree (``acyclic`` only where it is applicable:
-    inequality-free, acyclic components).
+    The homomorphism engines and the planner-driven ``auto`` engine
+    agree (``acyclic`` only where it is applicable: inequality-free,
+    acyclic components; ``compiled`` on *every* case — it is total,
+    falling back to the interpreter outside its envelope, so the arm
+    also exercises the fallback's parity).
 ``batch_parity``
     :func:`repro.homomorphism.batch.count_many` — with a private cache,
     with caching disabled, and with a tiny shared LRU — is bit-identical
@@ -145,12 +147,17 @@ def get_oracle(name: str) -> Oracle:
 
 @oracle("cross_engine")
 def _cross_engine(case: FuzzCase) -> OracleResult:
-    """backtracking, treewidth, auto (and acyclic where applicable) agree."""
+    """backtracking, treewidth, compiled, auto (acyclic where applicable) agree."""
     reference = count(case.query, case.structure, engine="backtracking")
     via_td = count(case.query, case.structure, engine="treewidth")
     if via_td != reference:
         return OracleResult.failed(
             f"backtracking={reference} treewidth={via_td}"
+        )
+    via_compiled = count(case.query, case.structure, engine="compiled")
+    if via_compiled != reference:
+        return OracleResult.failed(
+            f"backtracking={reference} compiled={via_compiled}"
         )
     via_auto = count(case.query, case.structure, engine="auto")
     if via_auto != reference:

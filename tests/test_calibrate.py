@@ -39,7 +39,7 @@ class TestCollectSamples:
         samples = collect_samples(case_count=6, seed=0, repeat=1)
         assert samples
         engines = {engine for engine, _, _ in samples}
-        assert engines <= {"backtracking", "acyclic", "treewidth"}
+        assert engines <= {"backtracking", "acyclic", "treewidth", "compiled"}
         # Backtracking is always safe, so it appears for every case.
         assert "backtracking" in engines
 

@@ -24,6 +24,7 @@ import pytest
 
 from repro.homomorphism import CountCache, count, count_at_least, count_many
 from repro.queries.cq import ConjunctiveQuery
+from repro.queries.parser import parse_query
 from repro.queries.product import QueryProduct
 from repro.queries.terms import Variable
 from repro.relational import Schema, Structure
@@ -59,11 +60,18 @@ QUERIES = (
     )
 )
 
-#: Both evaluation paths: plain serial, and through a component cache.
+#: Every evaluation path: plain serial, through a component cache,
+#: batched, and the compiled engine (bare and cached) — the specialized
+#: evaluators must satisfy the same invariants as the interpreter.
 PATHS = [
     pytest.param(lambda q, d: count(q, d), id="uncached"),
     pytest.param(lambda q, d: count(q, d, cache=CountCache()), id="cached"),
     pytest.param(lambda q, d: count_many([(q, d)])[0], id="batched"),
+    pytest.param(lambda q, d: count(q, d, engine="compiled"), id="compiled"),
+    pytest.param(
+        lambda q, d: count(q, d, engine="compiled", cache=CountCache()),
+        id="compiled-cached",
+    ),
 ]
 
 
@@ -127,8 +135,9 @@ def test_power_is_pointwise_power(evaluate):
                 )
 
 
+@pytest.mark.parametrize("engine", ["backtracking", "compiled"])
 @pytest.mark.parametrize("cache", [None, CountCache()], ids=["uncached", "cached"])
-def test_count_at_least_agrees_with_count(cache):
+def test_count_at_least_agrees_with_count(cache, engine):
     for query in QUERIES[:12]:
         for structure in STRUCTURES:
             exact = count(query, structure)
@@ -136,8 +145,8 @@ def test_count_at_least_agrees_with_count(cache):
                 if bound < 0:
                     continue
                 assert count_at_least(
-                    query, structure, bound, cache=cache
-                ) is (exact >= bound), (query, bound)
+                    query, structure, bound, cache=cache, engine=engine
+                ) is (exact >= bound), (query, bound, engine)
 
 
 @pytest.mark.parametrize("cache", [None, CountCache()], ids=["uncached", "cached"])
@@ -154,3 +163,18 @@ def test_count_at_least_on_factorized_products(cache):
         base = count(cycle_query(3), structure)
         if base >= 2:
             assert count_at_least(huge, structure, 2**64, cache=cache)
+
+
+@pytest.mark.parametrize("engine", ["backtracking", "compiled", "auto"])
+def test_count_at_least_zero_factor_two_pass(engine):
+    """The PR-3 fuzzer-caught bug, re-pinned for every engine: a factor
+    evaluating to zero *behind* an astronomical nonzero factor must
+    annihilate the product before any bound is declared cleared."""
+    structure = Structure(
+        Schema.from_arities({"E": 2, "Z": 2}), {"E": [(0, 1)], "Z": []}
+    )
+    product = QueryProduct(
+        [(path_query(2), 10**100), (parse_query("Z(u, v)"), 1)]
+    )
+    assert not count_at_least(product, structure, 1, engine=engine)
+    assert count(product, structure, engine=engine) == 0

@@ -13,6 +13,8 @@ Two properties carry the subsystem:
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 import pytest
 
 from repro.core.cycliq import cycliq
@@ -26,10 +28,12 @@ from repro.planner import (
     analyze_component,
     eligible_engines,
     estimate_cost,
+    get_constants,
     greedy_treewidth_bound,
     plan,
     select_engine,
     select_for,
+    use_constants,
 )
 from repro.qa.generators import case_at
 from repro.queries.cq import ConjunctiveQuery
@@ -180,6 +184,39 @@ class TestEligibility:
             "treewidth",
         }
 
+    # The compiled engine is *total* (it falls back to the interpreter
+    # outside its envelope), but the planner must still gate it on the
+    # specializer's envelope so an auto pick always means actually
+    # compiling.  One test per gate:
+
+    def test_compiled_requires_no_inequalities(self, edge_path):
+        query = parse_query("E(x, y) & E(y, z) & x != z")
+        profile = analyze_component(query)
+        assert "compiled" not in eligible_engines(query, profile, edge_path)
+
+    def test_compiled_requires_interpreted_constants(self, edge_path):
+        query = parse_query("E(x, #nowhere)")
+        profile = analyze_component(query)
+        assert "compiled" not in eligible_engines(query, profile, edge_path)
+
+    def test_compiled_requires_matching_arity(self, edge_path):
+        query = parse_query("E(x, y, z)")
+        profile = analyze_component(query)
+        assert "compiled" not in eligible_engines(query, profile, edge_path)
+
+    def test_compiled_does_not_require_gyo_reducibility(self, triangle):
+        # Unlike acyclic: cyclic shapes take the closure chain.
+        query = cycle_query(3)
+        profile = analyze_component(query)
+        engines = eligible_engines(query, profile, triangle)
+        assert "compiled" in engines
+        assert "acyclic" not in engines
+
+    def test_compiled_eligible_on_plain_acyclic_component(self, edge_path):
+        query = path_query(3)
+        profile = analyze_component(query)
+        assert "compiled" in eligible_engines(query, profile, edge_path)
+
 
 class TestSelection:
     def test_tiny_component_prefers_backtracking(self, loop_and_edge):
@@ -189,9 +226,18 @@ class TestSelection:
         )
         assert engine == "backtracking"
 
-    def test_long_path_prefers_acyclic(self, dense):
+    def test_long_path_prefers_compiled(self, dense):
+        # Since the compiled engine joined the model, it undercuts the
+        # interpreted Yannakakis pass on the dense acyclic slice.
         query = path_query(5)
         engine, _ = select_engine(query, analyze_component(query), dense)
+        assert engine == "compiled"
+
+    def test_long_path_prefers_acyclic_when_compiled_priced_out(self, dense):
+        query = path_query(5)
+        expensive = replace(get_constants(), compiled_scale=1e6)
+        with use_constants(expensive):
+            engine, _ = select_engine(query, analyze_component(query), dense)
         assert engine == "acyclic"
 
     def test_dense_cycle_prefers_treewidth(self, dense):
@@ -278,7 +324,7 @@ class TestPlanCounters:
         metrics = observation.report()["metrics"]
         selected = sum(
             metrics[f"plan.selected.{name}"]["value"]
-            for name in ("backtracking", "treewidth", "acyclic")
+            for name in ("backtracking", "treewidth", "acyclic", "compiled")
         )
         assert selected == 1
         assert metrics["plan.components"]["value"] == 1

@@ -91,7 +91,39 @@ def test_engines_agree_with_brute_force(query, structure):
     expected = brute_force_count(query, structure)
     assert count(query, structure) == expected
     assert count_homomorphisms_td(query, structure) == expected
+    assert count(query, structure, engine="compiled") == expected
     assert count(query, structure, use_inclusion_exclusion=True) == expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(queries(max_inequalities=0), structures())
+def test_compiled_engine_agrees_without_fallback(query, structure):
+    """Inequality-free instances hit the actual specializer (no
+    interpreter fallback), both chain and array modes, and must still
+    match brute force exactly."""
+    from repro.homomorphism import compiled_supported
+
+    assert compiled_supported(query, structure)
+    assert count(query, structure, engine="compiled") == brute_force_count(
+        query, structure
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(queries(max_inequalities=0), queries(max_inequalities=0), structures())
+def test_lemma1_multiplicativity_under_compilation(rho, rho_prime, structure):
+    assert count(rho * rho_prime, structure, engine="compiled") == count(
+        rho, structure, engine="compiled"
+    ) * count(rho_prime, structure, engine="compiled")
+
+
+@settings(max_examples=40, deadline=None)
+@given(queries(), structures(), st.integers(0, 3))
+def test_definition2_power_under_compilation(theta, structure, k):
+    assert (
+        count(theta**k, structure, engine="compiled")
+        == count(theta, structure, engine="compiled") ** k
+    )
 
 
 @settings(max_examples=40, deadline=None)

@@ -257,3 +257,37 @@ class TestBudgets:
         report = run_fuzz(max_cases=40, seed=0, oracles=["gadget_equality"])
         assert set(report.per_oracle) == {"gadget_equality"}
         assert report.checks == report.per_oracle["gadget_equality"]
+
+
+class TestCompiledArm:
+    """The ``cross_engine`` oracle really exercises the compiled engine."""
+
+    def test_fuzz_run_exercises_compiled_engine(self):
+        with observe() as obs:
+            report = run_fuzz(max_cases=60, seed=0, oracles=["cross_engine"])
+        assert report.ok, report.describe()
+        metrics = obs.report()["metrics"]
+        # Every cq case routes through the compiled arm (it is total), so
+        # the engine's call counter must have moved — and at least some
+        # cases must have actually compiled rather than fallen back.
+        assert metrics["compiled.calls"]["value"] > 0
+        assert (
+            metrics["compiled.calls"]["value"]
+            > metrics["compiled.fallbacks"]["value"]
+        )
+
+    def test_injected_compiled_bug_is_caught(self, monkeypatch):
+        real = hom_engine._ENGINES["compiled"]
+
+        def buggy(component, structure):
+            value = real(component, structure)
+            return value + 1 if component.atom_count >= 2 else value
+
+        monkeypatch.setitem(hom_engine._ENGINES, "compiled", buggy)
+        report = run_fuzz(
+            max_cases=60, seed=0, oracles=["cross_engine"], shrink=False
+        )
+        assert report.findings, "injected compiled-engine bug was not caught"
+        assert any(
+            "compiled" in finding.result.details for finding in report.findings
+        )
