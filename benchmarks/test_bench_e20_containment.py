@@ -1,0 +1,149 @@
+"""E20 — the set-containment prescreen in the counterexample search.
+
+PR 8's acceptance benchmark: when ``φ_s ⊆_set φ_b`` already fails, the
+Chandra–Merlin certificate *is* a bag counterexample (multiplier ≥ 1,
+additive ≤ 0), so ``find_counterexample`` can answer without evaluating
+a single candidate.  On a random-pair decision workload the prescreen
+must skip the candidate sweep for at least 30% of the searches on the
+non-contained slice — the pairs where a bag violation exists at all —
+while never changing a verdict the plain sweep could reach:
+
+* a counterexample found by the un-prescreened sweep is still found
+  (the prescreen only ever *adds* certified refutations, it cannot
+  lose one);
+* every prescreened refutation re-verifies by direct counting
+  (``φ_s(D) > φ_b(D)`` on the returned structure);
+* on pairs the prescreen passes through, the two runs are identical —
+  same candidate consumption, same outcome.
+
+The run emits ``BENCH_contain.json`` (path overridable via the
+``BENCH_CONTAIN`` environment variable): the per-slice skip rates, the
+candidate-evaluation savings, and the verdict cross-table.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.containment_set import cq_contained
+from repro.decision.search import find_counterexample, random_structures
+from repro.homomorphism import count
+from repro.relational import Schema
+from repro.workloads import random_queries
+
+from benchmarks.conftest import print_table
+
+SCHEMA = Schema.from_arities({"E": 2, "U": 1})
+STREAM = dict(domain_size=3, density=0.4, count=40)
+
+
+def _pairs() -> list[tuple]:
+    queries = list(
+        random_queries(SCHEMA, count=10, variable_count=3, atom_count=3, seed=41)
+    ) + list(
+        random_queries(SCHEMA, count=8, variable_count=4, atom_count=2, seed=42)
+    )
+    return [
+        (queries[i], queries[j])
+        for i in range(len(queries))
+        for j in range(len(queries))
+        if i != j
+    ]
+
+
+def _run(phi_s, phi_b, set_prescreen: bool):
+    stream = random_structures(
+        phi_s.schema.union(phi_b.schema), seed=7, **STREAM
+    )
+    return find_counterexample(
+        phi_s, phi_b, stream, set_prescreen=set_prescreen
+    )
+
+
+def test_e20_prescreen_skips_searches(benchmark):
+    records = []
+    for phi_s, phi_b in _pairs():
+        with_screen = _run(phi_s, phi_b, set_prescreen=True)
+        without = _run(phi_s, phi_b, set_prescreen=False)
+        records.append(
+            {
+                "set_contained": cq_contained(phi_s, phi_b),
+                "found": with_screen.found,
+                "found_baseline": without.found,
+                "checked": with_screen.checked,
+                "checked_baseline": without.checked,
+                "prescreened": with_screen.found and with_screen.checked == 0,
+            }
+        )
+        # Verdict safety: the sweep's counterexamples survive, and a
+        # prescreened refutation re-verifies by direct counting.
+        assert not (without.found and not with_screen.found)
+        if with_screen.found and with_screen.checked == 0:
+            assert (
+                count(phi_s, with_screen.counterexample)
+                > count(phi_b, with_screen.counterexample)
+            )
+        if not record_is_prescreened(records[-1]):
+            assert with_screen.found == without.found
+            assert with_screen.checked == without.checked
+
+    non_contained = [record for record in records if record["found"]]
+    skipped = [record for record in non_contained if record["prescreened"]]
+    skip_rate = len(skipped) / len(non_contained) if non_contained else 0.0
+    saved = sum(
+        record["checked_baseline"] - record["checked"] for record in records
+    )
+    swept = sum(record["checked_baseline"] for record in records)
+
+    print_table(
+        "E20 — set-containment prescreen on the decision workload",
+        ["slice", "pairs", "prescreened", "skip rate"],
+        [
+            ["all pairs", len(records), len(skipped), ""],
+            [
+                "non-contained",
+                len(non_contained),
+                len(skipped),
+                f"{skip_rate:.0%}",
+            ],
+            [
+                "candidates evaluated",
+                swept,
+                swept - saved,
+                f"saved {saved}",
+            ],
+        ],
+    )
+
+    # The acceptance bar: on the slice where a bag violation exists the
+    # prescreen answers at least 30% of searches with zero candidates.
+    assert len(non_contained) >= 10, "workload too easy to measure"
+    assert skip_rate >= 0.30, f"skip rate {skip_rate:.0%} below the 30% bar"
+
+    artifact = os.environ.get("BENCH_CONTAIN", "BENCH_contain.json")
+    with open(artifact, "w", encoding="utf-8") as handle:
+        json.dump(
+            {
+                "experiment": "E20",
+                "pairs": len(records),
+                "non_contained": len(non_contained),
+                "prescreened": len(skipped),
+                "skip_rate": round(skip_rate, 3),
+                "candidates_saved": saved,
+                "candidates_baseline": swept,
+                "rows": records,
+            },
+            handle,
+            indent=2,
+        )
+        handle.write("\n")
+
+    phi_s, phi_b = _pairs()[0]
+    result = benchmark(_run, phi_s, phi_b, True)
+    assert result.found == _run(phi_s, phi_b, False).found or result.checked == 0
+
+
+def record_is_prescreened(record: dict) -> bool:
+    """A pair the prescreen answered outright (no candidates consumed)."""
+    return record["prescreened"]

@@ -17,6 +17,13 @@ from repro.core import (
     theorem3_reduction,
     transfer_witness,
 )
+from repro.containment_set import (
+    ContainmentCache,
+    cq_containment,
+    cq_contained,
+    ucq_containment,
+    ucq_contained,
+)
 from repro.decision import decide_bag_containment, verify_bounded
 from repro.homomorphism import (
     count,
@@ -71,9 +78,12 @@ __all__ = [
     "Variable",
     "alpha_gadget",
     "beta_gadget",
+    "ContainmentCache",
     "blowup",
     "count",
     "count_ucq",
+    "cq_containment",
+    "cq_contained",
     "decide_bag_containment",
     "disjoint_union",
     "evaluate",
@@ -88,6 +98,8 @@ __all__ = [
     "theorem1_reduction",
     "theorem3_reduction",
     "transfer_witness",
+    "ucq_containment",
+    "ucq_contained",
     "verify_bounded",
     "__version__",
 ]

@@ -292,12 +292,26 @@ def _command_call(args: argparse.Namespace) -> int:
             )
         )
         return 0
+    if endpoint == "contain":
+        if not args.phi_s or not args.phi_b:
+            raise SystemExit("call contain needs --phi-s and --phi-b")
+        phi_s = args.phi_s[0] if len(args.phi_s) == 1 else list(args.phi_s)
+        phi_b = args.phi_b[0] if len(args.phi_b) == 1 else list(args.phi_b)
+        verdict = client.contain(
+            phi_s,
+            phi_b,
+            engine=args.engine,
+            witness=not args.no_witness,
+            deadline_ms=args.deadline_ms,
+        )
+        print(stable_json_dumps(verdict))
+        return 0
     if endpoint == "decide":
-        if args.phi_s is None or args.phi_b is None:
+        if not args.phi_s or not args.phi_b:
             raise SystemExit("call decide needs --phi-s and --phi-b")
         verdict = client.decide(
-            args.phi_s,
-            args.phi_b,
+            args.phi_s[0],
+            args.phi_b[0],
             multiplier=args.multiplier,
             additive=args.additive,
             domain_size=args.domain_size,
@@ -454,6 +468,51 @@ def _command_search(args: argparse.Namespace) -> int:
         )
         return 0
     print(f"no counterexample in {outcome.checked} candidates")
+    return 0
+
+
+def _command_contain(args: argparse.Namespace) -> int:
+    from repro.containment_set import cq_containment, ucq_containment
+    from repro.obs.report import stable_json_dumps
+
+    left = [parse_query(text) for text in args.phi_s]
+    right = [parse_query(text) for text in args.phi_b]
+    want_witness = not args.no_witness
+    if len(left) == 1 and len(right) == 1:
+        kind = "cq"
+        verdict = cq_containment(
+            left[0], right[0], engine=args.engine, want_witness=want_witness
+        )
+    else:
+        kind = "ucq"
+        verdict = ucq_containment(
+            left, right, engine=args.engine, want_witness=want_witness
+        )
+    if args.json:
+        print(stable_json_dumps({"kind": kind, **verdict.to_dict()}))
+        return 0
+    relation = "⊆" if verdict.contained else "⊄"
+    print(f"phi_s {relation} phi_b under set semantics [engine: {args.engine}]")
+    if kind == "cq":
+        if verdict.contained and verdict.witness is not None:
+            for variable, target in verdict.witness:
+                print(f"  witness: {variable.name} -> {target}")
+    else:
+        for entry in verdict.coverage:
+            if entry.covered:
+                print(
+                    f"  disjunct {entry.disjunct} ⊆ container {entry.container}"
+                )
+            else:
+                print(f"  disjunct {entry.disjunct} uncovered")
+    if not verdict.contained and verdict.certificate is not None:
+        certificate = verdict.certificate
+        print(
+            f"  certificate: canonical(phi_s) with phi_s = {certificate.lhs} "
+            f"> phi_b = {certificate.rhs} "
+            f"(|domain| = {len(certificate.structure.domain)}, "
+            f"{certificate.structure.fact_count()} facts)"
+        )
     return 0
 
 
@@ -694,15 +753,38 @@ def build_parser() -> argparse.ArgumentParser:
     )
     call_parser.add_argument(
         "endpoint",
-        choices=("evaluate", "explain", "decide", "healthz", "metrics", "traces"),
+        choices=(
+            "evaluate",
+            "explain",
+            "decide",
+            "contain",
+            "healthz",
+            "metrics",
+            "traces",
+        ),
     )
     call_parser.add_argument(
         "--url", default="http://127.0.0.1:8642", help="service base URL"
     )
     call_parser.add_argument("--query", default=None)
     call_parser.add_argument("--facts", default=None)
-    call_parser.add_argument("--phi-s", default=None)
-    call_parser.add_argument("--phi-b", default=None)
+    call_parser.add_argument(
+        "--phi-s",
+        action="append",
+        default=None,
+        help="smaller-side query; repeat for a union (contain only)",
+    )
+    call_parser.add_argument(
+        "--phi-b",
+        action="append",
+        default=None,
+        help="bigger-side query; repeat for a union (contain only)",
+    )
+    call_parser.add_argument(
+        "--no-witness",
+        action="store_true",
+        help="contain only: skip the witness homomorphism",
+    )
     call_parser.add_argument(
         "--engine",
         choices=("auto", "backtracking", "treewidth", "acyclic", "compiled"),
@@ -849,6 +931,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable the canonicalization-keyed component count cache",
     )
     search_parser.set_defaults(handler=_command_search)
+
+    contain_parser = sub.add_parser(
+        "contain",
+        help="decide set-semantics containment (Chandra-Merlin / all-any)",
+        parents=[obs_flags],
+    )
+    contain_parser.add_argument(
+        "--phi-s",
+        action="append",
+        required=True,
+        help="contained-side query; repeat for a union's disjuncts",
+    )
+    contain_parser.add_argument(
+        "--phi-b",
+        action="append",
+        required=True,
+        help="containing-side query; repeat for a union's disjuncts",
+    )
+    contain_parser.add_argument(
+        "--engine",
+        choices=("auto", "backtracking", "treewidth", "acyclic", "compiled"),
+        default="auto",
+        help="counting engine for the homomorphism test",
+    )
+    contain_parser.add_argument(
+        "--no-witness",
+        action="store_true",
+        help="skip the witness homomorphism on positive verdicts",
+    )
+    contain_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print the full verdict (witness/certificate) as JSON",
+    )
+    contain_parser.set_defaults(handler=_command_contain)
 
     fuzz_parser = sub.add_parser(
         "fuzz",

@@ -1,0 +1,57 @@
+"""``repro.containment_set`` — classical set-semantics containment.
+
+The paper's problem is *bag*-semantics containment, but its machinery
+leans on the classical set-semantics theory at every turn.  This package
+provides that baseline as a first-class workload:
+
+* :func:`cq_containment` / :func:`cq_contained` — CQ ⊆ CQ via the
+  Chandra–Merlin homomorphism test, dispatched through any counting
+  engine (``engine="auto"`` routes through the planner).
+* :func:`ucq_containment` / :func:`ucq_contained` — UCQ ⊆ UCQ via the
+  Sagiv–Yannakakis all/any reduction, inner loop short-circuited in
+  planner cost order.
+* :class:`ContainmentCache` — an α-equivalence-keyed verdict LRU
+  mirroring the :class:`~repro.homomorphism.cache.CountCache` and
+  :class:`~repro.planner.analyze.PlanCache` discipline.
+
+The bridge to the paper: set containment is *necessary* for bag
+containment (``φ_s`` is positive on its own canonical database), so a
+negative verdict here is a finished refutation — with
+``canonical(φ_s)`` as the counterexample — and powers the sound
+prescreen in :func:`repro.decision.search.find_counterexample`.  See
+``docs/CONTAINMENT.md``.
+"""
+
+from repro.containment_set.cache import (
+    ContainmentCache,
+    containment_cache_key,
+    default_containment_cache,
+)
+from repro.containment_set.chandra_merlin import (
+    AbsenceCertificate,
+    CQContainment,
+    cq_containment,
+    cq_contained,
+    encode_witness,
+)
+from repro.containment_set.ucq import (
+    DisjunctCoverage,
+    UCQContainment,
+    ucq_containment,
+    ucq_contained,
+)
+
+__all__ = [
+    "AbsenceCertificate",
+    "CQContainment",
+    "ContainmentCache",
+    "DisjunctCoverage",
+    "UCQContainment",
+    "containment_cache_key",
+    "cq_containment",
+    "cq_contained",
+    "default_containment_cache",
+    "encode_witness",
+    "ucq_containment",
+    "ucq_contained",
+]

@@ -87,6 +87,10 @@ def verify_bounded(
         )
         if up_to_isomorphism:
             candidates = distinct_up_to_isomorphism(candidates)
+        # set_prescreen=False: the verdict is *about this sample* — a
+        # prescreen counterexample from outside the enumerated class
+        # (canonical databases are not nontrivial, and may exceed the
+        # domain bound) would change what "holds_on_sample" means.
         outcome = find_counterexample(
             phi_s,
             phi_b,
@@ -97,6 +101,7 @@ def verify_bounded(
             workers=workers,
             batch_size=batch_size,
             cache=cache,
+            set_prescreen=False,
         )
         current.set(checked=outcome.checked, holds_on_sample=not outcome.found)
     return BoundedVerdict(

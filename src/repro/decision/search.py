@@ -15,10 +15,11 @@ import random
 from dataclasses import dataclass
 from typing import Callable, Iterable, Iterator, Sequence
 
-from repro.errors import SearchBudgetExceeded
+from repro.errors import BagCQError, SearchBudgetExceeded
 from repro.homomorphism.batch import count_many
 from repro.homomorphism.cache import CountCache
 from repro.homomorphism.engine import count
+from repro.queries.cq import ConjunctiveQuery
 from repro.naming import HEART, SPADE
 from repro.obs import metrics as obs_metrics
 from repro.obs.trace import span
@@ -147,6 +148,65 @@ class SearchOutcome:
         return self.counterexample is not None
 
 
+def _set_semantics_prescreen(
+    phi_s,
+    phi_b,
+    multiplier: int,
+    additive: int,
+    engine: str,
+    current,
+) -> SearchOutcome | None:
+    """A finished refutation from set-semantics containment, if one applies.
+
+    Set containment is *necessary* for bag containment: ``φ_s`` counts
+    ``≥ 1`` on its own canonical database, so if no homomorphism maps
+    ``φ_b`` into it, that database already violates
+    ``multiplier·φ_s(D) ≤ φ_b(D) + additive`` whenever ``multiplier ≥ 1``
+    and ``additive ≤ 0``.  Only that sound regime is screened — plain
+    inequality-free CQs whose ``φ_b`` constants ``canonical(φ_s)``
+    interprets — and a positive set-containment verdict proves nothing,
+    so the stream search proceeds as before.
+    """
+    if not isinstance(phi_s, ConjunctiveQuery) or not isinstance(
+        phi_b, ConjunctiveQuery
+    ):
+        return None
+    if phi_s.has_inequalities() or phi_b.has_inequalities():
+        return None
+    if multiplier < 1 or additive > 0:
+        return None
+    if not phi_b.constants <= phi_s.constants:
+        return None
+    from repro.containment_set import cq_containment, default_containment_cache
+
+    try:
+        verdict = cq_containment(
+            phi_s,
+            phi_b,
+            engine=engine,
+            cache=default_containment_cache(),
+            want_witness=False,
+        )
+    except BagCQError:
+        # Whatever the library objects to (an unknown engine name, say),
+        # the stream search will object to identically — or not at all,
+        # when the stream is empty.  Either way the prescreen must not
+        # change which error the caller sees.
+        return None
+    if verdict.contained:
+        obs_metrics.add("contain.prescreen.misses")
+        return None
+    obs_metrics.add("contain.prescreen.hits")
+    certificate = verdict.certificate
+    current.set(outcome="prescreen_counterexample")
+    return SearchOutcome(
+        counterexample=certificate.structure,
+        checked=0,
+        lhs=multiplier * certificate.lhs,
+        rhs=certificate.rhs + additive,
+    )
+
+
 def find_counterexample(
     phi_s,
     phi_b,
@@ -159,6 +219,7 @@ def find_counterexample(
     workers: int = 1,
     batch_size: int | None = None,
     cache: CountCache | bool | None = None,
+    set_prescreen: bool = True,
 ) -> SearchOutcome:
     """Search ``candidates`` for ``multiplier·φ_s(D) > φ_b(D) + additive``.
 
@@ -185,11 +246,25 @@ def find_counterexample(
     to the serial path; a batch may merely evaluate a few candidates past
     the first hit before it is noticed.
 
+    With ``set_prescreen`` (the default) the search is fronted by the
+    sound set-semantics screen of :mod:`repro.containment_set`: when both
+    queries are plain inequality-free CQs, ``multiplier ≥ 1``,
+    ``additive ≤ 0``, and no predicate restricts the candidate class, a
+    failed Chandra–Merlin test finishes the search immediately —
+    ``canonical(φ_s)`` is returned as the counterexample with
+    ``checked == 0``, before any candidate is evaluated.  The screen only
+    ever *adds* refutations the stream might have missed; it never flips
+    a verdict the stream could reach (a found violation stays a
+    violation).  Callers whose contract is "this exact sample was swept"
+    — :func:`repro.decision.bounded.verify_bounded` — pass
+    ``set_prescreen=False``.
+
     Under an active :func:`repro.obs.observe` scope the search records a
     ``search.find_counterexample`` span plus ``search.*`` counters:
     structures enumerated / skipped-by-predicate / evaluated, query
     evaluations, batch flushes, and — on budget exhaustion — the budget
-    consumed at failure.
+    consumed at failure.  Prescreen outcomes surface as
+    ``contain.prescreen.hits`` / ``contain.prescreen.misses``.
     """
     registry = obs_metrics.active_registry()
     batched = workers > 1 or batch_size is not None or cache is not None
@@ -207,6 +282,12 @@ def find_counterexample(
     with span(
         "search.find_counterexample", multiplier=multiplier, additive=additive
     ) as current:
+        if set_prescreen and predicate is None:
+            prescreened = _set_semantics_prescreen(
+                phi_s, phi_b, multiplier, additive, engine, current
+            )
+            if prescreened is not None:
+                return prescreened
         try:
             if batched:
                 return _find_counterexample_batched(

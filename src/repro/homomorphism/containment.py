@@ -13,7 +13,6 @@ from __future__ import annotations
 
 from typing import Iterable
 
-from repro.homomorphism.backtracking import exists_homomorphism
 from repro.homomorphism.engine import count
 from repro.queries.cq import ConjunctiveQuery
 from repro.relational.structure import Structure
@@ -30,14 +29,17 @@ def set_contained(phi_s: ConjunctiveQuery, phi_b: ConjunctiveQuery) -> bool:
 
     For boolean CQs without inequalities this is sound and complete:
     ``φ_s(D) ≤ φ_b(D)`` in {0,1}-semantics for all ``D`` iff
-    ``Hom(φ_b, canonical(φ_s)) ≠ ∅``.  Queries with inequalities are
-    rejected (the classical test does not apply to them).
+    ``Hom(φ_b, canonical(φ_s)) ≠ ∅``.  Queries with inequalities raise
+    :class:`~repro.errors.QueryError` (the classical test does not apply
+    to them).
+
+    This thin form predates :mod:`repro.containment_set`, which it now
+    delegates to; use :func:`repro.containment_set.cq_containment` for
+    engine selection, caching, witnesses, and absence certificates.
     """
-    if phi_s.has_inequalities() or phi_b.has_inequalities():
-        raise ValueError(
-            "the Chandra-Merlin test applies to CQs without inequalities"
-        )
-    return exists_homomorphism(phi_b, phi_s.canonical_structure())
+    from repro.containment_set import cq_contained
+
+    return cq_contained(phi_s, phi_b, engine="backtracking")
 
 
 def bag_contained_on(

@@ -135,9 +135,11 @@ def run_fuzz(
     # The cross_engine oracle exercises engine="auto", whose profile cache
     # is process-wide; start it cold so the counter trace stays a pure
     # function of (seed, max_cases) across repeated runs.
+    from repro.containment_set import default_containment_cache
     from repro.planner import default_plan_cache
 
     default_plan_cache().clear()
+    default_containment_cache().clear()
     started = time.monotonic()
 
     if corpus_dir is not None:

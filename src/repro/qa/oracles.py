@@ -27,6 +27,12 @@ Registered oracles (``bagcq fuzz --oracle NAME`` selects a subset):
 ``ucq_linearity``
     ``Σ mᵢ·φᵢ(D)`` — the UCQ value — matches serial and batched/cached
     evaluation of :func:`~repro.homomorphism.engine.count_ucq`.
+``bag_vs_set``
+    The set-semantics bridge: derived pairs with known positive verdicts
+    hold; a negative Chandra–Merlin verdict's certificate is a genuine
+    bag counterexample (and the search prescreen uses it); a positive
+    verdict is never contradicted by a fuzzed structure or a search
+    counterexample; all engines agree on verdicts and witnesses.
 ``gadget_equality``
     Definition 3 ``(=)``: the α multiplication gadget for ``c`` attains
     ``α_s(D) = c·α_b(D) ≠ 0`` on its packaged witness.
@@ -292,6 +298,104 @@ def _ucq_linearity(case: FuzzCase) -> OracleResult:
     cached = count_ucq(ucq, case.structure, cache=CountCache())
     if cached != expected:
         return OracleResult.failed(f"sum={expected} cached={cached}")
+    return OracleResult.passed()
+
+
+@oracle("bag_vs_set", kinds=("cq", "ucq"))
+def _bag_vs_set(case: FuzzCase) -> OracleResult:
+    """Set containment is necessary for bag containment, never contradicted.
+
+    From each case a family of query pairs is derived (drop-an-atom
+    weakenings, α-renamings) and three properties are enforced:
+
+    * *Expected positives*: ``Q ⊆ Q``, ``Q ⊆ Q-minus-an-atom``, and both
+      directions of an α-renaming are set-contained.
+    * *Bridge*: a negative set verdict's certificate is a genuine bag
+      counterexample — ``Q1`` counts positive, ``Q2`` counts zero on it —
+      and the counterexample search refutes the pair without evaluating
+      a single candidate (the prescreen).
+    * *Non-contradiction*: when the set verdict is positive, no database
+      (fuzzed or searched) has ``Q1`` positive and ``Q2`` zero; a found
+      bag violation must be a multiplicity gap, not a boolean one.
+
+    Verdicts must agree across backtracking/treewidth/compiled/auto,
+    witnesses included.
+    """
+    from repro.containment_set import cq_containment, cq_contained, ucq_contained
+    from repro.decision.search import find_counterexample
+
+    if case.kind == "ucq":
+        disjuncts = [query.without_inequalities() for query, _ in case.disjuncts]
+        union = disjuncts
+        widened = disjuncts + [path_query(2)]
+        if not ucq_contained(union, widened):
+            return OracleResult.failed("U ⊄ U ∪ {path} (monotonicity)")
+        if not ucq_contained([disjuncts[0]], union):
+            return OracleResult.failed("q0 ⊄ union containing q0")
+        return OracleResult.passed()
+
+    base = case.query.without_inequalities()
+    renamed = base.rename(
+        {
+            variable: Variable(f"bvs_{position}")
+            for position, variable in enumerate(sorted(base.variables))
+        }
+    )
+    weakened = ConjunctiveQuery(base.atoms[:-1]) if base.atom_count > 1 else base
+    if not base.constants <= weakened.constants:
+        # Dropping the atom dropped a constant, so the reverse direction
+        # would (correctly) raise ConstantError on canonical(weakened);
+        # fall back to the identity pair.
+        weakened = base
+    for phi_s, phi_b, label in (
+        (base, base, "Q ⊆ Q"),
+        (base, weakened, "Q ⊆ weakened(Q)"),
+        (base, renamed, "Q ⊆ α(Q)"),
+        (renamed, base, "α(Q) ⊆ Q"),
+    ):
+        if not cq_contained(phi_s, phi_b):
+            return OracleResult.failed(f"expected positive failed: {label}")
+
+    # The interesting direction can go either way; all engines must agree
+    # on it, witness and certificate included.
+    reference = cq_containment(weakened, base, engine="backtracking")
+    for engine in ("treewidth", "compiled", "auto"):
+        other = cq_containment(weakened, base, engine=engine)
+        if other.contained is not reference.contained:
+            return OracleResult.failed(
+                f"verdict disagrees: backtracking={reference.contained} "
+                f"{engine}={other.contained}"
+            )
+        if other.witness != reference.witness:
+            return OracleResult.failed(f"witness differs under {engine}")
+
+    if not reference.contained:
+        certificate = reference.certificate
+        lhs = count(weakened, certificate.structure)
+        rhs = count(base, certificate.structure)
+        if lhs < 1 or rhs != 0:
+            return OracleResult.failed(
+                f"certificate not a bag counterexample: lhs={lhs} rhs={rhs}"
+            )
+        prescreened = find_counterexample(weakened, base, [])
+        if not prescreened.found or prescreened.checked != 0:
+            return OracleResult.failed(
+                "prescreen missed a set-refuted pair "
+                f"(found={prescreened.found} checked={prescreened.checked})"
+            )
+    else:
+        # Positive set verdict: Q1 positive forces Q2 positive on the
+        # fuzzed structure, and any bag violation the search reports must
+        # keep Q2 positive (a multiplicity gap, never a boolean one).
+        if count(weakened, case.structure) > 0 and count(base, case.structure) == 0:
+            return OracleResult.failed(
+                "fuzzed structure contradicts positive set verdict"
+            )
+        outcome = find_counterexample(weakened, base, [case.structure])
+        if outcome.found and count(base, outcome.counterexample) == 0:
+            return OracleResult.failed(
+                "search counterexample contradicts positive set verdict"
+            )
     return OracleResult.passed()
 
 

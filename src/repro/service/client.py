@@ -228,6 +228,43 @@ class ServiceClient:
             body["deadline_ms"] = deadline_ms
         return self._post("decide", body)
 
+    def contain(
+        self,
+        phi_s,
+        phi_b,
+        engine: str = "auto",
+        witness: bool = True,
+        cache: bool = True,
+        deadline_ms: int | None = None,
+    ) -> dict:
+        """Remote set-semantics containment (``/contain``).
+
+        Each side may be a query (``ConjunctiveQuery`` / io dict / text)
+        for CQ ⊆ CQ, or a list of queries (a union's disjuncts) for
+        UCQ ⊆ UCQ.  Returns the full verdict dict: ``contained``, the
+        ``witness`` homomorphism on positive verdicts, the absence
+        ``certificate`` on negative ones (and per-disjunct ``coverage``
+        for unions).
+        """
+        body: dict = {"engine": engine, "witness": witness, "cache": cache}
+        if isinstance(phi_s, (list, tuple)) or isinstance(phi_b, (list, tuple)):
+            body["kind"] = "ucq"
+            for side, field in ((phi_s, "disjuncts_s"), (phi_b, "disjuncts_b")):
+                disjuncts = side if isinstance(side, (list, tuple)) else [side]
+                encoded = []
+                for disjunct in disjuncts:
+                    entry: dict = {}
+                    _encode_query(disjunct, "query", entry)
+                    encoded.append(entry)
+                body[field] = encoded
+        else:
+            body["kind"] = "cq"
+            _encode_query(phi_s, "phi_s", body)
+            _encode_query(phi_b, "phi_b", body)
+        if deadline_ms is not None:
+            body["deadline_ms"] = deadline_ms
+        return self._post("contain", body)
+
     def healthz(self) -> dict:
         return self._request("GET", "healthz", None)
 

@@ -328,9 +328,120 @@ def parse_decide(body: dict, cache: CountCache | None) -> ParsedRequest:
     )
 
 
+def _parse_disjuncts_field(body: dict, field: str) -> list[ConjunctiveQuery]:
+    raw = body.get(field)
+    if not isinstance(raw, list) or not raw:
+        raise BadRequestError(f"'{field}' must be a non-empty list")
+    disjuncts = []
+    for entry in raw:
+        if not isinstance(entry, dict):
+            raise BadRequestError(f"each '{field}' entry must be a JSON object")
+        disjuncts.append(_parse_query_field(entry))
+    return disjuncts
+
+
+def parse_contain(body: dict, cache: CountCache | None) -> ParsedRequest:
+    """``POST /contain`` — set-semantics containment (CQ or UCQ pairs).
+
+    Kind ``"cq"`` (default) takes ``phi_s`` / ``phi_b`` query fields;
+    kind ``"ucq"`` takes ``disjuncts_s`` / ``disjuncts_b`` lists of
+    query entries.  ``witness`` (default true) controls whether positive
+    verdicts carry the witness homomorphism; the absence certificate on
+    negative verdicts is always included.  Library objections —
+    inequalities (``QueryError``), unknown engines (``EvaluationError``),
+    uninterpreted constants (``ConstantError``) — travel with their
+    class names, exactly as a direct caller would see them.
+    """
+    body = _require_dict(body)
+    engine = _get_engine(body)
+    kind = body.get("kind", "cq")
+    want_witness = body.get("witness", True)
+    if not isinstance(want_witness, bool):
+        raise BadRequestError(f"'witness' must be a boolean, got {want_witness!r}")
+    use_cache = body.get("cache", True)
+    if not isinstance(use_cache, bool):
+        raise BadRequestError(f"'cache' must be a boolean, got {use_cache!r}")
+
+    from repro.containment_set import (
+        cq_containment,
+        default_containment_cache,
+        ucq_containment,
+    )
+
+    verdict_cache = default_containment_cache() if use_cache else None
+    count_cache = cache if use_cache else None
+
+    if kind == "cq":
+        phi_s = _parse_query_field(body, "phi_s")
+        phi_b = _parse_query_field(body, "phi_b")
+
+        def run() -> dict:
+            verdict = cq_containment(
+                phi_s,
+                phi_b,
+                engine=engine,
+                cache=verdict_cache,
+                count_cache=count_cache,
+                want_witness=want_witness,
+            )
+            return {
+                "protocol_version": PROTOCOL_VERSION,
+                "kind": "cq",
+                **verdict.to_dict(),
+            }
+
+        return ParsedRequest(
+            endpoint="contain",
+            key=request_key(
+                "contain",
+                engine=engine,
+                query=phi_s,
+                extra=(canonical_component(phi_b), want_witness, use_cache),
+            ),
+            run=run,
+        )
+
+    if kind == "ucq":
+        left = _parse_disjuncts_field(body, "disjuncts_s")
+        right = _parse_disjuncts_field(body, "disjuncts_b")
+
+        def run_ucq() -> dict:
+            verdict = ucq_containment(
+                left,
+                right,
+                engine=engine,
+                cache=verdict_cache,
+                count_cache=count_cache,
+                want_witness=want_witness,
+            )
+            return {
+                "protocol_version": PROTOCOL_VERSION,
+                "kind": "ucq",
+                **verdict.to_dict(),
+            }
+
+        return ParsedRequest(
+            endpoint="contain",
+            key=request_key(
+                "contain",
+                engine=engine,
+                disjuncts=tuple((query, 1) for query in left),
+                extra=(
+                    tuple(canonical_component(query) for query in right),
+                    want_witness,
+                    use_cache,
+                ),
+            ),
+            run=run_ucq,
+        )
+
+    raise BadRequestError(f"unknown contain kind {kind!r}; use 'cq' or 'ucq'")
+
+
 #: endpoint name → parser; the server's routing table for POST bodies.
 ENDPOINTS: dict[str, Callable[[dict, CountCache | None], ParsedRequest]] = {
     "evaluate": parse_evaluate,
     "explain": parse_explain,
     "decide": parse_decide,
+    "contain": parse_contain,
 }

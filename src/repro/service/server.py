@@ -702,9 +702,13 @@ class _RequestHandler(BaseHTTPRequestHandler):
     def _fail_request(
         self, failure: _ServiceFailure, context: RequestContext
     ) -> None:
-        """Send the envelope and close out the request's trace."""
-        self._send_failure(failure, context)
+        """Close out the request's trace, then send the envelope.
+
+        Trace first: once the client holds the response it may immediately
+        scrape /metrics or /traces and must see its own request there.
+        """
         self.evaluation_server.finish_request(context, failure.kind)
+        self._send_failure(failure, context)
 
     def do_GET(self) -> None:  # noqa: N802 — http.server API
         server = self.evaluation_server
@@ -785,13 +789,16 @@ class _RequestHandler(BaseHTTPRequestHandler):
         except _ServiceFailure as failure:
             self._fail_request(failure, context)
             return
+        # Record the trace before the response goes out: a client holding
+        # its answer may immediately scrape /metrics or /traces and must
+        # see its own request there (read-your-writes).
+        server.finish_request(
+            context, "coalesced" if context.coalesced else "completed"
+        )
         self._send_json(
             200,
             protocol.stamp_ids(result, context.trace_id, context.request_id),
             context=context,
-        )
-        server.finish_request(
-            context, "coalesced" if context.coalesced else "completed"
         )
 
 

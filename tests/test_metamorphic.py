@@ -178,3 +178,85 @@ def test_count_at_least_zero_factor_two_pass(engine):
     )
     assert not count_at_least(product, structure, 1, engine=engine)
     assert count(product, structure, engine=engine) == 0
+
+
+# -- set-semantics containment invariants -------------------------------------
+#
+# The Chandra–Merlin verdict is a preorder on inequality-free CQs, so it
+# must be reflexive, transitive, monotone under weakening (dropping an
+# atom), invariant under α-renaming and atom reordering of either side,
+# and monotone under union-widening on the UCQ level.
+
+from repro.containment_set import cq_contained, ucq_contained  # noqa: E402
+
+#: QUERIES stripped of inequalities (the classical test refuses them).
+CLEAN = [query.without_inequalities() for query in QUERIES]
+
+
+def test_containment_is_reflexive():
+    for query in CLEAN:
+        assert cq_contained(query, query), f"{query} not contained in itself"
+
+
+def test_containment_invariant_under_renaming():
+    for seed, query in enumerate(CLEAN[:12]):
+        renamed = query.rename(_random_renaming(query, 5000 + seed))
+        partner = CLEAN[(seed + 7) % len(CLEAN)]
+        assert cq_contained(query, renamed)
+        assert cq_contained(renamed, query)
+        # Renaming either side never flips a verdict against a partner.
+        assert cq_contained(query, partner) == cq_contained(renamed, partner)
+        assert cq_contained(partner, query) == cq_contained(partner, renamed)
+
+
+def test_containment_invariant_under_atom_reordering():
+    for seed, query in enumerate(CLEAN[:12]):
+        rng = random.Random(6000 + seed)
+        atoms = list(query.atoms)
+        rng.shuffle(atoms)
+        reordered = ConjunctiveQuery(atoms)
+        partner = CLEAN[(seed + 3) % len(CLEAN)]
+        assert cq_contained(query, partner) == cq_contained(reordered, partner)
+        assert cq_contained(partner, query) == cq_contained(partner, reordered)
+
+
+def test_weakening_chains_are_monotone_and_transitive():
+    """Dropping atoms weakens: Q ⊆ Q₁ ⊆ Q₂ ⊆ …, and each prefix pair of
+    the chain must also be directly contained (transitivity on a chain
+    whose links are guaranteed positive)."""
+    for query in CLEAN:
+        if query.atom_count < 3:
+            continue
+        chain = [query]
+        while chain[-1].atom_count > 1:
+            chain.append(ConjunctiveQuery(chain[-1].atoms[:-1]))
+        for i in range(len(chain) - 1):
+            assert cq_contained(chain[i], chain[i + 1])
+        for i in range(len(chain)):
+            for j in range(i + 1, len(chain)):
+                assert cq_contained(chain[i], chain[j]), (
+                    f"transitivity broke between drop-{i} and drop-{j}"
+                )
+
+
+def test_containment_transitive_on_sampled_triples():
+    rng = random.Random(424242)
+    triples = [rng.sample(range(len(CLEAN)), 3) for _ in range(30)]
+    for a, b, c in triples:
+        if cq_contained(CLEAN[a], CLEAN[b]) and cq_contained(
+            CLEAN[b], CLEAN[c]
+        ):
+            assert cq_contained(CLEAN[a], CLEAN[c]), (
+                f"{CLEAN[a]} ⊆ {CLEAN[b]} ⊆ {CLEAN[c]} but not transitively"
+            )
+
+
+def test_union_widening_is_monotone():
+    """Q ⊆ Q ∪ Q′ — any union containing a disjunct contains it."""
+    for offset, query in enumerate(CLEAN[:10]):
+        extras = [CLEAN[(offset + 5) % len(CLEAN)], path_query(2)]
+        union = [query, *extras]
+        assert ucq_contained([query], union)
+        assert ucq_contained(union, union)
+        # Widening the right side never flips a positive verdict.
+        assert ucq_contained([query], union + [cycle_query(3)])

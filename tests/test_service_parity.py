@@ -53,7 +53,7 @@ def test_corpus_slice_is_nonempty():
 @pytest.mark.parametrize(
     "name,case", _CASES, ids=[name for name, _ in _CASES]
 )
-@pytest.mark.parametrize("engine", ["auto", "backtracking"])
+@pytest.mark.parametrize("engine", ["auto", "backtracking", "compiled"])
 def test_counts_bit_identical(client, name, case, engine):
     if case.kind == "cq":
         local = count(case.query, case.structure, engine=engine)
@@ -132,3 +132,22 @@ def test_parity_survives_warm_cache(client, server):
                 case.disjuncts, case.structure
             ) == count_ucq(case.disjuncts, case.structure)
     assert server.count_cache.stats()["hits"] > 0
+
+
+def test_auto_selects_compiled_server_side(client):
+    """The planner's compiled arm fires *inside* the server, not only in
+    local runs: an auto-engine evaluation of a shape the planner routes
+    to the compiled engine must tick ``plan.selected.compiled`` in the
+    server's /metrics registry and still return the bit-identical count.
+    """
+    from repro.decision.search import random_structures
+    from repro.workloads import path_query
+
+    query = path_query(4)
+    structure = next(
+        random_structures(query.schema, domain_size=6, density=0.5, count=1, seed=1)
+    )
+    local = count(query, structure, engine="auto")
+    assert client.evaluate(query, structure, engine="auto") == local
+    metrics = client.metrics()["metrics"]
+    assert metrics["plan.selected.compiled"]["value"] >= 1

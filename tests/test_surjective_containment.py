@@ -3,6 +3,7 @@
 import pytest
 
 from repro.decision import enumerate_structures
+from repro.errors import QueryError
 from repro.homomorphism import (
     bag_contained_on,
     bag_counterexample_on,
@@ -69,7 +70,7 @@ class TestSetContainment:
         )
 
     def test_rejects_inequalities(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(QueryError):
             set_contained(parse_query("E(x, y) & x != y"), parse_query("E(u, v)"))
 
     def test_chaudhuri_vardi_gap(self):
