@@ -6,7 +6,7 @@ paper's gadget families are made of), ``auto`` routes components to the
 Yannakakis or tree-decomposition engine and pulls away from a fixed
 backtracking choice as instances grow, while remaining bit-identical.
 
-The run emits ``BENCH_planner.json`` (path overridable via the
+The run emits ``benchmarks/BENCH_planner.json`` (path overridable via the
 ``BENCH_PLANNER`` environment variable): one record per (shape, size)
 cell with both latencies, the speedup, and the engine the planner chose —
 the artifact CI uploads and the repository checks in.
@@ -105,7 +105,7 @@ def test_e16_planner_auto_vs_backtracking(benchmark):
         largest
     )
 
-    artifact = os.environ.get("BENCH_PLANNER", "BENCH_planner.json")
+    artifact = os.environ.get("BENCH_PLANNER", "benchmarks/BENCH_planner.json")
     with open(artifact, "w", encoding="utf-8") as handle:
         json.dump({"experiment": "E16", "rows": records}, handle, indent=2)
         handle.write("\n")

@@ -13,7 +13,7 @@ Requests are sent with ``cache=false`` so each round pays the real
 evaluation cost: the benchmark isolates what coalescing buys *before*
 the count cache is warm, which is exactly when stampedes hurt.
 
-The run emits ``BENCH_service.json`` (path overridable via the
+The run emits ``benchmarks/BENCH_service.json`` (path overridable via the
 ``BENCH_SERVICE`` environment variable): one record per scenario with
 throughput, p50/p95 latency, and the admission/coalescing counters —
 the artifact CI uploads and the repository checks in.
@@ -194,7 +194,7 @@ def test_e17_service_coalescing(benchmark):
     assert shed["shed"] >= 1
     assert shed["shed_counter"] == shed["shed"]
 
-    artifact = os.environ.get("BENCH_SERVICE", "BENCH_service.json")
+    artifact = os.environ.get("BENCH_SERVICE", "benchmarks/BENCH_service.json")
     with open(artifact, "w", encoding="utf-8") as handle:
         json.dump(
             {

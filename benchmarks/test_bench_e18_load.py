@@ -3,7 +3,7 @@
 Four deterministic traffic shapes (``repro.loadgen``) replay against a
 live in-process server, and the per-scenario aggregates — throughput,
 server-side p50/p95/p99 from the ``service.request_ms.evaluate``
-histogram delta, shed rate — become the checked-in ``BENCH_load.json``
+histogram delta, shed rate — become the checked-in ``benchmarks/BENCH_load.json``
 baseline the CI ``load-smoke`` job gates against.
 
 What each scenario must demonstrate:
@@ -133,7 +133,7 @@ def test_e18_load_scenarios(benchmark):
     broken = check_regression(degraded, document)
     assert len(broken) >= 2 * len(SCENARIO_NAMES), broken
 
-    artifact = os.environ.get("BENCH_LOAD", "BENCH_load.json")
+    artifact = os.environ.get("BENCH_LOAD", "benchmarks/BENCH_load.json")
     with open(artifact, "w", encoding="utf-8") as handle:
         json.dump(document, handle, indent=2, sort_keys=True)
         handle.write("\n")

@@ -14,7 +14,7 @@ first run pays the one-time artifact build (amortized by the PlanCache
 across the process) and the reported figure is the steady-state replay
 cost, which is what the planner's cost model prices.
 
-The run emits ``BENCH_compiled.json`` (path overridable via the
+The run emits ``benchmarks/BENCH_compiled.json`` (path overridable via the
 ``BENCH_COMPILED`` environment variable): one record per (shape, size)
 cell with both latencies, the speedup, the compiled artifact's mode,
 and whether the cell carries the 2x acceptance gate — the artifact CI
@@ -148,7 +148,7 @@ def test_e19_compiled_vs_backtracking(benchmark):
     gated = [record for record in records if record["gated"]]
     assert gated and all(record["speedup"] >= 2.0 for record in gated), gated
 
-    artifact = os.environ.get("BENCH_COMPILED", "BENCH_compiled.json")
+    artifact = os.environ.get("BENCH_COMPILED", "benchmarks/BENCH_compiled.json")
     with open(artifact, "w", encoding="utf-8") as handle:
         json.dump({"experiment": "E19", "rows": records}, handle, indent=2)
         handle.write("\n")

@@ -1,0 +1,193 @@
+"""E21 — incremental (delta) evaluation vs full recount.
+
+Regenerates the incremental layer's headline table: on multi-component
+workloads — one connected component per relation, the shape Lemma 1
+factorizes perfectly — a single-fact mutation invalidates exactly one
+component's fingerprint, so :class:`DeltaEvaluator` re-counts one factor
+and reuses the rest from cache, while a full recount pays for every
+component on every step.  The speedup target is ≥ 5× on the largest
+slice (the CI gate is a conservative ≥ 2× to absorb runner variance);
+counts must be bit-identical to the cold recount after **every** step.
+
+The run emits ``benchmarks/BENCH_incremental.json`` (path overridable
+via the ``BENCH_INCREMENTAL`` environment variable): one record per
+(components, domain) cell with both total latencies, the speedup, and
+the reused-factor ratio — the artifact CI uploads and the repository
+checks in.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import time
+
+from repro.homomorphism import count
+from repro.homomorphism.cache import CountCache
+from repro.homomorphism.delta import DeltaEvaluator
+from repro.queries import parse_query
+from repro.relational import Schema, Structure
+from repro.relational.structure import Delta
+
+from benchmarks.conftest import print_table
+
+STEPS = 16
+
+
+def _workload(components: int, n: int, seed: int = 0):
+    """A ``components``-relation structure and its product query.
+
+    Component ``i`` is a 4-cycle in its own relation ``R<i>`` over its
+    own variables, so the query factorizes into ``components``
+    independent Lemma-1 factors — and each factor is cyclic, making the
+    per-component recount expensive enough that evaluation (not
+    bookkeeping) dominates both paths.
+    """
+    rng = random.Random(seed)
+    relations = [f"R{i}" for i in range(components)]
+    facts = {
+        name: {(rng.randrange(n), rng.randrange(n)) for _ in range(4 * n)}
+        for name in relations
+    }
+    structure = Structure(
+        Schema.from_arities({name: 2 for name in relations}),
+        facts,
+        domain=range(n),
+    )
+    text = " & ".join(
+        f"{name}(a{i}, b{i}) & {name}(b{i}, c{i}) & "
+        f"{name}(c{i}, d{i}) & {name}(d{i}, a{i})"
+        for i, name in enumerate(relations)
+    )
+    return structure, parse_query(text)
+
+
+def _mutations(structure: Structure, steps: int, seed: int = 1) -> list[Delta]:
+    """``steps`` single-fact deltas, round-robin across the relations."""
+    rng = random.Random(seed)
+    relations = sorted(structure.schema.relation_names)
+    n = len(structure.domain)
+    deltas = []
+    for step in range(steps):
+        relation = relations[step % len(relations)]
+        if step % 2 == 0:
+            fact = (rng.randrange(n), rng.randrange(n))
+            deltas.append(Delta(inserts=[(relation, fact)]))
+        else:
+            existing = sorted(structure.facts(relation))
+            deltas.append(Delta(deletes=[(relation, rng.choice(existing))]))
+    return deltas
+
+
+def _run_cell(components: int, n: int) -> dict:
+    structure, query = _workload(components, n)
+    deltas = _mutations(structure, STEPS)
+
+    evaluator = DeltaEvaluator(structure, engine="auto", cache=CountCache())
+    evaluator.evaluate(query)  # warm: every factor cached at version 0
+
+    full = structure
+    full_values = []
+    full_ms = 0.0
+    for delta in deltas:
+        full = full.apply_delta(delta)
+        t0 = time.perf_counter()
+        full_values.append(
+            count(query, full, engine="auto", cache=CountCache())
+        )
+        full_ms += (time.perf_counter() - t0) * 1000
+
+    incremental_values = []
+    incremental_ms = 0.0
+    hits0 = evaluator.cache.hits
+    misses0 = evaluator.cache.misses
+    for delta in deltas:
+        t0 = time.perf_counter()
+        evaluator.apply(delta)
+        incremental_values.append(evaluator.evaluate(query))
+        incremental_ms += (time.perf_counter() - t0) * 1000
+    reused = evaluator.cache.hits - hits0
+    recounted = evaluator.cache.misses - misses0
+
+    assert incremental_values == full_values
+    speedup = full_ms / incremental_ms if incremental_ms > 0 else float("inf")
+    return {
+        "components": components,
+        "domain_size": n,
+        "steps": STEPS,
+        "incremental_ms": round(incremental_ms, 3),
+        "full_ms": round(full_ms, 3),
+        "speedup": round(speedup, 2),
+        "reused_factors": reused,
+        "recounted_components": recounted,
+        "reuse_ratio": round(reused / (reused + recounted), 3)
+        if reused + recounted
+        else 0.0,
+        "agree": incremental_values == full_values,
+    }
+
+
+def test_e21_incremental_vs_full_recount(benchmark):
+    records = [
+        _run_cell(components, n)
+        for components, n in ((4, 32), (8, 36), (12, 40))
+    ]
+    print_table(
+        "E21 — DeltaEvaluator vs full recount, single-fact mutations",
+        [
+            "components",
+            "|V(D)|",
+            "incr ms",
+            "full ms",
+            "speedup",
+            "reuse",
+            "agree",
+        ],
+        [
+            [
+                record["components"],
+                record["domain_size"],
+                f"{record['incremental_ms']:.1f}",
+                f"{record['full_ms']:.1f}",
+                f"{record['speedup']:.1f}x",
+                f"{record['reuse_ratio']:.0%}",
+                record["agree"],
+            ]
+            for record in records
+        ],
+    )
+    assert all(record["agree"] for record in records)
+    # A single-fact delta touches one of k relations: k-1 factors are
+    # reused per recount, so the reuse ratio approaches (k-1)/k.
+    for record in records:
+        k = record["components"]
+        assert record["reuse_ratio"] >= (k - 1) / k - 0.15, record
+    # The acceptance bar: on the largest slice the incremental path
+    # beats the full recount by at least 2x (the paper-table target is
+    # 5x; CI gates conservatively to absorb runner variance).
+    largest = max(records, key=lambda record: record["components"])
+    assert largest["speedup"] >= 2.0, largest
+
+    artifact = os.environ.get(
+        "BENCH_INCREMENTAL", "benchmarks/BENCH_incremental.json"
+    )
+    with open(artifact, "w", encoding="utf-8") as handle:
+        json.dump(
+            {"experiment": "E21", "target_speedup": 5.0, "rows": records},
+            handle,
+            indent=2,
+        )
+        handle.write("\n")
+
+    structure, query = _workload(12, 40)
+    evaluator = DeltaEvaluator(structure, engine="auto", cache=CountCache())
+    evaluator.evaluate(query)
+    deltas = _mutations(structure, STEPS)
+    step = iter(range(10**9))
+
+    def one_mutation():
+        evaluator.apply(deltas[next(step) % len(deltas)])
+        return evaluator.evaluate(query)
+
+    benchmark(one_mutation)

@@ -27,6 +27,15 @@ Subcommands::
         emits the machine-readable plan (identical to the service's
         ``/explain`` payload).
 
+    bagcq update --facts "E(a,b) E(b,c)" --query "E(x,y) & E(y,z)" \\
+            --insert "E(c,a)" [--delete "E(a,b)"] [--delta-file deltas.json]
+        Apply a mutation batch to an inline database through the
+        incremental :class:`repro.homomorphism.delta.DeltaEvaluator`:
+        print the delta report (version, touched relations, cache
+        migrations/evictions) after every step and, with ``--query``,
+        the recount — only affected components are recomputed, the rest
+        are reused Lemma-1 factors (``--stats`` shows the split).
+
     bagcq serve [--port 8642] [--workers 4] [--queue-depth 64] \\
             [--deadline-ms 30000] [--no-coalesce]
         Run the long-lived evaluation daemon (``repro.service``): warm
@@ -34,9 +43,14 @@ Subcommands::
         identical requests, per-request deadlines, /healthz + /metrics.
 
     bagcq call evaluate --query "E(x,y)" --facts "E(a,b)" [--url URL]
+    bagcq call db --db g --facts "E(a,b) E(b,c)"
+    bagcq call update --db g --insert "E(c,a)" [--delete "E(a,b)"]
+    bagcq call evaluate --query "E(x,y)" --db g
     bagcq call healthz | metrics | traces | explain | decide …
         Drive a running daemon from the shell through the retrying
-        ``ServiceClient``.
+        ``ServiceClient``; ``call db`` loads a named server-resident
+        database, ``call update`` mutates it in place (bumping its
+        version), and ``call evaluate --db`` counts against it.
 
     bagcq loadgen --url URL [--scenario NAME]… [--requests 120] \\
             [--clients 4] [--seed 0] [--output BENCH_load.json] [--check-slo]
@@ -241,6 +255,69 @@ def _command_explain(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_deltas(args: argparse.Namespace):
+    """The mutation batch shared by ``update`` and ``call update``.
+
+    ``--delta-file`` holds one io delta payload or a list of them (applied
+    in order); ``--insert``/``--delete`` build one extra delta from
+    ground-atom text.
+    """
+    import json
+    from pathlib import Path
+
+    from repro.io import delta_from_dict, ground_facts_from_text
+    from repro.relational.structure import Delta
+
+    deltas = []
+    if args.delta_file is not None:
+        payload = json.loads(Path(args.delta_file).read_text())
+        entries = payload if isinstance(payload, list) else [payload]
+        deltas.extend(delta_from_dict(entry) for entry in entries)
+    if args.insert is not None or args.delete is not None:
+        deltas.append(
+            Delta(
+                inserts=tuple(
+                    ground_facts_from_text(args.insert)
+                    if args.insert is not None
+                    else ()
+                ),
+                deletes=tuple(
+                    ground_facts_from_text(args.delete)
+                    if args.delete is not None
+                    else ()
+                ),
+            )
+        )
+    if not deltas:
+        raise SystemExit("update needs --insert, --delete, or --delta-file")
+    return deltas
+
+
+def _command_update(args: argparse.Namespace) -> int:
+    from repro.homomorphism.delta import DeltaEvaluator
+
+    structure = _parse_facts(args.facts)
+    query = parse_query(args.query) if args.query is not None else None
+    if query is not None:
+        for constant in query.constants:
+            if not structure.interprets(constant.name):
+                structure = structure.with_constant(
+                    constant.name, constant.name
+                )
+    deltas = _parse_deltas(args)
+    evaluator = DeltaEvaluator(structure, engine=args.engine)
+    if query is not None:
+        print(f"count@v0 = {evaluator.evaluate(query)}")
+    for delta in deltas:
+        report = evaluator.apply(delta)
+        print(report.describe())
+        if query is not None:
+            print(
+                f"count@v{report.version} = {evaluator.evaluate(query)}"
+            )
+    return 0
+
+
 def _command_serve(args: argparse.Namespace) -> int:
     from repro.service import ServerConfig, serve
 
@@ -273,15 +350,39 @@ def _command_call(args: argparse.Namespace) -> int:
         print(stable_json_dumps(client.traces()))
         return 0
     if endpoint == "evaluate":
-        if args.query is None or args.facts is None:
-            raise SystemExit("call evaluate needs --query and --facts")
+        if args.query is None or (args.facts is None) == (args.db is None):
+            raise SystemExit(
+                "call evaluate needs --query plus exactly one of "
+                "--facts or --db"
+            )
         value = client.evaluate(
             args.query,
             args.facts,
             engine=args.engine,
             deadline_ms=args.deadline_ms,
+            db=args.db,
         )
         print(value)
+        return 0
+    if endpoint == "db":
+        if args.db is None or args.facts is None:
+            raise SystemExit("call db needs --db and --facts")
+        snapshot = client.load_db(
+            args.db,
+            args.facts,
+            engine=args.engine,
+            deadline_ms=args.deadline_ms,
+        )
+        print(stable_json_dumps(snapshot))
+        return 0
+    if endpoint == "update":
+        if args.db is None:
+            raise SystemExit("call update needs --db")
+        for delta in _parse_deltas(args):
+            report = client.update(
+                args.db, delta=delta, deadline_ms=args.deadline_ms
+            )
+            print(stable_json_dumps(report))
         return 0
     if endpoint == "explain":
         if args.query is None:
@@ -715,6 +816,37 @@ def build_parser() -> argparse.ArgumentParser:
     )
     explain_parser.set_defaults(handler=_command_explain)
 
+    update_parser = sub.add_parser(
+        "update",
+        help="apply deltas to an inline database and recount incrementally",
+        parents=[obs_flags],
+    )
+    update_parser.add_argument(
+        "--query",
+        default=None,
+        help="optional query recounted after every delta",
+    )
+    update_parser.add_argument("--facts", required=True)
+    update_parser.add_argument(
+        "--insert",
+        default=None,
+        help="ground atoms to insert, e.g. 'E(a,b); E(b,c)'",
+    )
+    update_parser.add_argument(
+        "--delete", default=None, help="ground atoms to delete"
+    )
+    update_parser.add_argument(
+        "--delta-file",
+        default=None,
+        help="JSON file with one io delta payload or a list, applied in order",
+    )
+    update_parser.add_argument(
+        "--engine",
+        choices=("auto", "backtracking", "treewidth", "acyclic", "compiled"),
+        default="auto",
+    )
+    update_parser.set_defaults(handler=_command_update)
+
     serve_parser = sub.add_parser(
         "serve",
         help="run the long-lived evaluation daemon (repro.service)",
@@ -758,6 +890,8 @@ def build_parser() -> argparse.ArgumentParser:
             "explain",
             "decide",
             "contain",
+            "db",
+            "update",
             "healthz",
             "metrics",
             "traces",
@@ -768,6 +902,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     call_parser.add_argument("--query", default=None)
     call_parser.add_argument("--facts", default=None)
+    call_parser.add_argument(
+        "--db",
+        default=None,
+        help="named server-resident database (evaluate/db/update)",
+    )
+    call_parser.add_argument(
+        "--insert",
+        default=None,
+        help="update only: ground atoms to insert, e.g. 'E(a,b); E(b,c)'",
+    )
+    call_parser.add_argument(
+        "--delete",
+        default=None,
+        help="update only: ground atoms to delete",
+    )
+    call_parser.add_argument(
+        "--delta-file",
+        default=None,
+        help="update only: JSON file with one io delta payload or a list",
+    )
     call_parser.add_argument(
         "--phi-s",
         action="append",

@@ -104,6 +104,39 @@ class ContainmentCache:
         with self._lock:
             self._entries.clear()
 
+    def invalidate_relations(self, relations) -> int:
+        """Evict verdicts whose query pair mentions any of ``relations``.
+
+        Containment verdicts depend only on the two queries — the
+        Chandra–Merlin check evaluates ``φ_b`` on the canonical database
+        *of ``φ_s``*, never on user data — so database deltas can never
+        make an entry stale.  This hook exists for *schema-level* changes
+        (redeclaring a relation's meaning or arity across a corpus), where
+        relation-scoped eviction beats :meth:`clear`'s flush-the-world.
+        Keys of an unrecognized shape are dropped conservatively.
+        """
+        touched = frozenset(relations)
+        dropped = 0
+        with self._lock:
+            for key in list(self._entries):
+                if (
+                    isinstance(key, tuple)
+                    and len(key) == 3
+                    and isinstance(key[0], ConjunctiveQuery)
+                    and isinstance(key[1], ConjunctiveQuery)
+                ):
+                    mentioned = {atom.relation for atom in key[0].atoms}
+                    mentioned.update(atom.relation for atom in key[1].atoms)
+                    affected = bool(mentioned & touched)
+                else:
+                    affected = True
+                if affected:
+                    del self._entries[key]
+                    dropped += 1
+        if dropped:
+            obs_metrics.add("contain.cache.invalidations", dropped)
+        return dropped
+
     def __len__(self) -> int:
         return len(self._entries)
 

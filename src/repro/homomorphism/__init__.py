@@ -17,7 +17,9 @@ from repro.homomorphism.compiled import (
     compile_component,
     compiled_supported,
     count_homomorphisms_compiled,
+    refresh_component,
 )
+from repro.homomorphism.delta import DeltaEvaluator, DeltaReport, delta_affects
 from repro.homomorphism.containment import (
     bag_contained_on,
     bag_counterexample_on,
@@ -33,6 +35,8 @@ from repro.homomorphism.treewidth_dp import count_homomorphisms_td, query_treewi
 
 __all__ = [
     "CountCache",
+    "DeltaEvaluator",
+    "DeltaReport",
     "bag_contained_on",
     "bag_counterexample_on",
     "canonical_component",
@@ -46,6 +50,7 @@ __all__ = [
     "count_homomorphisms_compiled",
     "count_homomorphisms_td",
     "count_ucq",
+    "delta_affects",
     "enumerate_homomorphisms",
     "evaluate",
     "exists_homomorphism",
@@ -56,5 +61,6 @@ __all__ = [
     "join_tree",
     "query_homomorphisms",
     "query_treewidth",
+    "refresh_component",
     "set_contained",
 ]

@@ -39,10 +39,26 @@ from repro.queries.terms import Term, Variable
 from repro.relational.isomorphism import refine_colors
 from repro.relational.structure import Structure
 
-__all__ = ["CountCache", "canonical_component", "component_cache_key"]
+__all__ = [
+    "CountCache",
+    "canonical_component",
+    "component_cache_key",
+    "component_fingerprint",
+    "key_depends_on_domain",
+    "key_relations",
+]
 
 #: Default bound on cached component counts (entries, not bytes).
 DEFAULT_CACHE_SIZE = 4096
+
+#: Tag marking the structure part of a cache key as a dependency
+#: fingerprint (lets invalidation recognize its own key shape).
+_FP_TAG = "§fp"
+
+#: Marker for a constant the structure does not interpret (evaluating such
+#: a component raises, and errors are never cached, but the key must still
+#: be well-defined and distinct from every real interpretation).
+_MISSING = ("§missing",)
 
 
 def _term_code(term: Term, colors: Mapping[Variable, Hashable]):
@@ -139,16 +155,107 @@ def canonical_component(query: ConjunctiveQuery) -> ConjunctiveQuery:
     return query.rename(mapping)
 
 
+def component_fingerprint(
+    component: ConjunctiveQuery, structure: Structure
+) -> tuple:
+    """The part of ``structure`` a component's count can depend on.
+
+    ``count(component, structure)`` is fully determined by
+
+    * the fact sets of the relations named by the component's atoms
+      (captured as their content fingerprints; a relation missing from the
+      schema is recorded as ``None`` — evaluation raises, and errors are
+      never cached, so the marker only has to be distinct);
+    * the interpretations of the constants the component mentions;
+    * ``len(structure.domain)``, but *only* when some variable occurs in
+      no atom (such variables range over the whole domain; inequalities
+      compare them against values that are themselves domain members, so
+      only the domain's size matters, never its identity).
+
+    Keying cache entries by this instead of the whole structure makes
+    entries survive every mutation that provably cannot change the count —
+    relation-scoped invalidation falls out of the key itself.
+    """
+    relations = sorted({atom.relation for atom in component.atoms})
+    rel_part = tuple(
+        (
+            name,
+            structure.relation_fingerprint(name)
+            if name in structure.schema
+            else None,
+        )
+        for name in relations
+    )
+    const_part = tuple(
+        (
+            name,
+            structure.constants[name]
+            if structure.interprets(name)
+            else _MISSING,
+        )
+        for name in sorted(c.name for c in component.constants)
+    )
+    atom_variables = {
+        term
+        for atom in component.atoms
+        for term in atom.terms
+        if isinstance(term, Variable)
+    }
+    dom_part = (
+        len(structure.domain)
+        if component.variables - atom_variables
+        else None
+    )
+    return (_FP_TAG, rel_part, const_part, dom_part)
+
+
 def component_cache_key(
     component: ConjunctiveQuery, structure: Structure, engine: str
 ) -> tuple:
     """The cache key of one ``(component, structure, engine)`` evaluation.
 
-    The engine is part of the key on purpose: all engines agree on the
-    value, but keeping them apart means a differential run never reads a
-    number another engine computed.
+    The structure enters through :func:`component_fingerprint`: only the
+    relations, constants and (when relevant) domain size the component can
+    actually see.  The engine is part of the key on purpose: all engines
+    agree on the value, but keeping them apart means a differential run
+    never reads a number another engine computed.
     """
-    return (canonical_component(component), structure, engine)
+    return (
+        canonical_component(component),
+        component_fingerprint(component, structure),
+        engine,
+    )
+
+
+def key_relations(key) -> frozenset[str] | None:
+    """The relation names a :func:`component_cache_key` depends on.
+
+    Returns ``None`` for keys of an unrecognized shape (foreign keys must
+    be treated as depending on *everything* by relation-scoped
+    invalidation).
+    """
+    if (
+        isinstance(key, tuple)
+        and len(key) == 3
+        and isinstance(key[1], tuple)
+        and len(key[1]) == 4
+        and key[1][0] == _FP_TAG
+    ):
+        return frozenset(name for name, _ in key[1][1])
+    return None
+
+
+def key_depends_on_domain(key) -> bool:
+    """True when a recognized key's count depends on the domain size."""
+    if (
+        isinstance(key, tuple)
+        and len(key) == 3
+        and isinstance(key[1], tuple)
+        and len(key[1]) == 4
+        and key[1][0] == _FP_TAG
+    ):
+        return key[1][3] is not None
+    return True
 
 
 class CountCache:
@@ -207,6 +314,49 @@ class CountCache:
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
+
+    def items(self) -> list[tuple]:
+        """A point-in-time ``(key, value)`` snapshot (LRU order, coldest
+        first).  Used by delta evaluation to migrate entries across
+        database versions."""
+        with self._lock:
+            return list(self._entries.items())
+
+    def discard(self, key) -> bool:
+        """Drop one entry; True when it was present.  Not counted as an
+        eviction (evictions measure capacity pressure, not invalidation)."""
+        with self._lock:
+            return self._entries.pop(key, None) is not None
+
+    def invalidate_relations(
+        self, relations, *, domain_changed: bool = False
+    ) -> int:
+        """Evict every entry whose key depends on one of ``relations``.
+
+        Relation-scoped invalidation: an entry is dropped iff the relation
+        names in its fingerprint intersect ``relations``, or (with
+        ``domain_changed``) its count depends on the domain size.  Keys of
+        an unrecognized shape are dropped conservatively.  Returns the
+        number of entries evicted and mirrors it into the
+        ``cache.invalidations`` counter.
+        """
+        touched = frozenset(relations)
+        dropped = 0
+        with self._lock:
+            for key in list(self._entries):
+                depends = key_relations(key)
+                if depends is None:
+                    affected = True
+                else:
+                    affected = bool(depends & touched) or (
+                        domain_changed and key_depends_on_domain(key)
+                    )
+                if affected:
+                    del self._entries[key]
+                    dropped += 1
+        if dropped:
+            obs_metrics.add("cache.invalidations", dropped)
+        return dropped
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -44,6 +44,7 @@ from __future__ import annotations
 from array import array
 from typing import Callable, Hashable
 
+from repro.errors import BagCQError
 from repro.homomorphism.acyclic import join_tree, matching_facts
 from repro.homomorphism.backtracking import count_homomorphisms, ensure_stack_for
 from repro.obs import metrics as obs_metrics
@@ -56,6 +57,7 @@ __all__ = [
     "compile_component",
     "compiled_supported",
     "count_homomorphisms_compiled",
+    "refresh_component",
 ]
 
 Element = Hashable
@@ -108,17 +110,43 @@ class CompiledComponent:
     backtracking closure chain) and ``indexed_facts`` how many facts the
     compile pass indexed — both surfaced through the ``compiled.*``
     observability counters and useful in tests.
+
+    ``refresh(new_structure, delta)`` produces a new artifact for a
+    structure that differs from the compiled one *exactly* by ``delta``
+    (same schema, same constants): per-relation fact indexes of untouched
+    relations are shared, touched chain indexes are patched in
+    O(|delta|), and only join passes adjacent to a touched relation are
+    regrouped.  The original artifact is never mutated — cache entries
+    for the old database version stay valid.
     """
 
-    __slots__ = ("mode", "indexed_facts", "_run")
+    __slots__ = ("mode", "indexed_facts", "_run", "_refresh")
 
-    def __init__(self, mode: str, indexed_facts: int, run: Callable[[], int]) -> None:
+    def __init__(
+        self,
+        mode: str,
+        indexed_facts: int,
+        run: Callable[[], int],
+        refresh: Callable[[Structure, "object"], "CompiledComponent"] | None = None,
+    ) -> None:
         self.mode = mode
         self.indexed_facts = indexed_facts
         self._run = run
+        self._refresh = refresh
 
     def run(self) -> int:
         return self._run()
+
+    def refresh(self, structure: Structure, delta) -> "CompiledComponent | None":
+        """An equivalent artifact for ``structure``, or ``None``.
+
+        ``structure`` must be the compiled structure with ``delta``
+        applied.  Returns ``None`` when the artifact does not support
+        incremental refresh (callers then recompile from scratch).
+        """
+        if self._refresh is None:
+            return None
+        return self._refresh(structure, delta)
 
     def __repr__(self) -> str:
         return (
@@ -166,6 +194,8 @@ def _compile_acyclic(
     query: ConjunctiveQuery,
     structure: Structure,
     tree: list[tuple[int, int | None]],
+    prior: tuple | None = None,
+    touched: frozenset[str] = frozenset(),
 ) -> CompiledComponent:
     """Yannakakis counting with all grouping resolved at compile time.
 
@@ -175,13 +205,28 @@ def _compile_acyclic(
     The runtime is then pure array arithmetic — scatter-add the child
     weights, multiply them into the parent — over whichever column type
     the counts fit in.
+
+    ``prior`` (a previous compile's ``(var_orders, all_rows, passes)``)
+    with ``touched`` enables incremental refresh: atoms of untouched
+    relations reuse their row tables, and passes whose endpoints are both
+    untouched reuse their group vectors verbatim.
     """
     atoms = list(query.atoms)
+    prior_rows = prior[1] if prior is not None else None
+    prior_passes = (
+        {(p[0], p[1]): p for p in prior[2]} if prior is not None else {}
+    )
     var_orders: list[tuple[Variable, ...]] = []
     all_rows: list[list[tuple]] = []
     indexed = 0
-    for atom in atoms:
-        order, rows = _atom_rows(atom, structure)
+    for position, atom in enumerate(atoms):
+        if prior_rows is not None and atom.relation not in touched:
+            order = prior[0][position]
+            rows = prior_rows[position]
+        else:
+            order, rows = _atom_rows(atom, structure)
+            if prior_rows is not None:
+                obs_metrics.add("compiled.index_refreshes")
         var_orders.append(order)
         all_rows.append(rows)
         indexed += len(rows)
@@ -192,6 +237,14 @@ def _compile_acyclic(
     for index, parent in tree:
         if parent is None:
             root = index
+            continue
+        if (
+            prior_rows is not None
+            and atoms[index].relation not in touched
+            and atoms[parent].relation not in touched
+            and (index, parent) in prior_passes
+        ):
+            passes.append(prior_passes[(index, parent)])
             continue
         separator = sorted(
             set(var_orders[index]) & set(var_orders[parent]),
@@ -243,7 +296,14 @@ def _compile_acyclic(
             return 0
         return total * domain_size**free
 
-    return CompiledComponent("acyclic", indexed, run)
+    state = (tuple(var_orders), tuple(all_rows), tuple(passes))
+
+    def refresh(new_structure: Structure, delta) -> CompiledComponent:
+        return _compile_acyclic(
+            query, new_structure, tree, state, delta.touched_relations()
+        )
+
+    return CompiledComponent("acyclic", indexed, run, refresh)
 
 
 # -- cyclic components: baked closure chains ----------------------------------
@@ -280,12 +340,18 @@ def _order_atoms(query: ConjunctiveQuery, structure: Structure) -> list:
     return [atoms[index] for index in order]
 
 
+#: One chain atom's compiled index plus the position metadata needed to
+#: patch it incrementally: ``(key_positions, checks, duplicates, take,
+#: key_slots, new_slots, index)``.
+_ChainSpec = tuple
+
+
 def _build_index(
     atom,
     structure: Structure,
     slot_of: dict[Variable, int],
-) -> tuple[tuple[int, ...], tuple[int, ...], dict]:
-    """``(key_slots, new_slots, index)`` for one atom in the chain.
+) -> _ChainSpec:
+    """The :data:`_ChainSpec` for one atom in the chain.
 
     ``index`` maps a tuple of already-bound values (at ``key_slots``, in
     position order) to the candidate extensions: the values the atom's
@@ -326,7 +392,68 @@ def _build_index(
             index.setdefault(key, []).append(
                 tuple(fact[position] for position in take)
             )
-    return tuple(key_slots), new_slots, index
+    return (
+        tuple(key_positions),
+        tuple(checks),
+        tuple(duplicates),
+        take,
+        tuple(key_slots),
+        new_slots,
+        index,
+    )
+
+
+def _fact_entry(spec: _ChainSpec, fact: tuple) -> tuple | None:
+    """``(key, value)`` for a fact passing the spec's filters, else None."""
+    key_positions, checks, duplicates, take = spec[0], spec[1], spec[2], spec[3]
+    if any(fact[position] != value for position, value in checks):
+        return None
+    if any(fact[i] != fact[j] for i, j in duplicates):
+        return None
+    key = tuple(fact[position] for position in key_positions)
+    if len(take) == 1:
+        return key, fact[take[0]]
+    return key, tuple(fact[position] for position in take)
+
+
+def _patched_index(spec: _ChainSpec, adds, removes) -> tuple[_ChainSpec, int]:
+    """A copy of the spec with ``adds``/``removes`` applied to its index.
+
+    ``adds`` and ``removes`` must be the *effective* fact changes (adds
+    absent before, removes present before).  Copy-on-write per bucket: the
+    input spec — possibly still live under the old database version's
+    cache key — is never mutated.  Returns the patched spec and the net
+    change in indexed entries.
+    """
+    index = spec[6]
+    new_index = dict(index)
+    touched_keys: set = set()
+
+    def bucket(key) -> list:
+        if key not in touched_keys:
+            new_index[key] = list(new_index.get(key, ()))
+            touched_keys.add(key)
+        return new_index[key]
+
+    net = 0
+    for fact in adds:
+        entry = _fact_entry(spec, fact)
+        if entry is None:
+            continue
+        key, value = entry
+        bucket(key).append(value)
+        net += 1
+    for fact in removes:
+        entry = _fact_entry(spec, fact)
+        if entry is None:
+            continue
+        key, value = entry
+        values = bucket(key)
+        values.remove(value)
+        net -= 1
+        if not values:
+            del new_index[key]
+    return spec[:6] + (new_index,), net
 
 
 def _make_step(
@@ -443,32 +570,80 @@ def _make_step(
     return step
 
 
+def _effective_changes(
+    structure: Structure, relation: str, delta
+) -> tuple[set, set]:
+    """``(adds, removes)`` the delta actually performs on one relation.
+
+    Mirrors :meth:`Structure.apply_delta`'s lenient semantics in
+    O(|delta|): inserts of present facts and deletes of absent facts drop
+    out, and a fact both inserted and deleted ends up deleted.
+    """
+    raw_inserts = {
+        tuple(values) for name, values in delta.inserts if name == relation
+    }
+    raw_deletes = {
+        tuple(values) for name, values in delta.deletes if name == relation
+    }
+    adds = {
+        fact
+        for fact in raw_inserts - raw_deletes
+        if not structure.has_fact(relation, fact)
+    }
+    removes = {
+        fact for fact in raw_deletes if structure.has_fact(relation, fact)
+    }
+    return adds, removes
+
+
 def _compile_chain(
     query: ConjunctiveQuery, structure: Structure
 ) -> CompiledComponent:
     """The baked backtracking chain for a (cyclic) component."""
     ordered = _order_atoms(query, structure)
     slot_of: dict[Variable, int] = {}
-    built: list[tuple[tuple[int, ...], tuple[int, ...], dict]] = []
+    specs: list[_ChainSpec] = []
     indexed = 0
     for atom in ordered:
-        key_slots, new_slots, index = _build_index(atom, structure, slot_of)
-        built.append((key_slots, new_slots, index))
-        indexed += sum(len(bucket) for bucket in index.values())
+        spec = _build_index(atom, structure, slot_of)
+        specs.append(spec)
+        indexed += sum(len(bucket) for bucket in spec[6].values())
+    return _assemble_chain(
+        query, tuple(ordered), tuple(specs), len(slot_of), structure, indexed
+    )
+
+
+def _assemble_chain(
+    query: ConjunctiveQuery,
+    ordered: tuple,
+    specs: tuple,
+    slots: int,
+    structure: Structure,
+    indexed: int,
+) -> CompiledComponent:
+    """Fold prebuilt per-atom specs into a runnable closure chain.
+
+    Shared by :func:`_compile_chain` (fresh specs) and incremental
+    refresh (patched specs): the closures themselves are cheap to remake;
+    the fact indexes inside the specs are the expensive part.
+    """
     # An atom is private when its new slots are read by no later step.
+    privacy: list[bool] = [False] * len(specs)
     later_reads: set[int] = set()
-    privacy: list[bool] = [False] * len(built)
-    for position in range(len(built) - 1, -1, -1):
-        key_slots, new_slots, _ = built[position]
+    for position in range(len(specs) - 1, -1, -1):
+        key_slots, new_slots = specs[position][4], specs[position][5]
         privacy[position] = not (set(new_slots) & later_reads)
         later_reads.update(key_slots)
 
     chain: Callable = lambda env: 1  # noqa: E731 — the chain's terminal
-    for position in range(len(built) - 1, -1, -1):
-        key_slots, new_slots, index = built[position]
+    for position in range(len(specs) - 1, -1, -1):
+        key_slots, new_slots, index = (
+            specs[position][4],
+            specs[position][5],
+            specs[position][6],
+        )
         chain = _make_step(key_slots, new_slots, index, privacy[position], chain)
 
-    slots = len(slot_of)
     domain_size = len(structure.domain)
     free = len(query.variables) - slots
     first = chain
@@ -479,7 +654,31 @@ def _compile_chain(
             return 0
         return total * domain_size**free
 
-    return CompiledComponent("chain", indexed, run)
+    def refresh(new_structure: Structure, delta) -> CompiledComponent:
+        touched = delta.touched_relations()
+        changes = {
+            relation: _effective_changes(structure, relation, delta)
+            for relation in touched
+        }
+        new_specs: list[_ChainSpec] = []
+        new_indexed = indexed
+        for atom, spec in zip(ordered, specs):
+            if atom.relation in touched:
+                adds, removes = changes[atom.relation]
+                spec, net = _patched_index(spec, adds, removes)
+                new_indexed += net
+                obs_metrics.add("compiled.index_refreshes")
+            new_specs.append(spec)
+        return _assemble_chain(
+            query,
+            ordered,
+            tuple(new_specs),
+            slots,
+            new_structure,
+            new_indexed,
+        )
+
+    return CompiledComponent("chain", indexed, run, refresh)
 
 
 # -- the public engine --------------------------------------------------------
@@ -503,6 +702,32 @@ def compile_component(
         artifact = _compile_chain(query, structure)
     obs_metrics.add("compiled.indexed_facts", artifact.indexed_facts)
     return artifact
+
+
+def refresh_component(
+    artifact: CompiledComponent, structure: Structure, delta
+) -> CompiledComponent | None:
+    """Incrementally re-target an artifact at a mutated database.
+
+    ``structure`` must be the artifact's compiled structure with ``delta``
+    applied (same schema, same constants — exactly what
+    :meth:`Structure.apply_delta` guarantees).  Untouched per-relation
+    indexes are shared between old and new artifact; touched chain
+    indexes are patched in O(|delta|); only acyclic join passes adjacent
+    to a touched relation are regrouped.  Returns ``None`` when the
+    artifact predates refresh support — or when refreshing raises (e.g.
+    the artifact's constants are not interpreted by ``structure``, which
+    can happen when fingerprint coincidence misattributes an artifact to
+    this database) — so callers fall back to recompiling on the next
+    miss.  Successful refreshes count as ``compiled.artifact_refreshes``.
+    """
+    try:
+        refreshed = artifact.refresh(structure, delta)
+    except BagCQError:
+        return None
+    if refreshed is not None:
+        obs_metrics.add("compiled.artifact_refreshes")
+    return refreshed
 
 
 def count_homomorphisms_compiled(

@@ -26,7 +26,7 @@ from repro.queries.open_query import OpenQuery
 from repro.queries.product import QueryProduct
 from repro.queries.terms import Constant, Term, Variable
 from repro.relational.schema import RelationSymbol, Schema
-from repro.relational.structure import Structure
+from repro.relational.structure import Delta, Structure
 
 __all__ = [
     "SerializationError",
@@ -35,6 +35,9 @@ __all__ = [
     "structure_to_dict",
     "structure_from_dict",
     "structure_from_facts",
+    "delta_to_dict",
+    "delta_from_dict",
+    "ground_facts_from_text",
     "query_to_dict",
     "query_from_dict",
     "open_query_to_dict",
@@ -206,6 +209,91 @@ def structure_from_facts(text: str) -> Structure:
     return Structure(schema, facts, constants)
 
 
+def ground_facts_from_text(text: str) -> list[tuple[str, tuple]]:
+    """Parse ground atoms (``E(a, b); T(a, b, c)``) into ``(name, values)``.
+
+    The same term syntax as :func:`structure_from_facts`: ``#name`` denotes
+    a constant (its *name* is used as the element, matching the inline-facts
+    shorthand), bare identifiers become elements named after themselves.
+    Atoms may be separated by whitespace or ``;`` and may contain spaces
+    after commas.  Used by ``bagcq update --insert/--delete``, the
+    service's ``/update`` text shorthand, and delta JSON files.
+    """
+    import re
+
+    from repro.queries.parser import parse_query
+
+    facts: list[tuple[str, tuple]] = []
+    stripped = text.replace(";", " ").strip()
+    if not stripped:
+        return facts
+    # Each atom is name(args); the args never nest, so a non-greedy
+    # paren match delimits atoms regardless of internal whitespace.
+    chunks = re.findall(r"[^\s(),]+\s*\([^()]*\)", stripped)
+    remainder = re.sub(r"[^\s(),]+\s*\([^()]*\)", " ", stripped).strip()
+    if remainder:
+        # Leftover text means something was not a well-formed atom; let
+        # the query parser produce its usual diagnostic on the raw text.
+        parse_query(stripped)
+    for chunk in chunks:
+        query = parse_query(chunk)
+        for atom in query.atoms:
+            facts.append(
+                (atom.relation, tuple(term.name for term in atom.terms))
+            )
+    return facts
+
+
+# -- deltas ---------------------------------------------------------------------------
+
+
+def delta_to_dict(delta: Delta) -> dict:
+    return {
+        "inserts": [
+            [name, [_encode_element(value) for value in values]]
+            for name, values in delta.inserts
+        ],
+        "deletes": [
+            [name, [_encode_element(value) for value in values]]
+            for name, values in delta.deletes
+        ],
+        "add_elements": [_encode_element(e) for e in delta.add_elements],
+        "remove_elements": [_encode_element(e) for e in delta.remove_elements],
+    }
+
+
+def _decode_fact(entry: Any) -> tuple[str, tuple]:
+    try:
+        name, values = entry
+    except (TypeError, ValueError):
+        raise SerializationError(f"malformed fact payload: {entry!r}") from None
+    if not isinstance(name, str):
+        raise SerializationError(f"malformed fact payload: {entry!r}")
+    return name, tuple(_decode_element(value) for value in values)
+
+
+def delta_from_dict(payload: dict) -> Delta:
+    if not isinstance(payload, dict):
+        raise SerializationError(f"malformed delta payload: {payload!r}")
+    try:
+        return Delta(
+            inserts=tuple(
+                _decode_fact(entry) for entry in payload.get("inserts", [])
+            ),
+            deletes=tuple(
+                _decode_fact(entry) for entry in payload.get("deletes", [])
+            ),
+            add_elements=tuple(
+                _decode_element(e) for e in payload.get("add_elements", [])
+            ),
+            remove_elements=tuple(
+                _decode_element(e) for e in payload.get("remove_elements", [])
+            ),
+        )
+    except (KeyError, TypeError) as error:
+        raise SerializationError(f"malformed delta payload: {error}") from error
+
+
 # -- queries -------------------------------------------------------------------------
 
 
@@ -286,6 +374,7 @@ def product_from_dict(payload: dict) -> QueryProduct:
 _ENCODERS = {
     Schema: ("schema", schema_to_dict),
     Structure: ("structure", structure_to_dict),
+    Delta: ("delta", delta_to_dict),
     ConjunctiveQuery: ("query", query_to_dict),
     OpenQuery: ("open_query", open_query_to_dict),
     QueryProduct: ("query_product", product_to_dict),
@@ -294,6 +383,7 @@ _ENCODERS = {
 _DECODERS = {
     "schema": schema_from_dict,
     "structure": structure_from_dict,
+    "delta": delta_from_dict,
     "query": query_from_dict,
     "open_query": open_query_from_dict,
     "query_product": product_from_dict,

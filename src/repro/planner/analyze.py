@@ -133,9 +133,16 @@ class PlanCache:
     The cache also stores the *compiled artifacts* of
     :mod:`repro.homomorphism.compiled` alongside the profile IR (see
     :meth:`compiled_artifact`): those are keyed by ``(canonical
-    component, structure)`` — unlike profiles they depend on the
-    database — with their own, smaller LRU bound, and mirror their
-    traffic as ``plan.compile.cache_hits`` / ``plan.compile.cache_misses``.
+    component, component_fingerprint)`` — unlike profiles they depend on
+    the database, but only on the fact sets of the relations the component
+    reads (plus its constants and, for components with atom-free
+    variables, the domain size).  The fingerprint keying makes the store
+    version-aware: a database delta leaves every artifact of untouched
+    relations addressable, and :meth:`invalidate_relations` /
+    :meth:`compiled_items` give delta evaluation relation-scoped eviction
+    and migration.  Artifacts have their own, smaller LRU bound and mirror
+    their traffic as ``plan.compile.cache_hits`` /
+    ``plan.compile.cache_misses``.
     """
 
     def __init__(
@@ -212,7 +219,10 @@ class PlanCache:
         is exactly what makes the shared artifact sound.  An
         exact-equality front level mirrors :meth:`profile`'s.
         """
-        from repro.homomorphism.cache import canonical_component
+        from repro.homomorphism.cache import (
+            canonical_component,
+            component_fingerprint,
+        )
 
         front_key = (component, structure)
         with self._lock:
@@ -222,7 +232,10 @@ class PlanCache:
                 self._compiled_hits += 1
                 obs_metrics.add("plan.compile.cache_hits")
                 return cached, True
-        key = (canonical_component(component), structure)
+        key = (
+            canonical_component(component),
+            component_fingerprint(component, structure),
+        )
         with self._lock:
             cached = self._compiled.get(key)
             if cached is not None:
@@ -247,6 +260,61 @@ class PlanCache:
         self._compiled_front.move_to_end(front_key)
         while len(self._compiled_front) > self._compiled_max:
             self._compiled_front.popitem(last=False)
+
+    def compiled_items(self) -> list[tuple]:
+        """Snapshot of the durable artifact store (for delta migration)."""
+        with self._lock:
+            return list(self._compiled.items())
+
+    def compiled_discard(self, key) -> bool:
+        """Drop one durable artifact entry; True when it was present."""
+        with self._lock:
+            return self._compiled.pop(key, None) is not None
+
+    def store_compiled(self, key, artifact) -> None:
+        """Insert a durable artifact under an externally-computed key.
+
+        Delta evaluation uses this to re-home a refreshed artifact under
+        the mutated database's fingerprint without paying a rebuild.
+        """
+        with self._lock:
+            self._compiled[key] = artifact
+            self._compiled.move_to_end(key)
+            while len(self._compiled) > self._compiled_max:
+                self._compiled.popitem(last=False)
+
+    def invalidate_relations(
+        self, relations, *, domain_changed: bool = False
+    ) -> int:
+        """Evict compiled artifacts depending on any of ``relations``.
+
+        Profiles are structure-independent and survive untouched.  The
+        exact-object front level is cleared wholesale: its keys embed full
+        structures, so stale entries can never be *hit* after a mutation,
+        but dropping them keeps the store's contents meaningful.  Returns
+        the number of durable entries evicted.
+        """
+        touched = frozenset(relations)
+        dropped = 0
+        with self._lock:
+            for key in list(self._compiled):
+                fingerprint = key[1] if isinstance(key, tuple) and len(key) == 2 else None
+                if (
+                    isinstance(fingerprint, tuple)
+                    and len(fingerprint) == 4
+                    and fingerprint[0] == "§fp"
+                ):
+                    depends = frozenset(name for name, _ in fingerprint[1])
+                    affected = bool(depends & touched) or (
+                        domain_changed and fingerprint[3] is not None
+                    )
+                else:
+                    affected = True
+                if affected:
+                    del self._compiled[key]
+                    dropped += 1
+            self._compiled_front.clear()
+        return dropped
 
     def compiled_stats(self) -> dict:
         """A plain-data snapshot of the artifact store (reports, tests)."""

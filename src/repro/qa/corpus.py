@@ -9,13 +9,14 @@ so a finding, once fixed, can never regress silently.
 An entry is self-describing::
 
     {
-      "kind": "cq" | "ucq" | "gadget",
+      "kind": "cq" | "ucq" | "gadget" | "mutation",
       "oracle": "cross_engine" | null,       # which oracle it failed (if any)
       "note": "free-form provenance",
       "seed": 17, "index": 205,              # generator coordinates
-      "query": {...},                        # repro.io query payload (cq)
+      "query": {...},                        # repro.io query payload (cq/mutation)
       "disjuncts": [{"query": ..., "multiplicity": n}, ...],   # (ucq)
       "gadget_c": 3,                         # (gadget)
+      "mutations": [{...}, ...],             # repro.io delta payloads (mutation)
       "structure": {...}                     # repro.io structure payload
     }
 
@@ -33,6 +34,8 @@ from typing import Iterator, Sequence
 
 from repro.errors import BagCQError
 from repro.io import (
+    delta_from_dict,
+    delta_to_dict,
     query_from_dict,
     query_to_dict,
     structure_from_dict,
@@ -67,6 +70,9 @@ def entry_from_case(
     }
     if case.kind == "cq":
         entry["query"] = query_to_dict(case.query)
+    elif case.kind == "mutation":
+        entry["query"] = query_to_dict(case.query)
+        entry["mutations"] = [delta_to_dict(delta) for delta in case.mutations]
     elif case.kind == "ucq":
         entry["disjuncts"] = [
             {"query": query_to_dict(query), "multiplicity": multiplicity}
@@ -99,6 +105,12 @@ def case_from_entry(entry: dict) -> FuzzCase:
         )
         if kind == "cq":
             return case.with_query(query_from_dict(entry["query"]))
+        if kind == "mutation":
+            return case.with_query(
+                query_from_dict(entry["query"])
+            ).with_mutations(
+                [delta_from_dict(delta) for delta in entry["mutations"]]
+            )
         if kind == "ucq":
             return case.with_disjuncts(
                 [

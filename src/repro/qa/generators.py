@@ -30,10 +30,17 @@ from repro.naming import HEART, SPADE
 from repro.queries.cq import ConjunctiveQuery
 from repro.queries.terms import Constant
 from repro.relational.schema import Schema
-from repro.relational.structure import Structure
+from repro.relational.structure import Delta, Structure
 from repro.workloads.random_queries import random_query
 
-__all__ = ["FeatureMask", "FuzzCase", "default_schema", "generate_cases", "case_at"]
+__all__ = [
+    "FeatureMask",
+    "FuzzCase",
+    "default_schema",
+    "generate_cases",
+    "case_at",
+    "random_mutations",
+]
 
 
 def default_schema() -> Schema:
@@ -66,7 +73,9 @@ class FuzzCase:
     ``"ucq"`` uses ``disjuncts``+``structure``, ``"gadget"`` uses
     ``gadget_c`` (the multiplier of an :func:`~repro.core.alpha.alpha_gadget`,
     whose (=) witness is built on demand — gadgets are deterministic in
-    ``c``, so the parameter *is* the instance).
+    ``c``, so the parameter *is* the instance), and ``"mutation"`` uses
+    ``query``+``structure``+``mutations`` — a seeded delta sequence the
+    incremental-evaluation oracle replays step by step.
     """
 
     kind: str
@@ -77,6 +86,7 @@ class FuzzCase:
     structure: Structure | None = None
     disjuncts: tuple[tuple[ConjunctiveQuery, int], ...] = ()
     gadget_c: int | None = None
+    mutations: tuple[Delta, ...] = ()
 
     def with_query(self, query: ConjunctiveQuery) -> "FuzzCase":
         return replace(self, query=query)
@@ -89,6 +99,9 @@ class FuzzCase:
     ) -> "FuzzCase":
         return replace(self, disjuncts=tuple(disjuncts))
 
+    def with_mutations(self, mutations: Sequence[Delta]) -> "FuzzCase":
+        return replace(self, mutations=tuple(mutations))
+
     def describe(self) -> str:
         if self.kind == "gadget":
             return f"gadget(c={self.gadget_c})"
@@ -97,6 +110,12 @@ class FuzzCase:
                 f"{multiplicity}*({query})" for query, multiplicity in self.disjuncts
             )
             return f"ucq[{inner}] on {self.structure!r}"
+        if self.kind == "mutation":
+            steps = "; ".join(delta.describe() for delta in self.mutations)
+            return (
+                f"{self.query} on {self.structure!r} "
+                f"under [{steps or 'no-op'}]"
+            )
         return f"{self.query} on {self.structure!r}"
 
 
@@ -161,12 +180,59 @@ def _random_cq(
     return query
 
 
+def random_mutations(
+    rng: random.Random, structure: Structure, steps: int
+) -> tuple[Delta, ...]:
+    """A seeded sequence of ``steps`` deltas applicable from ``structure``.
+
+    Each delta mixes inserts (random tuples over the *current* domain),
+    deletes (preferring facts that actually exist at that point of the
+    sequence, so deletions are rarely no-ops), and occasional fresh
+    domain elements — the delta stream a long-lived server would see.
+    """
+    deltas: list[Delta] = []
+    current = structure
+    fresh = (
+        max(
+            (e for e in structure.domain if isinstance(e, int)), default=-1
+        )
+        + 1
+    )
+    symbols = sorted(structure.schema, key=lambda s: s.name)
+    for _ in range(steps):
+        inserts: list[tuple[str, tuple]] = []
+        deletes: list[tuple[str, tuple]] = []
+        add_elements: list = []
+        if rng.random() < 0.2:
+            add_elements.append(fresh)
+            fresh += 1
+        domain = sorted(current.domain, key=repr) + add_elements
+        for _ in range(rng.randint(1, 3)):
+            symbol = rng.choice(symbols)
+            existing = sorted(current.facts(symbol.name), key=repr)
+            if existing and rng.random() < 0.5:
+                deletes.append((symbol.name, rng.choice(existing)))
+            else:
+                values = tuple(
+                    rng.choice(domain) for _ in range(symbol.arity)
+                )
+                inserts.append((symbol.name, values))
+        delta = Delta(
+            inserts=tuple(inserts),
+            deletes=tuple(deletes),
+            add_elements=tuple(add_elements),
+        )
+        deltas.append(delta)
+        current = current.apply_delta(delta)
+    return tuple(deltas)
+
+
 def case_at(index: int, seed: int, schema: Schema | None = None) -> FuzzCase:
     """Case ``index`` of the stream for ``seed`` — a pure function.
 
     The size schedule widens with the index (small cases first, so early
-    failures shrink fast), and every 7th/11th case switches to the UCQ /
-    gadget kinds to keep all oracle families exercised.
+    failures shrink fast), and every 7th/11th/13th case switches to the
+    UCQ / gadget / mutation kinds to keep all oracle families exercised.
     """
     schema = schema or default_schema()
     # An explicit integer mix rather than ``Random((seed, index))`` so the
@@ -189,6 +255,19 @@ def case_at(index: int, seed: int, schema: Schema | None = None) -> FuzzCase:
     structure = _random_structure(
         rng, schema, domain_size, density, features.constants
     )
+
+    if index % 13 == 8:
+        # A mutation sequence: the incremental-evaluation oracles replay
+        # it delta by delta against a full recount.
+        return FuzzCase(
+            kind="mutation",
+            seed=seed,
+            index=index,
+            features=features,
+            query=_random_cq(rng, schema, features),
+            structure=structure,
+            mutations=random_mutations(rng, structure, rng.randint(3, 6)),
+        )
 
     if index % 7 == 6:
         disjuncts = tuple(

@@ -33,6 +33,11 @@ Registered oracles (``bagcq fuzz --oracle NAME`` selects a subset):
     bag counterexample (and the search prescreen uses it); a positive
     verdict is never contradicted by a fuzzed structure or a search
     counterexample; all engines agree on verdicts and witnesses.
+``delta_vs_full``
+    Incremental (delta) evaluation is bit-identical to a full recount
+    after **every** step of a seeded mutation sequence, across the
+    serial, cached, batched, compiled, and service paths — and the
+    incrementally maintained fingerprints match recomputed ones.
 ``gadget_equality``
     Definition 3 ``(=)``: the α multiplication gadget for ``c`` attains
     ``α_s(D) = c·α_b(D) ≠ 0`` on its packaged witness.
@@ -395,6 +400,100 @@ def _bag_vs_set(case: FuzzCase) -> OracleResult:
         if outcome.found and count(base, outcome.counterexample) == 0:
             return OracleResult.failed(
                 "search counterexample contradicts positive set verdict"
+            )
+    return OracleResult.passed()
+
+
+@oracle("delta_vs_full", kinds=("mutation",))
+def _delta_vs_full(case: FuzzCase) -> OracleResult:
+    """Incremental evaluation after every delta ≡ full recount from scratch.
+
+    Replays the case's mutation sequence four ways in lockstep and
+    demands bit-identical counts after *every* step:
+
+    * **serial** — a cold ``count`` with the backtracking engine on an
+      independently maintained structure (the ground truth);
+    * **cached/incremental** — a :class:`~repro.homomorphism.delta.DeltaEvaluator`
+      whose cache is migrated/evicted by fingerprints, plus the compiled
+      engine on the evolved structure;
+    * **batched** — :func:`~repro.homomorphism.batch.count_many` with a
+      fresh cache;
+    * **service** — the transport-free ``/db``/``/update``/``/evaluate``
+      handlers over a :class:`~repro.service.databases.DatabaseRegistry`.
+
+    Fingerprint soundness rides along: after each step the incrementally
+    maintained fingerprint vector must equal that of a structure rebuilt
+    from scratch.  A mutation made inapplicable by shrinking (e.g. its
+    base facts were dropped) raises ``SchemaError`` identically on every
+    path and passes vacuously.
+    """
+    from repro.errors import SchemaError
+    from repro.homomorphism.delta import DeltaEvaluator
+    from repro.io import delta_to_dict, query_to_dict, structure_to_dict
+    from repro.relational.structure import Structure
+    from repro.service.databases import DatabaseRegistry
+    from repro.service.handlers import parse_db, parse_evaluate, parse_update
+
+    evaluator = DeltaEvaluator(
+        case.structure, engine="auto", cache=CountCache()
+    )
+    registry = DatabaseRegistry(CountCache())
+    parse_db(
+        {"name": "fuzz", "structure": structure_to_dict(case.structure)},
+        None,
+        registry,
+    ).run()
+    query_payload = query_to_dict(case.query)
+    full = case.structure
+    for step, delta in enumerate(case.mutations):
+        try:
+            full = full.apply_delta(delta)
+        except SchemaError:
+            return OracleResult.passed()  # shrunk-invalid; vacuous
+        evaluator.apply(delta)
+        parse_update(
+            {"db": "fuzz", "delta": delta_to_dict(delta)}, None, registry
+        ).run()
+        rebuilt = Structure(
+            full.schema,
+            {name: full.facts(name) for name in full.schema.relation_names},
+            full.constants,
+            full.domain,
+        )
+        if evaluator.structure != full:
+            return OracleResult.failed(
+                f"step {step}: incremental structure diverged from "
+                f"independently applied delta"
+            )
+        if (
+            evaluator.structure.fingerprint_vector()
+            != rebuilt.fingerprint_vector()
+        ):
+            return OracleResult.failed(
+                f"step {step}: incremental fingerprints != recomputed"
+            )
+        cold = count(case.query, rebuilt, engine="backtracking")
+        incremental = evaluator.evaluate(case.query)
+        if incremental != cold:
+            return OracleResult.failed(
+                f"step {step}: incremental={incremental} cold={cold}"
+            )
+        batched = count_many([(case.query, full)], cache=CountCache())[0]
+        if batched != cold:
+            return OracleResult.failed(
+                f"step {step}: batched={batched} cold={cold}"
+            )
+        via_compiled = count(case.query, full, engine="compiled")
+        if via_compiled != cold:
+            return OracleResult.failed(
+                f"step {step}: compiled={via_compiled} cold={cold}"
+            )
+        via_service = parse_evaluate(
+            {"query": query_payload, "db": "fuzz"}, CountCache(), registry
+        ).run()["count"]
+        if via_service != cold:
+            return OracleResult.failed(
+                f"step {step}: service={via_service} cold={cold}"
             )
     return OracleResult.passed()
 

@@ -16,7 +16,9 @@ Reduction steps, tried in order of expected payoff:
 4. drop a database fact;
 5. merge one query variable into another (shrinks the variable count,
    which atom/fact dropping alone cannot do);
-6. drop an unused domain element.
+6. drop an unused domain element;
+7. drop a whole delta from a mutation sequence, or a single
+   insert/delete/element mutation inside one (mutation cases).
 
 Every predicate evaluation is counted; the fuzzer mirrors the total into
 the ``qa.shrink_steps`` counter.  Gadget cases are parameterized by a
@@ -29,7 +31,7 @@ from typing import Callable, Iterator
 
 from repro.qa.generators import FuzzCase
 from repro.queries.cq import ConjunctiveQuery
-from repro.relational.structure import Structure
+from repro.relational.structure import Delta, Structure
 
 __all__ = ["shrink_case"]
 
@@ -73,10 +75,53 @@ def _structure_reductions(structure: Structure) -> Iterator[Structure]:
         )
 
 
+def _delta_reductions(delta: Delta) -> Iterator[Delta]:
+    """Every single-step reduction of one delta (drop one mutation)."""
+    for index in range(len(delta.inserts)):
+        yield Delta(
+            delta.inserts[:index] + delta.inserts[index + 1 :],
+            delta.deletes,
+            delta.add_elements,
+            delta.remove_elements,
+        )
+    for index in range(len(delta.deletes)):
+        yield Delta(
+            delta.inserts,
+            delta.deletes[:index] + delta.deletes[index + 1 :],
+            delta.add_elements,
+            delta.remove_elements,
+        )
+    for index in range(len(delta.add_elements)):
+        yield Delta(
+            delta.inserts,
+            delta.deletes,
+            delta.add_elements[:index] + delta.add_elements[index + 1 :],
+            delta.remove_elements,
+        )
+    for index in range(len(delta.remove_elements)):
+        yield Delta(
+            delta.inserts,
+            delta.deletes,
+            delta.add_elements,
+            delta.remove_elements[:index] + delta.remove_elements[index + 1 :],
+        )
+
+
 def _case_reductions(case: FuzzCase) -> Iterator[FuzzCase]:
-    if case.kind == "cq":
+    if case.kind in ("cq", "mutation"):
         for query in _query_reductions(case.query):
             yield case.with_query(query)
+    if case.kind == "mutation":
+        mutations = case.mutations
+        for index in range(len(mutations)):
+            yield case.with_mutations(
+                mutations[:index] + mutations[index + 1 :]
+            )
+        for index, delta in enumerate(mutations):
+            for reduced in _delta_reductions(delta):
+                yield case.with_mutations(
+                    mutations[:index] + (reduced,) + mutations[index + 1 :]
+                )
     elif case.kind == "ucq":
         disjuncts = case.disjuncts
         for index in range(len(disjuncts)):

@@ -6,16 +6,25 @@ from repro.relational.isomorphism import (
     find_isomorphism,
 )
 from repro.relational.multiset_structure import MultisetStructure, count_weighted
-from repro.relational.operations import blowup, disjoint_union, power, product
+from repro.relational.operations import (
+    apply_delta,
+    blowup,
+    disjoint_union,
+    power,
+    product,
+    structure_delta,
+)
 from repro.relational.schema import RelationSymbol, Schema
-from repro.relational.structure import Structure, StructureBuilder
+from repro.relational.structure import Delta, Structure, StructureBuilder
 
 __all__ = [
+    "Delta",
     "MultisetStructure",
     "RelationSymbol",
     "Schema",
     "Structure",
     "StructureBuilder",
+    "apply_delta",
     "are_isomorphic",
     "blowup",
     "count_weighted",
@@ -24,4 +33,5 @@ __all__ = [
     "disjoint_union",
     "power",
     "product",
+    "structure_delta",
 ]

@@ -19,11 +19,60 @@ from __future__ import annotations
 from typing import Callable, Hashable
 
 from repro.errors import ConstantError
-from repro.relational.structure import Structure
+from repro.relational.structure import Delta, Structure
 
-__all__ = ["disjoint_union", "product", "power", "blowup"]
+__all__ = [
+    "apply_delta",
+    "blowup",
+    "disjoint_union",
+    "power",
+    "product",
+    "structure_delta",
+]
 
 Element = Hashable
+
+
+def apply_delta(structure: Structure, delta: Delta) -> Structure:
+    """Functional form of :meth:`Structure.apply_delta`."""
+    return structure.apply_delta(delta)
+
+
+def structure_delta(old: Structure, new: Structure) -> Delta:
+    """The :class:`Delta` turning ``old`` into ``new``.
+
+    Both structures must share schema and constants (a delta cannot change
+    either); ``old.apply_delta(structure_delta(old, new)) == new`` holds.
+    """
+    if old.schema != new.schema:
+        raise ValueError("structure_delta requires identical schemas")
+    if old.constants != new.constants:
+        raise ValueError("structure_delta requires identical constants")
+    inserts: list[tuple[str, tuple]] = []
+    deletes: list[tuple[str, tuple]] = []
+    for name in old.schema.relation_names:
+        old_bucket = old.facts(name)
+        new_bucket = new.facts(name)
+        inserts.extend(
+            (name, values) for values in sorted(new_bucket - old_bucket, key=repr)
+        )
+        deletes.extend(
+            (name, values) for values in sorted(old_bucket - new_bucket, key=repr)
+        )
+    fact_elements: set[Element] = set()
+    for name in new.schema.relation_names:
+        for values in new.facts(name):
+            fact_elements.update(values)
+    add_elements = sorted(
+        new.domain - old.domain - fact_elements, key=repr
+    )
+    remove_elements = sorted(old.domain - new.domain, key=repr)
+    return Delta(
+        inserts=tuple(inserts),
+        deletes=tuple(deletes),
+        add_elements=tuple(add_elements),
+        remove_elements=tuple(remove_elements),
+    )
 
 
 def disjoint_union(left: Structure, right: Structure) -> Structure:

@@ -12,16 +12,131 @@ Structures are immutable value objects; bulk construction goes through
 
 from __future__ import annotations
 
+import hashlib
+from dataclasses import dataclass
 from typing import Any, Hashable, Iterable, Iterator, Mapping
 
 from repro.errors import ConstantError, SchemaError
 from repro.naming import HEART, SPADE
 from repro.relational.schema import RelationSymbol, Schema
 
-__all__ = ["Structure", "StructureBuilder"]
+__all__ = ["Delta", "Structure", "StructureBuilder"]
 
 Element = Hashable
 Fact = tuple[str, tuple]
+
+#: Sentinel name carrying the non-relational part (constants + domain) of a
+#: fingerprint vector.  ``§`` cannot appear in a relation name produced by
+#: the query parser, so it never collides with a real relation.
+CONTEXT_FINGERPRINT_KEY = "§context"
+
+
+def _digest(payload: object) -> int:
+    """A 128-bit content digest, stable across processes and runs.
+
+    ``repr`` keyed: domain elements are hashable Python values whose reprs
+    are stable for every type the test-suite and service accept (ints,
+    strings, tuples, terms).  ``hash()`` would be salted per process.
+    """
+    text = repr(payload).encode("utf-8", "backslashreplace")
+    return int.from_bytes(hashlib.blake2b(text, digest_size=16).digest(), "big")
+
+
+def _fact_digest(relation: str, values: tuple) -> int:
+    return _digest(("fact", relation, values))
+
+
+def _relation_base(symbol: RelationSymbol) -> int:
+    return _digest(("relation", symbol.name, symbol.arity))
+
+
+@dataclass(frozen=True)
+class Delta:
+    """A batch of mutations against a :class:`Structure`.
+
+    Semantics (in application order):
+
+    1. every fact in ``inserts`` is added (inserting an existing fact is a
+       no-op);
+    2. every fact in ``deletes`` is removed (deleting an absent fact is a
+       no-op; a fact both inserted and deleted ends up deleted);
+    3. ``add_elements`` join the domain;
+    4. ``remove_elements`` leave the domain — removing an element still
+       used by a fact or a constant raises :class:`SchemaError`, removing
+       an absent element is a no-op.
+
+    Deleting facts never shrinks the domain: elements stay in the active
+    domain until explicitly removed.
+
+    >>> delta = Delta(inserts=[("E", (1, 2))], deletes=[("E", (2, 1))])
+    >>> sorted(delta.touched_relations())
+    ['E']
+    >>> delta.is_empty()
+    False
+    """
+
+    inserts: tuple[Fact, ...] = ()
+    deletes: tuple[Fact, ...] = ()
+    add_elements: tuple[Element, ...] = ()
+    remove_elements: tuple[Element, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "inserts",
+            tuple((name, tuple(values)) for name, values in self.inserts),
+        )
+        object.__setattr__(
+            self,
+            "deletes",
+            tuple((name, tuple(values)) for name, values in self.deletes),
+        )
+        object.__setattr__(self, "add_elements", tuple(self.add_elements))
+        object.__setattr__(self, "remove_elements", tuple(self.remove_elements))
+
+    def touched_relations(self) -> frozenset[str]:
+        """Relation names whose fact sets this delta may change."""
+        return frozenset(name for name, _ in self.inserts) | frozenset(
+            name for name, _ in self.deletes
+        )
+
+    def touches_domain(self) -> bool:
+        """True when the delta may change the active domain."""
+        return bool(self.add_elements or self.remove_elements or self.inserts)
+
+    def is_empty(self) -> bool:
+        return not (
+            self.inserts
+            or self.deletes
+            or self.add_elements
+            or self.remove_elements
+        )
+
+    def touched_elements(self) -> frozenset[Element]:
+        """Every element mentioned by any mutation in this delta."""
+        elements: set[Element] = set(self.add_elements)
+        elements.update(self.remove_elements)
+        for _, values in self.inserts:
+            elements.update(values)
+        for _, values in self.deletes:
+            elements.update(values)
+        return frozenset(elements)
+
+    def describe(self) -> str:
+        parts = []
+        if self.inserts:
+            parts.append(
+                "+" + " +".join(f"{n}{v!r}" for n, v in self.inserts)
+            )
+        if self.deletes:
+            parts.append(
+                "-" + " -".join(f"{n}{v!r}" for n, v in self.deletes)
+            )
+        if self.add_elements:
+            parts.append(f"+dom{list(self.add_elements)!r}")
+        if self.remove_elements:
+            parts.append(f"-dom{list(self.remove_elements)!r}")
+        return " ".join(parts) if parts else "(empty delta)"
 
 
 class Structure:
@@ -35,7 +150,7 @@ class Structure:
     2
     """
 
-    __slots__ = ("_schema", "_facts", "_constants", "_domain")
+    __slots__ = ("_schema", "_facts", "_constants", "_domain", "_fingerprints", "_context_fp")
 
     def __init__(
         self,
@@ -62,6 +177,9 @@ class Structure:
         elements.update(self._constants.values())
         self._facts = normalized
         self._domain = frozenset(elements)
+        # Lazily-filled content-fingerprint memos (see relation_fingerprint).
+        self._fingerprints: dict[str, int] = {}
+        self._context_fp: int | None = None
 
     # -- basic accessors -------------------------------------------------
 
@@ -120,7 +238,154 @@ class Structure:
             return False
         return self._constants[SPADE] != self._constants[HEART]
 
+    # -- content fingerprints ---------------------------------------------
+
+    def relation_fingerprint(self, relation: str) -> int:
+        """A 128-bit content fingerprint of one relation's fact set.
+
+        Defined as the XOR of a per-symbol base (covering name and arity)
+        with the digest of every fact — order-independent, and updated in
+        O(|delta|) by :meth:`apply_delta` (XOR is its own inverse).  Stable
+        across processes: built on :mod:`hashlib`, not the salted ``hash``.
+        """
+        fingerprint = self._fingerprints.get(relation)
+        if fingerprint is None:
+            fingerprint = _relation_base(self._schema.symbol(relation))
+            for values in self._facts.get(relation, ()):
+                fingerprint ^= _fact_digest(relation, values)
+            self._fingerprints[relation] = fingerprint
+        return fingerprint
+
+    def context_fingerprint(self) -> int:
+        """Fingerprint of the non-relational content: constants + domain."""
+        if self._context_fp is None:
+            self._context_fp = _digest(
+                (
+                    "context",
+                    sorted(self._constants.items()),
+                    sorted(self._domain, key=repr),
+                )
+            )
+        return self._context_fp
+
+    def fingerprint_vector(
+        self, relations: Iterable[str] | None = None
+    ) -> tuple[tuple[str, int | None], ...]:
+        """The ``(relation, fingerprint)`` vector cache entries depend on.
+
+        ``relations`` restricts the vector to the relations a consumer
+        actually reads (``None`` for the whole schema); names absent from
+        the schema map to ``None`` rather than raising, so a dependency on
+        a *missing* relation is itself recorded.  The final entry, under
+        :data:`CONTEXT_FINGERPRINT_KEY`, covers constants and domain.
+        """
+        if relations is None:
+            names: Iterable[str] = self._schema.relation_names
+        else:
+            names = sorted(set(relations))
+        entries: list[tuple[str, int | None]] = []
+        for name in names:
+            if name in self._schema:
+                entries.append((name, self.relation_fingerprint(name)))
+            else:
+                entries.append((name, None))
+        entries.append((CONTEXT_FINGERPRINT_KEY, self.context_fingerprint()))
+        return tuple(entries)
+
+    def fingerprint(self) -> str:
+        """A short stable hex digest of the full fingerprint vector."""
+        return hashlib.blake2b(
+            repr(self.fingerprint_vector()).encode("utf-8", "backslashreplace"),
+            digest_size=8,
+        ).hexdigest()
+
     # -- functional updates ----------------------------------------------
+
+    def apply_delta(self, delta: "Delta") -> "Structure":
+        """Apply a :class:`Delta`, touching only what the delta touches.
+
+        Returns a new structure sharing every untouched fact set (and its
+        cached fingerprint) with ``self``; work is proportional to the
+        delta, not to the database.  See :class:`Delta` for the mutation
+        semantics.
+
+        >>> sigma = Schema.from_arities({"E": 2})
+        >>> d = Structure(sigma, facts={"E": [(1, 2)]})
+        >>> d2 = d.apply_delta(Delta(inserts=[("E", (2, 3))]))
+        >>> sorted(d2.facts("E"))
+        [(1, 2), (2, 3)]
+        >>> d.fact_count("E")  # the original is untouched
+        1
+        """
+        if delta.is_empty():
+            return self
+        touched = delta.touched_relations()
+        for name in touched:
+            if name not in self._schema:
+                raise SchemaError(f"delta uses undeclared relation {name!r}")
+        new_facts = dict(self._facts)
+        new_fps = dict(self._fingerprints)
+        elements: set[Element] = set(self._domain)
+        for name in touched:
+            old_bucket = self._facts.get(name, frozenset())
+            inserted = set()
+            deleted = set()
+            for relation, values in delta.inserts:
+                if relation == name:
+                    self._schema.check_tuple(name, values)
+                    inserted.add(values)
+            for relation, values in delta.deletes:
+                if relation == name:
+                    self._schema.check_tuple(name, values)
+                    deleted.add(values)
+            new_bucket = (old_bucket | inserted) - deleted
+            for values in inserted - deleted:
+                elements.update(values)
+            if new_bucket:
+                new_facts[name] = frozenset(new_bucket)
+            else:
+                new_facts.pop(name, None)
+            cached = self._fingerprints.get(name)
+            if cached is not None:
+                fingerprint = cached
+                for values in new_bucket - old_bucket:
+                    fingerprint ^= _fact_digest(name, values)
+                for values in old_bucket - new_bucket:
+                    fingerprint ^= _fact_digest(name, values)
+                new_fps[name] = fingerprint
+            else:
+                new_fps.pop(name, None)
+        elements.update(delta.add_elements)
+        removed_elements = set(delta.remove_elements) & elements
+        if removed_elements:
+            for element in removed_elements:
+                if element in self._constants.values():
+                    raise SchemaError(
+                        f"cannot remove element {element!r}: it interprets "
+                        f"a constant"
+                    )
+            used: set[Element] = set()
+            for bucket in new_facts.values():
+                for values in bucket:
+                    used.update(values)
+            still_used = removed_elements & used
+            if still_used:
+                raise SchemaError(
+                    "cannot remove elements still used by facts: "
+                    f"{sorted(still_used, key=repr)!r}"
+                )
+            elements -= removed_elements
+        new_domain = frozenset(elements)
+        result = Structure.__new__(Structure)
+        result._schema = self._schema
+        result._facts = new_facts
+        result._constants = dict(self._constants)
+        result._domain = new_domain
+        result._fingerprints = new_fps
+        result._context_fp = (
+            self._context_fp if new_domain == self._domain else None
+        )
+        return result
 
     def with_fact(self, relation: str, values: tuple) -> "Structure":
         facts = {name: set(bucket) for name, bucket in self._facts.items()}

@@ -39,6 +39,7 @@ from repro.service.client import (
     ServiceProtocolError,
     ServiceUnavailable,
 )
+from repro.service.databases import DatabaseRegistry, NamedDatabase
 from repro.service.protocol import (
     PROTOCOL_VERSION,
     REQUEST_ID_HEADER,
@@ -55,8 +56,10 @@ from repro.service.server import (
 )
 
 __all__ = [
+    "DatabaseRegistry",
     "DeadlineExceeded",
     "EvaluationServer",
+    "NamedDatabase",
     "PROTOCOL_VERSION",
     "REQUEST_ID_HEADER",
     "RemoteError",

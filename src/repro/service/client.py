@@ -31,10 +31,10 @@ from http.client import HTTPException
 from typing import Any
 
 from repro.errors import BagCQError
-from repro.io import query_to_dict, structure_to_dict
+from repro.io import delta_to_dict, query_to_dict, structure_to_dict
 from repro.obs import metrics as obs_metrics
 from repro.queries.cq import ConjunctiveQuery
-from repro.relational.structure import Structure
+from repro.relational.structure import Delta, Structure
 from repro.service import protocol
 
 __all__ = [
@@ -148,15 +148,20 @@ class ServiceClient:
     def evaluate(
         self,
         query,
-        structure,
+        structure=None,
         engine: str = "auto",
         deadline_ms: int | None = None,
         cache: bool = True,
+        db: str | None = None,
     ) -> int:
-        """Remote ``count(query, structure)``; returns the exact integer."""
+        """Remote ``count(query, structure)``; returns the exact integer.
+
+        Pass ``db="name"`` instead of a structure to evaluate a
+        server-resident database loaded with :meth:`load_db`.
+        """
         body: dict = {"kind": "cq", "engine": engine, "cache": cache}
         _encode_query(query, "query", body)
-        _encode_structure(structure, body)
+        self._encode_target(structure, db, body)
         if deadline_ms is not None:
             body["deadline_ms"] = deadline_ms
         return int(self._post("evaluate", body)["count"])
@@ -164,10 +169,11 @@ class ServiceClient:
     def evaluate_ucq(
         self,
         disjuncts,
-        structure,
+        structure=None,
         engine: str = "auto",
         deadline_ms: int | None = None,
         cache: bool = True,
+        db: str | None = None,
     ) -> int:
         """Remote ``count_ucq``: ``disjuncts`` is ``[(query, multiplicity)]``."""
         encoded = []
@@ -181,10 +187,81 @@ class ServiceClient:
             "cache": cache,
             "disjuncts": encoded,
         }
-        _encode_structure(structure, body)
+        self._encode_target(structure, db, body)
         if deadline_ms is not None:
             body["deadline_ms"] = deadline_ms
         return int(self._post("evaluate", body)["count"])
+
+    @staticmethod
+    def _encode_target(structure, db: str | None, body: dict) -> None:
+        """Exactly one evaluation target: inline structure or named db."""
+        if (structure is None) == (db is None):
+            raise ServiceProtocolError(
+                "give exactly one of structure= or db="
+            )
+        if db is not None:
+            body["db"] = db
+        else:
+            _encode_structure(structure, body)
+
+    def load_db(
+        self,
+        name: str,
+        structure,
+        engine: str = "auto",
+        deadline_ms: int | None = None,
+    ) -> dict:
+        """``POST /db``: (re)bind a named server-resident database.
+
+        Returns the server's snapshot: ``version`` (0 on a fresh bind),
+        ``fingerprint``, ``fact_count``, ``domain_size``, ``engine``.
+        """
+        body: dict = {"name": name, "engine": engine}
+        _encode_structure(structure, body)
+        if deadline_ms is not None:
+            body["deadline_ms"] = deadline_ms
+        return self._post("db", body)
+
+    def update(
+        self,
+        db: str,
+        delta=None,
+        insert: str | None = None,
+        delete: str | None = None,
+        deadline_ms: int | None = None,
+    ) -> dict:
+        """``POST /update``: apply a delta to a named database.
+
+        ``delta`` may be a :class:`~repro.relational.structure.Delta` or
+        an io delta dict; ``insert``/``delete`` take ground-atom text
+        (``"E(a,b); E(b,c)"``) instead.  Returns the delta report: new
+        ``version`` and ``fingerprint``, plus ``migrated`` /
+        ``invalidated`` / ``refreshed_artifacts`` cache effects.
+
+        Updates are not idempotent and the server never coalesces them;
+        the retry policy only re-sends on *pre-admission* failures
+        (shed/draining), but a connection lost after admission may leave
+        the update applied without a response — check ``version`` via
+        :meth:`healthz` when in doubt.
+        """
+        body: dict = {"db": db}
+        if delta is not None:
+            if isinstance(delta, Delta):
+                body["delta"] = delta_to_dict(delta)
+            elif isinstance(delta, dict):
+                body["delta"] = delta
+            else:
+                raise ServiceProtocolError(
+                    f"delta must be a Delta or io dict, "
+                    f"got {type(delta).__name__}"
+                )
+        if insert is not None:
+            body["insert"] = insert
+        if delete is not None:
+            body["delete"] = delete
+        if deadline_ms is not None:
+            body["deadline_ms"] = deadline_ms
+        return self._post("update", body)
 
     def explain(self, query, structure=None, deadline_ms: int | None = None) -> dict:
         """The machine-readable plan dict (see ``Plan.to_dict``)."""

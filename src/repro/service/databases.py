@@ -1,0 +1,152 @@
+"""Server-resident named databases with versioned, incremental updates.
+
+A warm evaluation server is only half a production story while every
+request ships its database inline.  :class:`DatabaseRegistry` lets a
+client ``POST /db`` a structure once under a name, point ``/evaluate``
+requests at it with ``"db": name``, and mutate it in place with
+``POST /update`` deltas — each update re-homing the shared
+:class:`~repro.homomorphism.cache.CountCache` and compiled artifacts
+through a :class:`~repro.homomorphism.delta.DeltaEvaluator` instead of
+flushing them.
+
+Versioning is fingerprint-based end to end: the single-flight
+:func:`~repro.service.protocol.request_key` embeds the structure's
+fingerprint vector, so two evaluates racing an update coalesce only when
+they really saw the same database version.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.homomorphism.cache import CountCache
+from repro.homomorphism.delta import DeltaEvaluator, DeltaReport
+from repro.obs import metrics as obs_metrics
+from repro.relational.structure import Delta, Structure
+from repro.service.protocol import BadRequestError
+
+__all__ = ["DatabaseRegistry", "NamedDatabase", "DEFAULT_MAX_DATABASES"]
+
+#: Bound on simultaneously-resident named databases per server.
+DEFAULT_MAX_DATABASES = 64
+
+_MAX_NAME_LENGTH = 64
+
+
+class NamedDatabase:
+    """One named, versioned database: a :class:`DeltaEvaluator` plus a name."""
+
+    __slots__ = ("name", "evaluator")
+
+    def __init__(self, name: str, evaluator: DeltaEvaluator) -> None:
+        self.name = name
+        self.evaluator = evaluator
+
+    @property
+    def structure(self) -> Structure:
+        return self.evaluator.structure
+
+    @property
+    def version(self) -> int:
+        return self.evaluator.version
+
+    def snapshot(self) -> dict:
+        """The ``/healthz`` surface of this database."""
+        structure = self.evaluator.structure
+        return {
+            "version": self.evaluator.version,
+            "engine": self.evaluator.engine,
+            "fingerprint": structure.fingerprint(),
+            "fact_count": structure.fact_count(),
+            "domain_size": len(structure.domain),
+        }
+
+    def __repr__(self) -> str:
+        return f"NamedDatabase({self.name!r}, version={self.version})"
+
+
+def _check_name(name) -> str:
+    if not isinstance(name, str) or not name:
+        raise BadRequestError(
+            f"database name must be a non-empty string, got {name!r}"
+        )
+    if len(name) > _MAX_NAME_LENGTH:
+        raise BadRequestError(
+            f"database name exceeds {_MAX_NAME_LENGTH} characters"
+        )
+    return name
+
+
+class DatabaseRegistry:
+    """Thread-safe name → :class:`NamedDatabase` map with a capacity bound.
+
+    All databases share one :class:`CountCache` (the server's): cache
+    keys embed relation fingerprints, so entries never leak between
+    databases with different content — and *do* get shared when two
+    databases hold identical relations, which is exactly when sharing is
+    sound.
+    """
+
+    def __init__(
+        self,
+        count_cache: CountCache | None = None,
+        max_databases: int = DEFAULT_MAX_DATABASES,
+    ) -> None:
+        if max_databases < 1:
+            raise ValueError(
+                f"registry needs max_databases >= 1, got {max_databases}"
+            )
+        self._count_cache = count_cache
+        self._max = max_databases
+        self._databases: dict[str, NamedDatabase] = {}
+        self._lock = threading.Lock()
+
+    def load(
+        self, name: str, structure: Structure, engine: str = "auto"
+    ) -> NamedDatabase:
+        """Bind ``name`` to ``structure`` at version 0 (rebinding replaces)."""
+        name = _check_name(name)
+        evaluator = DeltaEvaluator(
+            structure, engine=engine, cache=self._count_cache
+        )
+        database = NamedDatabase(name, evaluator)
+        with self._lock:
+            if name not in self._databases and len(self._databases) >= self._max:
+                raise BadRequestError(
+                    f"database limit reached ({self._max}); "
+                    f"unload or reuse an existing name"
+                )
+            self._databases[name] = database
+            resident = len(self._databases)
+        obs_metrics.add("service.db_loads")
+        registry = obs_metrics.active_registry()
+        if registry is not None:
+            registry.gauge("service.databases").set(resident)
+        return database
+
+    def get(self, name) -> NamedDatabase:
+        name = _check_name(name)
+        with self._lock:
+            database = self._databases.get(name)
+        if database is None:
+            raise BadRequestError(f"unknown database {name!r}; POST /db first")
+        return database
+
+    def update(self, name: str, delta: Delta) -> DeltaReport:
+        """Apply a delta to the named database (serialized per database)."""
+        report = self.get(name).evaluator.apply(delta)
+        obs_metrics.add("service.db_updates")
+        return report
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._databases)
+
+    def snapshot(self) -> dict:
+        """Per-database health info, keyed by name."""
+        with self._lock:
+            databases = list(self._databases.values())
+        return {database.name: database.snapshot() for database in databases}
+
+    def __len__(self) -> int:
+        return len(self._databases)

@@ -25,16 +25,19 @@ from repro.errors import SearchBudgetExceeded
 from repro.homomorphism.cache import CountCache, canonical_component
 from repro.homomorphism.engine import count, count_ucq
 from repro.io import (
+    delta_from_dict,
+    ground_facts_from_text,
     query_from_dict,
     query_to_dict,
     structure_from_dict,
     structure_from_facts,
     structure_to_dict,
 )
+from repro.obs import metrics as obs_metrics
 from repro.queries.cq import ConjunctiveQuery
 from repro.queries.parser import parse_query
 from repro.queries.ucq import UnionOfConjunctiveQueries
-from repro.relational.structure import Structure
+from repro.relational.structure import Delta, Structure
 from repro.service.protocol import PROTOCOL_VERSION, BadRequestError, request_key
 
 __all__ = ["ParsedRequest", "parse_request", "ENDPOINTS"]
@@ -123,6 +126,54 @@ def _interpret_missing_constants(
     return structure
 
 
+def _resolve_database(body: dict, databases):
+    """The named database a request points at via ``"db"``, or ``None``.
+
+    Resolution happens at *parse* time: the returned handle's structure
+    is the version snapshot this request is keyed — and evaluated —
+    against, so a racing ``/update`` never changes what an admitted
+    request computes.
+    """
+    name = body.get("db")
+    if name is None:
+        return None
+    if databases is None:
+        raise BadRequestError(
+            "this server hosts no named databases; send an inline structure"
+        )
+    return databases.get(name)
+
+
+def _parse_delta_field(body: dict) -> Delta:
+    """A delta from ``"delta"`` (io dict) or ``"insert"``/``"delete"`` text.
+
+    The text shorthand mirrors ``bagcq update --insert/--delete``: ground
+    atoms like ``"E(a, b); E(b, c)"``, semicolon- or space-separated.
+    """
+    if "delta" in body:
+        payload = body["delta"]
+        if not isinstance(payload, dict):
+            raise BadRequestError(
+                "'delta' must be a JSON object (repro.io delta payload)"
+            )
+        return delta_from_dict(payload)
+    if "insert" not in body and "delete" not in body:
+        raise BadRequestError("request needs 'delta', 'insert', or 'delete'")
+    inserts: list = []
+    deletes: list = []
+    if "insert" in body:
+        text = body["insert"]
+        if not isinstance(text, str):
+            raise BadRequestError("'insert' must be a string of ground atoms")
+        inserts = ground_facts_from_text(text)
+    if "delete" in body:
+        text = body["delete"]
+        if not isinstance(text, str):
+            raise BadRequestError("'delete' must be a string of ground atoms")
+        deletes = ground_facts_from_text(text)
+    return Delta(inserts=tuple(inserts), deletes=tuple(deletes))
+
+
 def _parse_int(body: dict, field: str, default, minimum=None):
     value = body.get(field, default)
     if value is None:
@@ -134,8 +185,16 @@ def _parse_int(body: dict, field: str, default, minimum=None):
     return value
 
 
-def parse_evaluate(body: dict, cache: CountCache | None) -> ParsedRequest:
-    """``POST /evaluate`` — ``count`` (kind "cq") or ``count_ucq`` ("ucq")."""
+def parse_evaluate(
+    body: dict, cache: CountCache | None, databases=None
+) -> ParsedRequest:
+    """``POST /evaluate`` — ``count`` (kind "cq") or ``count_ucq`` ("ucq").
+
+    With ``"db": name`` the request evaluates a server-resident database
+    (see ``parse_db``) instead of shipping one inline; the version
+    snapshot taken at parse time rides in the key, so requests racing an
+    ``/update`` coalesce only within one version.
+    """
     body = _require_dict(body)
     engine = _get_engine(body)
     kind = body.get("kind", "cq")
@@ -145,18 +204,65 @@ def parse_evaluate(body: dict, cache: CountCache | None) -> ParsedRequest:
     effective_cache = cache if use_cache else None
     from_facts = "structure" not in body and "facts" in body
 
+    database = _resolve_database(body, databases)
+    if database is not None and ("structure" in body or "facts" in body):
+        raise BadRequestError(
+            "give either 'db' or an inline 'structure'/'facts', not both"
+        )
+
+    def _resolve_structure(query: ConjunctiveQuery | None):
+        """(structure, db-identity extras, db response fields)."""
+        if database is None:
+            structure = _parse_structure_field(body)
+            if query is not None:
+                structure = _interpret_missing_constants(
+                    query, structure, from_facts
+                )
+            return structure, (), {}
+        structure = database.structure  # parse-time version snapshot
+        extra = (database.name, database.version)
+        fields = {
+            "db": database.name,
+            "version": database.version,
+            "fingerprint": structure.fingerprint(),
+        }
+        return structure, extra, fields
+
+    def _counted(thunk) -> int:
+        """Run ``thunk``, attributing cache traffic to delta reuse.
+
+        Only db-backed requests tally here: their cache hits are exactly
+        the Lemma-1 factors carried across versions by ``/update``.
+        """
+        if database is None or effective_cache is None:
+            return thunk()
+        hits_before = effective_cache.hits
+        misses_before = effective_cache.misses
+        value = thunk()
+        reused = effective_cache.hits - hits_before
+        recounted = effective_cache.misses - misses_before
+        if reused:
+            obs_metrics.add("delta.reused_factors", reused)
+        if recounted:
+            obs_metrics.add("delta.affected_components", recounted)
+        return value
+
     if kind == "cq":
         query = _parse_query_field(body)
-        structure = _parse_structure_field(body)
-        structure = _interpret_missing_constants(query, structure, from_facts)
+        structure, db_extra, db_fields = _resolve_structure(query)
 
         def run() -> dict:
-            value = count(query, structure, engine=engine, cache=effective_cache)
+            value = _counted(
+                lambda: count(
+                    query, structure, engine=engine, cache=effective_cache
+                )
+            )
             return {
                 "protocol_version": PROTOCOL_VERSION,
                 "kind": "cq",
                 "engine": engine,
                 "count": value,
+                **db_fields,
             }
 
         return ParsedRequest(
@@ -166,7 +272,7 @@ def parse_evaluate(body: dict, cache: CountCache | None) -> ParsedRequest:
                 engine=engine,
                 query=query,
                 structure=structure,
-                extra=(use_cache,),
+                extra=(use_cache, *db_extra),
             ),
             run=run,
         )
@@ -184,16 +290,21 @@ def parse_evaluate(body: dict, cache: CountCache | None) -> ParsedRequest:
             disjunct = _parse_query_field(entry)
             multiplicity = _parse_int(entry, "multiplicity", 1, minimum=0)
             disjuncts.append((disjunct, multiplicity))
-        structure = _parse_structure_field(body)
+        structure, db_extra, db_fields = _resolve_structure(None)
         ucq = UnionOfConjunctiveQueries(disjuncts)
 
         def run_ucq() -> dict:
-            value = count_ucq(ucq, structure, engine=engine, cache=effective_cache)
+            value = _counted(
+                lambda: count_ucq(
+                    ucq, structure, engine=engine, cache=effective_cache
+                )
+            )
             return {
                 "protocol_version": PROTOCOL_VERSION,
                 "kind": "ucq",
                 "engine": engine,
                 "count": value,
+                **db_fields,
             }
 
         return ParsedRequest(
@@ -203,7 +314,7 @@ def parse_evaluate(body: dict, cache: CountCache | None) -> ParsedRequest:
                 engine=engine,
                 disjuncts=ucq.disjuncts,
                 structure=structure,
-                extra=(use_cache,),
+                extra=(use_cache, *db_extra),
             ),
             run=run_ucq,
         )
@@ -211,7 +322,85 @@ def parse_evaluate(body: dict, cache: CountCache | None) -> ParsedRequest:
     raise BadRequestError(f"unknown evaluate kind {kind!r}; use 'cq' or 'ucq'")
 
 
-def parse_explain(body: dict, cache: CountCache | None = None) -> ParsedRequest:
+def parse_db(
+    body: dict, cache: CountCache | None, databases=None
+) -> ParsedRequest:
+    """``POST /db`` — load (or replace) a named server-resident database.
+
+    Loading is idempotent at a given content: identical concurrent loads
+    coalesce (same name, same fingerprint vector, same engine), and
+    rebinding a name to new content starts it back at version 0.
+    """
+    body = _require_dict(body)
+    if databases is None:
+        raise BadRequestError("this server hosts no named databases")
+    name = body.get("name")
+    if not isinstance(name, str) or not name:
+        raise BadRequestError(
+            f"'name' must be a non-empty string, got {name!r}"
+        )
+    engine = _get_engine(body)
+    structure = _parse_structure_field(body)
+
+    def run() -> dict:
+        database = databases.load(name, structure, engine=engine)
+        return {
+            "protocol_version": PROTOCOL_VERSION,
+            "db": database.name,
+            **database.snapshot(),
+        }
+
+    return ParsedRequest(
+        endpoint="db",
+        key=request_key("db", engine=engine, structure=structure, extra=(name,)),
+        run=run,
+    )
+
+
+def parse_update(
+    body: dict, cache: CountCache | None, databases=None
+) -> ParsedRequest:
+    """``POST /update`` — apply a delta to a named database.
+
+    Updates are *never* coalesced: two identical deltas must each bump
+    the version, so every request key carries a fresh unique token.
+    Responses surface the :class:`~repro.homomorphism.delta.DeltaReport`
+    (migrated vs invalidated cache entries, refreshed compiled
+    artifacts, new version and fingerprint).
+    """
+    body = _require_dict(body)
+    if databases is None:
+        raise BadRequestError("this server hosts no named databases")
+    name = body.get("db")
+    if not isinstance(name, str) or not name:
+        raise BadRequestError(f"'db' must be a non-empty string, got {name!r}")
+    databases.get(name)  # unknown names fail fast, before queueing
+    delta = _parse_delta_field(body)
+
+    def run() -> dict:
+        report = databases.update(name, delta)
+        return {
+            "protocol_version": PROTOCOL_VERSION,
+            "db": name,
+            "version": report.version,
+            "fingerprint": report.fingerprint,
+            "touched_relations": list(report.touched_relations),
+            "domain_changed": report.domain_changed,
+            "invalidated": report.invalidated,
+            "migrated": report.migrated,
+            "refreshed_artifacts": report.refreshed_artifacts,
+        }
+
+    return ParsedRequest(
+        endpoint="update",
+        key=request_key("update", extra=(name, object())),
+        run=run,
+    )
+
+
+def parse_explain(
+    body: dict, cache: CountCache | None = None, databases=None
+) -> ParsedRequest:
     """``POST /explain`` — the machine-readable plan ``auto`` would run."""
     body = _require_dict(body)
     query = _parse_query_field(body)
@@ -246,7 +435,9 @@ def parse_explain(body: dict, cache: CountCache | None = None) -> ParsedRequest:
     )
 
 
-def parse_decide(body: dict, cache: CountCache | None) -> ParsedRequest:
+def parse_decide(
+    body: dict, cache: CountCache | None, databases=None
+) -> ParsedRequest:
     """``POST /decide`` — a bounded random-stream counterexample search."""
     body = _require_dict(body)
     engine = _get_engine(body)
@@ -340,7 +531,9 @@ def _parse_disjuncts_field(body: dict, field: str) -> list[ConjunctiveQuery]:
     return disjuncts
 
 
-def parse_contain(body: dict, cache: CountCache | None) -> ParsedRequest:
+def parse_contain(
+    body: dict, cache: CountCache | None, databases=None
+) -> ParsedRequest:
     """``POST /contain`` — set-semantics containment (CQ or UCQ pairs).
 
     Kind ``"cq"`` (default) takes ``phi_s`` / ``phi_b`` query fields;
@@ -439,9 +632,13 @@ def parse_contain(body: dict, cache: CountCache | None) -> ParsedRequest:
 
 
 #: endpoint name → parser; the server's routing table for POST bodies.
-ENDPOINTS: dict[str, Callable[[dict, CountCache | None], ParsedRequest]] = {
+#: Parsers take ``(body, count_cache, databases=None)`` — the registry of
+#: server-resident databases is ``None`` for transport-free direct use.
+ENDPOINTS: dict[str, Callable[..., ParsedRequest]] = {
     "evaluate": parse_evaluate,
     "explain": parse_explain,
     "decide": parse_decide,
     "contain": parse_contain,
+    "db": parse_db,
+    "update": parse_update,
 }

@@ -242,6 +242,12 @@ def request_key(
     response body (a bijective variable renaming never changes a count,
     a plan's engine choices, or a search verdict), so the server may
     evaluate one and fan the result out to all of them.
+
+    The structure enters through its *fingerprint vector*, not by deep
+    equality: cheaper to hash, and version-correct for server-resident
+    databases — the same named database at two versions produces two
+    different keys, so requests racing an ``/update`` never coalesce
+    across versions.
     """
     parts: list = [endpoint, engine]
     if query is not None:
@@ -253,6 +259,8 @@ def request_key(
                 for disjunct, multiplicity in disjuncts
             )
         )
-    parts.append(structure)
+    parts.append(
+        None if structure is None else structure.fingerprint_vector()
+    )
     parts.extend(extra)
     return tuple(parts)

@@ -59,6 +59,7 @@ from repro.obs.metrics import Registry
 from repro.obs.report import SCHEMA_VERSION, stable_json_dumps
 from repro.obs.trace import FlightRecorder, Span
 from repro.service import protocol
+from repro.service.databases import DEFAULT_MAX_DATABASES, DatabaseRegistry
 from repro.service.handlers import ENDPOINTS, ParsedRequest
 
 __all__ = ["EvaluationServer", "RequestContext", "ServerConfig", "serve"]
@@ -78,6 +79,18 @@ _SERVICE_COUNTERS = (
     "service.errors",
     "service.rejected_draining",
     "service.http_lines",
+    "service.db_loads",
+    "service.db_updates",
+)
+
+#: The incremental-evaluation counter family (see docs/INCREMENTAL.md),
+#: pre-registered for the same deterministic-scrape reason.
+_DELTA_COUNTERS = (
+    "delta.applied",
+    "delta.invalidations",
+    "delta.migrated",
+    "delta.reused_factors",
+    "delta.affected_components",
 )
 
 
@@ -103,6 +116,9 @@ class ServerConfig:
     trace_buffer: int = 128
     #: Request ids remembered for retry recognition (LRU-bounded).
     recent_ids: int = 1024
+    #: Named databases resident at once (``POST /db``); loads beyond this
+    #: are rejected unless they rebind an existing name.
+    max_databases: int = DEFAULT_MAX_DATABASES
 
 
 class _Flight:
@@ -236,10 +252,11 @@ class EvaluationServer:
                 f"queue_depth must be >= 1, got {self.config.queue_depth}"
             )
         self.registry = Registry()
-        for name in _SERVICE_COUNTERS:
+        for name in _SERVICE_COUNTERS + _DELTA_COUNTERS:
             self.registry.counter(name)
         self.registry.gauge("service.inflight").set(0)
         self.registry.gauge("service.queued").set(0)
+        self.registry.gauge("service.databases").set(0)
         # End-to-end and evaluate-only latency distributions, one
         # histogram per endpoint, pre-registered so a fresh /metrics
         # scrape reports the full family (with zero counts).
@@ -249,6 +266,9 @@ class EvaluationServer:
         self.recorder = FlightRecorder(self.config.trace_buffer)
         self._recent_ids = _RecentIds(self.config.recent_ids)
         self.count_cache = CountCache(self.config.count_cache_size)
+        self.databases = DatabaseRegistry(
+            self.count_cache, max_databases=self.config.max_databases
+        )
         self._queue: queue.Queue = queue.Queue(maxsize=self.config.queue_depth)
         self._flights: dict[tuple, _Flight] = {}
         self._flights_lock = threading.Lock()
@@ -423,7 +443,7 @@ class EvaluationServer:
                     f"deadline_ms must be positive, got {deadline_ms}",
                 )
             try:
-                request = parser(body, self.count_cache)
+                request = parser(body, self.count_cache, self.databases)
             except BagCQError as error:
                 self._counter("service.errors")
                 raise _ServiceFailure.from_exception(error) from error
@@ -606,6 +626,7 @@ class EvaluationServer:
             "queue_depth": self.config.queue_depth,
             "coalesce": self.config.coalesce,
             "count_cache": self.count_cache.stats(),
+            "databases": self.databases.snapshot(),
             "traces": {
                 "capacity": self.recorder.capacity,
                 "recorded": self.recorder.recorded,

@@ -234,6 +234,151 @@ class TestPlanCacheConcurrency:
         assert profile == analyze_component(renamed[0])
 
 
+class _CountingCache(CountCache):
+    """A CountCache that also tallies raw lookup calls (thread-safely)."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.lookups = 0
+        self._lookup_lock = threading.Lock()
+
+    def lookup(self, key):
+        with self._lookup_lock:
+            self.lookups += 1
+        return super().lookup(key)
+
+
+class TestMutateWhileEvaluating:
+    """The versioned-database hammer: writers apply deltas through one
+    shared :class:`DeltaEvaluator` while readers evaluate against it.
+
+    Because cache keys embed per-relation content fingerprints, a reader
+    that races a mutation can only ever see a *consistent* version: the
+    immutable structure snapshot it grabbed, with cache entries of other
+    versions invisible under its keys.  The test pins that down:
+
+    * **no stale counts** — every observed ``(snapshot, count)`` pair is
+      bit-identical to a fresh-cache backtracking recount of that exact
+      snapshot;
+    * **no lost invalidations** — after the dust settles the evaluator's
+      structure equals the serial application of all deltas (they
+      commute), and the shared cache answers the final version exactly,
+      twice (the second pass entirely from hits);
+    * **accounting closes** — hits + misses equals the number of lookups
+      issued, even with ``apply`` migrating/evicting entries mid-lookup.
+    """
+
+    def test_hammer_mutate_while_evaluating(self):
+        from repro.homomorphism.delta import DeltaEvaluator
+        from repro.relational.structure import Delta
+
+        rng = random.Random(13)
+        n = 8
+        edges = {(rng.randrange(n), rng.randrange(n)) for _ in range(18)}
+        structure = Structure(
+            Schema.from_arities({"E": 2, "F": 1}),
+            {"E": edges, "F": {(0,), (1,)}},
+            domain=range(n),
+        )
+        # Commuting deltas (pure inserts of distinct absent facts): the
+        # final structure is independent of the interleaving the threads
+        # happen to produce.
+        missing_edges = sorted(
+            {(a, b) for a in range(n) for b in range(n)} - edges
+        )
+        rng.shuffle(missing_edges)
+        deltas = [
+            Delta(inserts=[("E", edge)]) for edge in missing_edges[:10]
+        ] + [Delta(inserts=[("F", (element,))]) for element in range(2, 6)]
+        workload = [
+            parse_query("E(x, y) & E(y, z)"),
+            parse_query("E(x, y) & E(y, x)"),
+            # Two components: the F factor is a reusable Lemma-1 factor
+            # across E-only mutations (and vice versa).
+            parse_query("E(x, y) & F(z)"),
+        ]
+
+        shared = _CountingCache(max_entries=4096)
+        evaluator = DeltaEvaluator(structure, engine="auto", cache=shared)
+        pending = list(deltas)
+        pending_lock = threading.Lock()
+        observed: dict[int, list[tuple[Structure, int, int]]] = {}
+        writers = 2
+
+        def mutator(index):
+            while True:
+                with pending_lock:
+                    if not pending:
+                        return
+                    delta = pending.pop()
+                evaluator.apply(delta)
+
+        def reader(index):
+            local = []
+            for round_ in range(30):
+                snapshot = evaluator.structure
+                query = workload[(index + round_) % len(workload)]
+                value = count(
+                    query, snapshot, engine="auto", cache=shared
+                )
+                local.append((snapshot, (index + round_) % len(workload), value))
+            observed[index] = local
+
+        def role(index):
+            if index < writers:
+                mutator(index)
+            else:
+                reader(index)
+
+        _run_threads(role)
+
+        # No lost invalidations / lost updates: all deltas landed.
+        expected = structure
+        for delta in deltas:
+            expected = expected.apply_delta(delta)
+        assert evaluator.version == len(deltas)
+        assert evaluator.structure == expected
+
+        # No stale counts: every observation matches a cold recount of
+        # the exact snapshot it was computed against.
+        truths: dict[tuple[str, int], int] = {}
+        for local in observed.values():
+            for snapshot, query_index, value in local:
+                key = (snapshot.fingerprint(), query_index)
+                if key not in truths:
+                    truths[key] = count(
+                        workload[query_index],
+                        snapshot,
+                        engine="backtracking",
+                        cache=CountCache(),
+                    )
+                assert value == truths[key], (
+                    f"stale count for version {snapshot.fingerprint()}"
+                )
+        assert len(observed) == THREADS - writers
+
+        # The final version answers exactly, and a re-ask is all hits.
+        final_counts = [
+            count(query, evaluator.structure, engine="auto", cache=shared)
+            for query in workload
+        ]
+        assert final_counts == [
+            count(query, expected, engine="backtracking", cache=CountCache())
+            for query in workload
+        ]
+        hits_before, misses_before = shared.hits, shared.misses
+        again = [
+            count(query, evaluator.structure, engine="auto", cache=shared)
+            for query in workload
+        ]
+        assert again == final_counts
+        assert shared.misses == misses_before
+        assert shared.hits > hits_before
+
+        # Accounting closes under contention with apply() racing lookups.
+        assert shared.hits + shared.misses == shared.lookups
+
+
 @pytest.mark.parametrize("workers", [2, 8])
 def test_server_hammering_end_to_end(workers):
     """The integrated check: concurrent mixed traffic, exact answers."""

@@ -80,7 +80,7 @@ class TestDeterminism:
 
     def test_all_kinds_appear(self):
         kinds = {case.kind for case in generate_cases(30, seed=0)}
-        assert kinds == {"cq", "ucq", "gadget"}
+        assert kinds == {"cq", "ucq", "gadget", "mutation"}
 
     def test_run_fuzz_counters_reproducible(self):
         def counters():
