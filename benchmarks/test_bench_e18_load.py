@@ -1,9 +1,9 @@
 """E18 — seeded load scenarios: throughput, tail latency, SLO gate.
 
-Four deterministic traffic shapes (``repro.loadgen``) replay against a
+Five deterministic traffic shapes (``repro.loadgen``) replay against a
 live in-process server, and the per-scenario aggregates — throughput,
-server-side p50/p95/p99 from the ``service.request_ms.evaluate``
-histogram delta, shed rate — become the checked-in ``benchmarks/BENCH_load.json``
+server-side p50/p95/p99 from the per-endpoint ``service.request_ms.*``
+histogram deltas, shed rate — become the checked-in ``benchmarks/BENCH_load.json``
 baseline the CI ``load-smoke`` job gates against.
 
 What each scenario must demonstrate:
@@ -17,6 +17,8 @@ What each scenario must demonstrate:
   p50 (that separation *is* the scenario working), yet completes.
 * ``deadline-spread`` — unmeetable 1 ms deadlines produce 504s, never
   hangs or shed storms.
+* ``contain`` — duplicate-heavy containment pairs complete fully; the
+  verdicts land in the ContainmentCache, so p95 stays within SLO.
 
 The artifact path is overridable via the ``BENCH_LOAD`` environment
 variable.  The SLO checks run here too: the recorded run must pass both
@@ -101,9 +103,13 @@ def test_e18_load_scenarios(benchmark):
     spread = by_name["deadline-spread"]
     assert spread["deadline_exceeded"] >= 1
     assert spread["completed"] + spread["deadline_exceeded"] == REQUESTS
+    # Containment traffic completes fully and its duplicates hit the
+    # verdict cache (identity pairs alone guarantee repeats).
+    assert by_name["contain"]["completed"] == REQUESTS
+    assert metrics["contain.cache.hits"]["value"] > 0
     # The server accounted one logical request per attempt (no retries
-    # in the runner), and the evaluate histogram saw every completion.
-    assert metrics["service.requests"]["value"] >= 4 * REQUESTS
+    # in the runner), and the request histograms saw every completion.
+    assert metrics["service.requests"]["value"] >= 5 * REQUESTS
 
     # Absolute objectives: the recorded run passes its declared SLOs.
     violations = [

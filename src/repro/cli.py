@@ -37,10 +37,19 @@ Subcommands::
         are reused Lemma-1 factors (``--stats`` shows the split).
 
     bagcq serve [--port 8642] [--workers 4] [--queue-depth 64] \\
-            [--deadline-ms 30000] [--no-coalesce]
+            [--deadline-ms 30000] [--no-coalesce] [--shards N] \\
+            [--snapshot-dir DIR]
         Run the long-lived evaluation daemon (``repro.service``): warm
         shared caches, admission control, single-flight coalescing of
         identical requests, per-request deadlines, /healthz + /metrics.
+        ``--shards N`` (N > 1) runs N such servers as supervised
+        subprocesses behind a consistent-hash router (``repro.shard``);
+        ``--snapshot-dir`` adds the durable write-through/warm-restore
+        cache tier.
+
+    bagcq snapshot [--url URL]
+        Ask a running daemon (or router — it fans out to every shard)
+        to bulk-sync its caches to the durable tier (``POST /snapshot``).
 
     bagcq call evaluate --query "E(x,y)" --facts "E(a,b)" [--url URL]
     bagcq call db --db g --facts "E(a,b) E(b,c)"
@@ -54,7 +63,7 @@ Subcommands::
 
     bagcq loadgen --url URL [--scenario NAME]… [--requests 120] \\
             [--clients 4] [--seed 0] [--output BENCH_load.json] [--check-slo]
-        Replay the named seeded traffic scenarios (default: all four)
+        Replay the named seeded traffic scenarios (default: all five)
         against a running daemon and print throughput / server-side
         p50/p95/p99 / shed-rate per scenario (repro.loadgen).
 
@@ -319,6 +328,22 @@ def _command_update(args: argparse.Namespace) -> int:
 
 
 def _command_serve(args: argparse.Namespace) -> int:
+    if args.shards > 1:
+        from repro.shard import RouterConfig, serve_sharded
+
+        serve_sharded(
+            RouterConfig(
+                host=args.host,
+                port=args.port,
+                shards=args.shards,
+                workers_per_shard=args.workers,
+                queue_depth=args.queue_depth,
+                default_deadline_ms=args.deadline_ms,
+                coalesce=not args.no_coalesce,
+                snapshot_dir=args.snapshot_dir,
+            )
+        )
+        return 0
     from repro.service import ServerConfig, serve
 
     serve(
@@ -329,8 +354,20 @@ def _command_serve(args: argparse.Namespace) -> int:
             queue_depth=args.queue_depth,
             default_deadline_ms=args.deadline_ms,
             coalesce=not args.no_coalesce,
+            snapshot_dir=args.snapshot_dir,
         )
     )
+    return 0
+
+
+def _command_snapshot(args: argparse.Namespace) -> int:
+    from repro.obs.report import stable_json_dumps
+    from repro.shard.worker import http_post_json
+
+    result = http_post_json(
+        f"{args.url.rstrip('/')}/snapshot", {}, timeout_s=args.timeout_s
+    )
+    print(stable_json_dumps(result))
     return 0
 
 
@@ -348,6 +385,15 @@ def _command_call(args: argparse.Namespace) -> int:
         return 0
     if endpoint == "traces":
         print(stable_json_dumps(client.traces()))
+        return 0
+    if endpoint == "snapshot":
+        from repro.shard.worker import http_post_json
+
+        print(
+            stable_json_dumps(
+                http_post_json(f"{args.url.rstrip('/')}/snapshot", {})
+            )
+        )
         return 0
     if endpoint == "evaluate":
         if args.query is None or (args.facts is None) == (args.db is None):
@@ -876,7 +922,34 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable single-flight coalescing of identical requests",
     )
+    serve_parser.add_argument(
+        "--shards",
+        type=_positive_int,
+        default=1,
+        help="worker subprocesses behind a consistent-hash router "
+        "(1 = classic single-process server)",
+    )
+    serve_parser.add_argument(
+        "--snapshot-dir",
+        default=None,
+        metavar="DIR",
+        help="durable cache tier: warm-start from DIR and write through "
+        "to it (with --shards each worker gets DIR/shard-NN)",
+    )
     serve_parser.set_defaults(handler=_command_serve)
+
+    snapshot_parser = sub.add_parser(
+        "snapshot",
+        help="persist a running daemon's caches to its snapshot directory",
+        parents=[obs_flags],
+    )
+    snapshot_parser.add_argument(
+        "--url", default="http://127.0.0.1:8642", help="service base URL"
+    )
+    snapshot_parser.add_argument(
+        "--timeout-s", type=float, default=60.0, help="request timeout"
+    )
+    snapshot_parser.set_defaults(handler=_command_snapshot)
 
     call_parser = sub.add_parser(
         "call",
@@ -895,6 +968,7 @@ def build_parser() -> argparse.ArgumentParser:
             "healthz",
             "metrics",
             "traces",
+            "snapshot",
         ),
     )
     call_parser.add_argument(
@@ -968,7 +1042,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="append",
         default=None,
         metavar="NAME",
-        help="scenario to replay (repeatable; default: all four)",
+        help="scenario to replay (repeatable; default: all of them)",
     )
     loadgen_parser.add_argument(
         "--requests", type=_positive_int, default=120, help="requests per scenario"

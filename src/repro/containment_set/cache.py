@@ -78,6 +78,17 @@ class ContainmentCache:
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        self._durable = None
+
+    def attach_durable(self, durable) -> None:
+        """Mirror verdicts into a durable tier (see ``repro.shard``).
+
+        ``durable`` receives ``record_containment(key, value)`` after
+        every store and ``invalidate_containment_relations(...)`` on
+        schema-level invalidation, both outside this cache's lock.
+        Attaching replaces any previous tier; ``None`` detaches.
+        """
+        self._durable = durable
 
     def lookup(self, key) -> tuple[bool, int | None] | None:
         """The cached verdict tuple, or ``None`` on a miss."""
@@ -99,10 +110,18 @@ class ContainmentCache:
                 self._entries.popitem(last=False)
                 self._evictions += 1
                 obs_metrics.add("contain.cache.evictions")
+        if self._durable is not None:
+            self._durable.record_containment(key, value)
 
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
+
+    def items(self) -> list[tuple]:
+        """A point-in-time ``(key, value)`` snapshot (LRU order, coldest
+        first) — what ``snapshot`` persists."""
+        with self._lock:
+            return list(self._entries.items())
 
     def invalidate_relations(self, relations) -> int:
         """Evict verdicts whose query pair mentions any of ``relations``.
@@ -135,6 +154,8 @@ class ContainmentCache:
                     dropped += 1
         if dropped:
             obs_metrics.add("contain.cache.invalidations", dropped)
+        if self._durable is not None:
+            self._durable.invalidate_containment_relations(relations)
         return dropped
 
     def __len__(self) -> int:

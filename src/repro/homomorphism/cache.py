@@ -278,6 +278,19 @@ class CountCache:
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        self._durable = None
+
+    def attach_durable(self, durable) -> None:
+        """Mirror this cache into a durable tier.
+
+        ``durable`` (a :class:`repro.shard.persist.DurableCacheStore`)
+        receives ``record_count(key, value)`` after every store and
+        ``invalidate_relations(...)`` alongside every relation-scoped
+        eviction, both *outside* this cache's lock — the hot path never
+        blocks on disk I/O held under the lock.  Attaching replaces any
+        previous tier; ``None`` detaches.
+        """
+        self._durable = durable
 
     def lookup(self, key) -> int | None:
         """The cached count, or ``None`` (counts are ints, never ``None``)."""
@@ -310,6 +323,11 @@ class CountCache:
                 self._entries.popitem(last=False)
                 self._evictions += 1
                 obs_metrics.add("cache.evictions")
+        if self._durable is not None:
+            # Capacity evictions above do NOT touch the durable tier:
+            # disk is the bigger cache, and a re-evicted entry restoring
+            # from it is the point.  Only invalidation deletes files.
+            self._durable.record_count(key, value)
 
     def clear(self) -> None:
         with self._lock:
@@ -356,6 +374,13 @@ class CountCache:
                     dropped += 1
         if dropped:
             obs_metrics.add("cache.invalidations", dropped)
+        if self._durable is not None:
+            # Unconditional (not gated on ``dropped``): the durable tier
+            # can hold entries this process never loaded, and they are
+            # just as stale after the mutation.
+            self._durable.invalidate_relations(
+                relations, domain_changed=domain_changed
+            )
         return dropped
 
     def __len__(self) -> int:

@@ -6,12 +6,13 @@ under adversarial tails — only show up under *traffic shapes*, not under
 single requests.  This package generates those shapes deterministically
 and measures the server's response:
 
-* ``scenarios.py`` — four named, seeded scenarios built on the fuzzing
+* ``scenarios.py`` — five named, seeded scenarios built on the fuzzing
   corpus (:func:`repro.qa.generators.case_at`): ``zipf-duplicates``
   (rank-weighted duplicate queries → coalescing + cache), ``multi-tenant``
   (interleaved per-tenant pools), ``adversarial-tail`` (cheap traffic
   with a CYCLIQ/gadget-heavy tail), ``deadline-spread`` (deadlines from
-  1 ms to 30 s → a deterministic mix of 200s and 504s).
+  1 ms to 30 s → a deterministic mix of 200s and 504s), ``contain``
+  (duplicate-heavy set-semantics containment pairs → ContainmentCache).
 * ``runner.py`` — closed-loop threaded replay through
   :class:`~repro.service.ServiceClient`; per-scenario p50/p95/p99 come
   from *server-side* histogram deltas (``/metrics`` before/after), so

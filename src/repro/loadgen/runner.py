@@ -4,11 +4,12 @@ One worker thread per tenant, each with its own seeded
 :class:`~repro.service.ServiceClient` (``retries=0`` — a shed request
 must *count* as shed, not be retried into a success), sending its slice
 of the schedule as fast as the server answers.  Latency percentiles come
-from the **server's** ``service.request_ms.evaluate`` histogram, as the
-delta between a ``/metrics`` scrape before and after the run: bucket
-counts subtract exactly (the histogram is a sum of per-observation
-increments), so a scenario's percentiles are attributable even when the
-server is shared or long-lived.
+from the **server's** per-endpoint ``service.request_ms.*`` histograms
+(summed over the endpoints the scenario actually hits), as the delta
+between a ``/metrics`` scrape before and after the run: bucket counts
+subtract exactly (the histogram is a sum of per-observation increments),
+so a scenario's percentiles are attributable even when the server is
+shared or long-lived.
 """
 
 from __future__ import annotations
@@ -29,7 +30,8 @@ from repro.loadgen.scenarios import Scenario, ScheduledRequest
 
 __all__ = ["RequestOutcome", "ScenarioResult", "run_scenario"]
 
-_HISTOGRAM_NAME = "service.request_ms.evaluate"
+#: Which server histogram a scheduled request's latency lands in.
+_ENDPOINT_BY_KIND = {"cq": "evaluate", "ucq": "evaluate", "contain": "contain"}
 
 
 @dataclass(frozen=True)
@@ -85,16 +87,26 @@ class ScenarioResult:
         }
 
 
-def _histogram_buckets(metrics_body: dict) -> tuple[dict[str, int], float | None]:
-    """``(bucket counts, max_ms)`` of the evaluate histogram, or empty."""
-    snapshot = metrics_body.get("metrics", {}).get(_HISTOGRAM_NAME)
-    if not isinstance(snapshot, dict) or snapshot.get("type") != "histogram":
-        return {}, None
-    buckets = {
-        str(key): int(value)
-        for key, value in (snapshot.get("buckets") or {}).items()
-    }
-    return buckets, snapshot.get("max_ms")
+def _histogram_buckets(
+    metrics_body: dict, endpoints: tuple[str, ...]
+) -> tuple[dict[str, int], float | None]:
+    """Summed bucket counts (and overall ``max_ms``) of the request
+    histograms for ``endpoints``.  Summing is exact: every endpoint
+    histogram shares the fixed bucket boundaries."""
+    buckets: dict[str, int] = {}
+    max_ms: float | None = None
+    for endpoint in endpoints:
+        snapshot = metrics_body.get("metrics", {}).get(
+            f"service.request_ms.{endpoint}"
+        )
+        if not isinstance(snapshot, dict) or snapshot.get("type") != "histogram":
+            continue
+        for key, value in (snapshot.get("buckets") or {}).items():
+            buckets[str(key)] = buckets.get(str(key), 0) + int(value)
+        observed = snapshot.get("max_ms")
+        if observed is not None:
+            max_ms = observed if max_ms is None else max(max_ms, observed)
+    return buckets, max_ms
 
 
 def _bucket_delta(
@@ -109,7 +121,13 @@ def _bucket_delta(
 
 def _send(client: ServiceClient, request: ScheduledRequest) -> str:
     try:
-        if request.kind == "ucq":
+        if request.kind == "contain":
+            client.contain(
+                request.query,
+                request.against,
+                deadline_ms=request.deadline_ms,
+            )
+        elif request.kind == "ucq":
             client.evaluate_ucq(
                 list(request.disjuncts),
                 request.structure,
@@ -138,7 +156,13 @@ def run_scenario(
 ) -> ScenarioResult:
     """Replay ``scenario`` against ``base_url`` and measure the response."""
     probe = ServiceClient(base_url, retries=0, timeout_s=timeout_s)
-    before, _ = _histogram_buckets(probe.metrics())
+    endpoints = tuple(
+        dict.fromkeys(
+            _ENDPOINT_BY_KIND.get(request.kind, "evaluate")
+            for request in scenario.schedule
+        )
+    )
+    before, _ = _histogram_buckets(probe.metrics(), endpoints)
 
     slices: dict[int, list[ScheduledRequest]] = {}
     for request in scenario.schedule:
@@ -190,7 +214,7 @@ def run_scenario(
         thread.join()
     wall_s = max(time.perf_counter() - started, 1e-9)
 
-    after, max_ms = _histogram_buckets(probe.metrics())
+    after, max_ms = _histogram_buckets(probe.metrics(), endpoints)
     delta = _bucket_delta(before, after)
 
     result = ScenarioResult(

@@ -36,10 +36,14 @@ class ScheduledRequest:
 
     index: int
     tenant: int
-    kind: str  # "cq" | "ucq"
-    structure: Structure
+    kind: str  # "cq" | "ucq" | "contain"
+    #: The evaluation database; ``None`` for containment requests,
+    #: which are pure query-vs-query decisions.
+    structure: Structure | None = None
     query: ConjunctiveQuery | None = None
     disjuncts: tuple[tuple[ConjunctiveQuery, int], ...] = ()
+    #: Containment only: the bigger side (``query`` is the smaller side).
+    against: ConjunctiveQuery | None = None
     deadline_ms: int | None = None
 
 
@@ -244,11 +248,53 @@ def _deadline_spread(seed: int, requests: int, clients: int) -> Scenario:
     return Scenario("deadline-spread", seed, clients, schedule)
 
 
+def _contain(seed: int, requests: int, clients: int) -> Scenario:
+    """Set-semantics containment traffic (``/contain``), duplicate-heavy.
+
+    Pairs drawn zipf-weighted from a small pool of CQ sides: every 3rd
+    pair is an identity (``q ⊆ q``, always positive, witness returned),
+    the rest are cross pairs whose verdict the Chandra–Merlin engine
+    decides.  Duplicates exercise the ContainmentCache and per-verdict
+    single-flight exactly the way zipf-duplicates exercises the count
+    cache.
+    """
+    rng = random.Random(seed)
+    # Chandra-Merlin only decides inequality-free CQs, and a cross pair
+    # may put one side's constants outside the other's canonical
+    # structure — so the pool is constant- and inequality-free.
+    pool = [
+        case.query
+        for case in _evaluable_cases(seed, 60)
+        if case.kind == "cq"
+        and not case.query.has_inequalities()
+        and not case.query.constants
+    ][:12]
+    weights = _zipf_weights(len(pool))
+    schedule = []
+    for index in range(requests):
+        phi_s = rng.choices(pool, weights=weights, k=1)[0]
+        if index % 3 == 2:
+            phi_b = phi_s
+        else:
+            phi_b = rng.choices(pool, weights=weights, k=1)[0]
+        schedule.append(
+            ScheduledRequest(
+                index=index,
+                tenant=index % clients,
+                kind="contain",
+                query=phi_s,
+                against=phi_b,
+            )
+        )
+    return Scenario("contain", seed, clients, tuple(schedule))
+
+
 _BUILDERS = {
     "zipf-duplicates": _zipf_duplicates,
     "multi-tenant": _multi_tenant,
     "adversarial-tail": _adversarial_tail,
     "deadline-spread": _deadline_spread,
+    "contain": _contain,
 }
 
 SCENARIO_NAMES = tuple(_BUILDERS)

@@ -67,6 +67,10 @@ DEFAULT_SLOS = {
         # count as completed.
         ScenarioSLO("deadline-spread", p95_ms_max=5_000.0,
                     throughput_rps_min=1.0, shed_rate_max=0.05),
+        # Containment verdicts are cached and duplicate-heavy, so the
+        # scenario should sustain evaluate-class throughput.
+        ScenarioSLO("contain", p95_ms_max=2_000.0,
+                    throughput_rps_min=5.0, shed_rate_max=0.05),
     )
 }
 

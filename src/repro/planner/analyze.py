@@ -167,6 +167,19 @@ class PlanCache:
         self._compiled_front: OrderedDict = OrderedDict()
         self._compiled_hits = 0
         self._compiled_misses = 0
+        self._durable = None
+
+    def attach_durable(self, durable) -> None:
+        """Mirror the *profile* level into a durable tier.
+
+        ``durable`` (a :class:`repro.shard.persist.DurableCacheStore`)
+        receives ``record_plan(canonical, profile)`` after every
+        analysis miss, outside this cache's lock.  Compiled artifacts
+        are closures and never cross the hook — they rebuild on demand
+        from restored profiles.  Attaching replaces any previous tier;
+        ``None`` detaches.
+        """
+        self._durable = durable
 
     def _record_hit(self) -> None:
         self._hits += 1
@@ -199,7 +212,30 @@ class PlanCache:
             while len(self._entries) > self._max_entries:
                 self._entries.popitem(last=False)
             self._store_front(component, computed)
+        if self._durable is not None:
+            self._durable.record_plan(key, computed)
         return computed, False
+
+    def profile_items(self) -> list[tuple]:
+        """Snapshot of the canonical profile store (coldest first) —
+        what ``snapshot`` persists.  Front-level (exact-object) entries
+        are derived and excluded."""
+        with self._lock:
+            return list(self._entries.items())
+
+    def store_profile(
+        self, component: ConjunctiveQuery, profile: ComponentProfile
+    ) -> None:
+        """Insert a profile under an externally-computed canonical key.
+
+        Restore uses this to warm the canonical level without paying
+        re-analysis; the exact-object front refills naturally on use.
+        """
+        with self._lock:
+            self._entries[component] = profile
+            self._entries.move_to_end(component)
+            while len(self._entries) > self._max_entries:
+                self._entries.popitem(last=False)
 
     def _store_front(
         self, component: ConjunctiveQuery, profile: ComponentProfile

@@ -40,7 +40,14 @@ from repro.queries.cq import ConjunctiveQuery
 from repro.queries.product import QueryProduct
 from repro.relational.structure import Structure
 
-__all__ = ["Plan", "PlanStep", "default_plan_cache", "plan", "select_for"]
+__all__ = [
+    "Plan",
+    "PlanStep",
+    "default_plan_cache",
+    "plan",
+    "plan_cache_occupancy",
+    "select_for",
+]
 
 Plannable = Union[ConjunctiveQuery, QueryProduct]
 
@@ -67,6 +74,20 @@ _DEFAULT_PLAN_CACHE = PlanCache()
 def default_plan_cache() -> PlanCache:
     """The process-wide :class:`PlanCache` the ``auto`` engine uses."""
     return _DEFAULT_PLAN_CACHE
+
+
+def plan_cache_occupancy(cache: PlanCache | None = None) -> dict:
+    """Both levels of a plan cache in one health-report dict.
+
+    The ``/healthz`` surface: profile occupancy (durable, snapshot-able)
+    and compiled-artifact occupancy (process-local closures) side by
+    side, defaulting to the process-wide cache the service uses.
+    """
+    plan_cache = cache if cache is not None else _DEFAULT_PLAN_CACHE
+    return {
+        "profiles": plan_cache.stats(),
+        "compiled": plan_cache.compiled_stats(),
+    }
 
 
 def _preregister_counters() -> None:

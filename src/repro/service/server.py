@@ -119,6 +119,11 @@ class ServerConfig:
     #: Named databases resident at once (``POST /db``); loads beyond this
     #: are rejected unless they rebind an existing name.
     max_databases: int = DEFAULT_MAX_DATABASES
+    #: Root of the durable cache tier (``repro.shard.persist``).  When
+    #: set, the count/plan/containment caches warm-restore from it at
+    #: startup, write through to it, and ``POST /snapshot`` bulk-syncs
+    #: it; ``None`` (the default) keeps all caches memory-only.
+    snapshot_dir: str | None = None
 
 
 class _Flight:
@@ -269,6 +274,33 @@ class EvaluationServer:
         self.databases = DatabaseRegistry(
             self.count_cache, max_databases=self.config.max_databases
         )
+        self.durable = None
+        self._restore_report: dict | None = None
+        if self.config.snapshot_dir is not None:
+            from repro.containment_set import default_containment_cache
+            from repro.planner.plan import default_plan_cache
+            from repro.shard.persist import (
+                SNAPSHOT_COUNTERS,
+                DurableCacheStore,
+            )
+
+            for name in SNAPSHOT_COUNTERS:
+                self.registry.counter(name)
+            self.durable = DurableCacheStore(
+                self.config.snapshot_dir, registry=self.registry
+            )
+            # Warm-restore before any traffic, then write through: the
+            # plan and containment caches are process-wide singletons
+            # (one server per worker process in the sharded deployment),
+            # the count cache is this server's own.
+            self._restore_report = self.durable.restore_all(
+                self.count_cache,
+                default_plan_cache(),
+                default_containment_cache(),
+            )
+            self.count_cache.attach_durable(self.durable)
+            default_plan_cache().attach_durable(self.durable)
+            default_containment_cache().attach_durable(self.durable)
         self._queue: queue.Queue = queue.Queue(maxsize=self.config.queue_depth)
         self._flights: dict[tuple, _Flight] = {}
         self._flights_lock = threading.Lock()
@@ -343,6 +375,18 @@ class EvaluationServer:
             self._httpd.server_close()
         if self._http_thread is not None:
             self._http_thread.join(timeout=10)
+        if self.durable is not None:
+            # The plan/containment caches are process-wide: leave no
+            # dangling write-through sink behind (the next server — or
+            # none — decides anew).  Detach only our own store; a newer
+            # server may already have replaced it.
+            from repro.containment_set import default_containment_cache
+            from repro.planner.plan import default_plan_cache
+
+            self.count_cache.attach_durable(None)
+            for cache in (default_plan_cache(), default_containment_cache()):
+                if getattr(cache, "_durable", None) is self.durable:
+                    cache.attach_durable(None)
 
     def __enter__(self) -> "EvaluationServer":
         return self.start()
@@ -617,7 +661,10 @@ class EvaluationServer:
     # -- introspection -----------------------------------------------------
 
     def health(self) -> dict:
-        return {
+        from repro.containment_set import default_containment_cache
+        from repro.planner.plan import plan_cache_occupancy
+
+        payload = {
             "protocol_version": protocol.PROTOCOL_VERSION,
             "status": "draining" if self._draining else "ok",
             "inflight": self._inflight,
@@ -625,6 +672,23 @@ class EvaluationServer:
             "workers": self.config.workers,
             "queue_depth": self.config.queue_depth,
             "coalesce": self.config.coalesce,
+            # Admission backlog as a first-class object (the legacy
+            # ``queued``/``queue_depth`` scalars stay for old scrapers).
+            "queue": {
+                "depth": self._queue.qsize(),
+                "capacity": self.config.queue_depth,
+            },
+            "workers_detail": [
+                {"name": worker.name, "alive": worker.is_alive()}
+                for worker in self._workers
+            ],
+            # Occupancy of every cache tier a router wants to see in its
+            # aggregated fleet view, not just the count cache.
+            "caches": {
+                "count": self.count_cache.stats(),
+                "plan": plan_cache_occupancy(),
+                "containment": default_containment_cache().stats(),
+            },
             "count_cache": self.count_cache.stats(),
             "databases": self.databases.snapshot(),
             "traces": {
@@ -632,6 +696,36 @@ class EvaluationServer:
                 "recorded": self.recorder.recorded,
                 "dropped": self.recorder.dropped,
             },
+        }
+        if self.durable is not None:
+            payload["snapshot"] = {
+                "directory": str(self.durable.root),
+                "files": self.durable.stats(),
+                "restored": self._restore_report,
+            }
+        return payload
+
+    def snapshot(self) -> dict:
+        """``POST /snapshot``: bulk-sync all three caches to disk."""
+        if self.durable is None:
+            raise _ServiceFailure(
+                protocol.KIND_BAD_REQUEST,
+                "server has no snapshot directory; "
+                "start it with --snapshot-dir",
+            )
+        from repro.containment_set import default_containment_cache
+        from repro.planner.plan import default_plan_cache
+
+        saved = self.durable.save_all(
+            self.count_cache,
+            default_plan_cache(),
+            default_containment_cache(),
+        )
+        return {
+            "protocol_version": protocol.PROTOCOL_VERSION,
+            "snapshot_dir": str(self.durable.root),
+            "saved": saved,
+            "files": self.durable.stats(),
         }
 
     def metrics_json(self) -> str:
@@ -749,7 +843,7 @@ class _RequestHandler(BaseHTTPRequestHandler):
             self.send_header("Content-Length", str(len(body)))
             self.end_headers()
             self.wfile.write(body)
-        elif self.path.lstrip("/") in ENDPOINTS:
+        elif self.path.lstrip("/") in ENDPOINTS or self.path == "/snapshot":
             self._send_failure(
                 _ServiceFailure(
                     protocol.KIND_METHOD,
@@ -806,7 +900,13 @@ class _RequestHandler(BaseHTTPRequestHandler):
                 return
             deadline_ms = deadline_value
         try:
-            result = server.submit(endpoint, body, deadline_ms, context)
+            if endpoint == "snapshot":
+                # Administrative, not evaluation traffic: bypasses the
+                # admission queue and single-flight (snapshots are
+                # idempotent and cheap relative to the work they save).
+                result = server.snapshot()
+            else:
+                result = server.submit(endpoint, body, deadline_ms, context)
         except _ServiceFailure as failure:
             self._fail_request(failure, context)
             return

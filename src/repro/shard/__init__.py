@@ -1,0 +1,39 @@
+"""The multi-process worker tier and the durable cache tier.
+
+Two subsystems that together take the warm single-process service of
+:mod:`repro.service` horizontal and restart-proof:
+
+* :mod:`repro.shard.persist` — a disk-backed, content-addressed JSON
+  store (the :mod:`repro.qa.corpus` addressing scheme) that the
+  :class:`~repro.homomorphism.cache.CountCache`, the
+  :class:`~repro.planner.analyze.PlanCache` profile level, and the
+  :class:`~repro.containment_set.cache.ContainmentCache` write through
+  to and warm-start from.  Cache keys are built on canonical components
+  and content fingerprints, both stable across processes, so a snapshot
+  taken by one worker restores bit-for-bit into another.
+
+* :mod:`repro.shard.worker` / :mod:`repro.shard.router` — worker
+  subprocesses (each one a full ``repro.service`` server) behind a
+  consistent-hash router that keeps α-equivalent traffic on one shard
+  (so per-shard single-flight coalescing and cache locality survive
+  sharding) and aggregates ``/metrics``, ``/healthz``, and ``/traces``
+  across the fleet.
+"""
+
+from repro.shard.persist import (
+    DurableCacheStore,
+    RestoreReport,
+    SnapshotError,
+)
+from repro.shard.router import RouterConfig, ShardRouter, serve_sharded
+from repro.shard.worker import WorkerProcess
+
+__all__ = [
+    "DurableCacheStore",
+    "RestoreReport",
+    "RouterConfig",
+    "ShardRouter",
+    "SnapshotError",
+    "WorkerProcess",
+    "serve_sharded",
+]

@@ -1,0 +1,326 @@
+"""One shard's worker: a ``repro.service`` server as a subprocess.
+
+A worker is the *whole* existing single-process server — admission
+queue, single-flight, caches, tracing — run under ``python -m repro.cli
+serve`` with an ephemeral port.  This module owns its lifecycle:
+
+* **Spawn + port discovery.**  The server prints ``bagcq service
+  listening on http://host:port`` on stdout (flushed); the supervisor
+  parses that line rather than racing to pre-pick a free port.
+* **Readiness.**  A worker is routable only after ``GET /healthz``
+  answers 200 — which also means its warm-restore (when a snapshot
+  directory is configured) has already happened, since restore runs
+  before the socket opens.
+* **Restart on crash, with backoff.**  A monitor thread waits on the
+  process; an exit while not stopping re-spawns it after an
+  exponentially growing delay (reset after a stable stretch), counting
+  ``shard.worker_restarts``.  The ephemeral port changes across
+  restarts, so routing always reads :attr:`WorkerProcess.url` live.
+* **Graceful drain.**  ``stop()`` sends SIGINT — the server's own
+  KeyboardInterrupt path drains queued and in-flight work — and only
+  escalates to terminate/kill on timeout.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+__all__ = ["WorkerProcess", "http_get_json", "http_post_json"]
+
+_LISTENING_PREFIX = "bagcq service listening on "
+
+
+def http_get_json(url: str, timeout_s: float = 10.0) -> dict:
+    """GET ``url`` and decode the JSON body (2xx only; errors raise)."""
+    with urllib.request.urlopen(url, timeout=timeout_s) as response:
+        return json.loads(response.read().decode("utf-8"))
+
+
+def http_post_json(url: str, body: dict, timeout_s: float = 60.0) -> dict:
+    """POST ``body`` as JSON and decode the JSON response (2xx only)."""
+    data = json.dumps(body).encode("utf-8")
+    request = urllib.request.Request(
+        url, data=data, headers={"Content-Type": "application/json"}
+    )
+    with urllib.request.urlopen(request, timeout=timeout_s) as response:
+        return json.loads(response.read().decode("utf-8"))
+
+
+def _worker_environment() -> dict:
+    """The child's env, with this interpreter's ``repro`` importable."""
+    environment = dict(os.environ)
+    package_root = str(Path(__file__).resolve().parent.parent.parent)
+    existing = environment.get("PYTHONPATH")
+    if existing:
+        if package_root not in existing.split(os.pathsep):
+            environment["PYTHONPATH"] = package_root + os.pathsep + existing
+    else:
+        environment["PYTHONPATH"] = package_root
+    return environment
+
+
+class WorkerProcess:
+    """Supervised lifecycle of one shard's server subprocess."""
+
+    def __init__(
+        self,
+        shard_index: int,
+        *,
+        host: str = "127.0.0.1",
+        workers: int = 4,
+        queue_depth: int = 64,
+        default_deadline_ms: int = 30_000,
+        coalesce: bool = True,
+        snapshot_dir: str | None = None,
+        registry=None,
+        ready_timeout_s: float = 30.0,
+        restart_backoff_s: float = 0.1,
+        restart_backoff_cap_s: float = 2.0,
+    ) -> None:
+        self.shard_index = shard_index
+        self.host = host
+        self.workers = workers
+        self.queue_depth = queue_depth
+        self.default_deadline_ms = default_deadline_ms
+        self.coalesce = coalesce
+        self.snapshot_dir = snapshot_dir
+        self.ready_timeout_s = ready_timeout_s
+        self.restart_backoff_s = restart_backoff_s
+        self.restart_backoff_cap_s = restart_backoff_cap_s
+        self._registry = registry
+        self._lock = threading.Lock()
+        self._process: subprocess.Popen | None = None
+        self._url: str | None = None
+        self._stopping = False
+        self._monitor: threading.Thread | None = None
+        self._restarts = 0
+        self._started_at: float | None = None
+
+    # -- observable state --------------------------------------------------
+
+    @property
+    def url(self) -> str | None:
+        """The worker's base URL, or ``None`` while it is down."""
+        with self._lock:
+            return self._url
+
+    @property
+    def pid(self) -> int | None:
+        with self._lock:
+            return None if self._process is None else self._process.pid
+
+    @property
+    def restarts(self) -> int:
+        return self._restarts
+
+    def healthy(self) -> bool:
+        with self._lock:
+            return (
+                self._process is not None
+                and self._process.poll() is None
+                and self._url is not None
+            )
+
+    def describe(self) -> dict:
+        """The router's ``/healthz`` row for this worker."""
+        return {
+            "shard": self.shard_index,
+            "url": self.url,
+            "pid": self.pid,
+            "alive": self.healthy(),
+            "restarts": self._restarts,
+            "snapshot_dir": self.snapshot_dir,
+        }
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "WorkerProcess":
+        """Spawn, wait for readiness, and begin supervising."""
+        self._spawn()
+        self._monitor = threading.Thread(
+            target=self._monitor_loop,
+            name=f"bagcq-shard-{self.shard_index}-monitor",
+            daemon=True,
+        )
+        self._monitor.start()
+        return self
+
+    def _command(self) -> list[str]:
+        command = [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "serve",
+            "--host",
+            self.host,
+            "--port",
+            "0",
+            "--workers",
+            str(self.workers),
+            "--queue-depth",
+            str(self.queue_depth),
+            "--deadline-ms",
+            str(self.default_deadline_ms),
+        ]
+        if not self.coalesce:
+            command.append("--no-coalesce")
+        if self.snapshot_dir is not None:
+            command.extend(["--snapshot-dir", str(self.snapshot_dir)])
+        return command
+
+    def _spawn(self) -> None:
+        # A router backgrounded by a non-interactive shell inherits
+        # SIGINT set to SIG_IGN (POSIX job control), and CPython only
+        # installs its KeyboardInterrupt handler when SIGINT is *not*
+        # ignored at startup — so without this reset the drain SIGINT
+        # from ``stop()`` would be silently dropped and every shutdown
+        # would burn the full drain timeout before escalating.
+        process = subprocess.Popen(
+            self._command(),
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            env=_worker_environment(),
+            text=True,
+            preexec_fn=lambda: signal.signal(signal.SIGINT, signal.SIG_DFL),
+        )
+        with self._lock:
+            self._process = process
+            self._url = None
+        url = self._discover_url(process)
+        self._wait_ready(process, url)
+        with self._lock:
+            self._url = url
+            self._started_at = time.monotonic()
+
+    def _discover_url(self, process: subprocess.Popen) -> str:
+        """Read the child's listening line off its stdout, then keep the
+        pipe drained for the rest of its life (a full pipe buffer would
+        block the child)."""
+        assert process.stdout is not None
+        deadline = time.monotonic() + self.ready_timeout_s
+        url: str | None = None
+        while time.monotonic() < deadline:
+            line = process.stdout.readline()
+            if not line:
+                break  # child exited before announcing; monitor restarts
+            if line.startswith(_LISTENING_PREFIX):
+                url = line[len(_LISTENING_PREFIX):].strip()
+                break
+        if url is None:
+            raise RuntimeError(
+                f"shard {self.shard_index}: worker did not announce a "
+                f"listening address within {self.ready_timeout_s:.0f}s"
+            )
+        drain = threading.Thread(
+            target=self._drain_stdout,
+            args=(process,),
+            name=f"bagcq-shard-{self.shard_index}-stdout",
+            daemon=True,
+        )
+        drain.start()
+        return url
+
+    @staticmethod
+    def _drain_stdout(process: subprocess.Popen) -> None:
+        assert process.stdout is not None
+        try:
+            for _line in process.stdout:
+                pass
+        except (OSError, ValueError):
+            pass
+
+    def _wait_ready(self, process: subprocess.Popen, url: str) -> None:
+        deadline = time.monotonic() + self.ready_timeout_s
+        while time.monotonic() < deadline:
+            if process.poll() is not None:
+                raise RuntimeError(
+                    f"shard {self.shard_index}: worker exited with "
+                    f"{process.returncode} before becoming ready"
+                )
+            try:
+                health = http_get_json(f"{url}/healthz", timeout_s=2.0)
+                if health.get("status") == "ok":
+                    return
+            except (urllib.error.URLError, OSError, ValueError):
+                pass
+            time.sleep(0.05)
+        raise RuntimeError(
+            f"shard {self.shard_index}: worker at {url} never passed its "
+            f"readiness probe"
+        )
+
+    def _counter(self, name: str, amount: int = 1) -> None:
+        if self._registry is not None:
+            self._registry.counter(name).inc(amount)
+
+    def _monitor_loop(self) -> None:
+        """Respawn on unexpected exit, with exponential backoff."""
+        backoff = self.restart_backoff_s
+        while True:
+            with self._lock:
+                process = self._process
+            if process is None:
+                return
+            process.wait()
+            if self._stopping:
+                return
+            with self._lock:
+                self._url = None
+                stable = (
+                    self._started_at is not None
+                    and time.monotonic() - self._started_at > 10.0
+                )
+            if stable:
+                backoff = self.restart_backoff_s
+            self._restarts += 1
+            self._counter("shard.worker_restarts")
+            time.sleep(backoff)
+            backoff = min(backoff * 2, self.restart_backoff_cap_s)
+            if self._stopping:
+                return
+            try:
+                self._spawn()
+            except RuntimeError:
+                self._counter("shard.worker_spawn_failures")
+                # Leave url=None (unroutable) and keep trying: the loop
+                # waits on the possibly-dead process and backs off again.
+                continue
+
+    def stop(self, drain_timeout_s: float = 15.0) -> None:
+        """Graceful drain (SIGINT), escalating to terminate then kill."""
+        self._stopping = True
+        with self._lock:
+            process = self._process
+            self._url = None
+        if process is None or process.poll() is not None:
+            return
+        try:
+            process.send_signal(signal.SIGINT)
+        except (ProcessLookupError, OSError):
+            return
+        try:
+            process.wait(timeout=drain_timeout_s)
+            return
+        except subprocess.TimeoutExpired:
+            pass
+        process.terminate()
+        try:
+            process.wait(timeout=5.0)
+        except subprocess.TimeoutExpired:
+            process.kill()
+            process.wait(timeout=5.0)
+
+    def __repr__(self) -> str:
+        return (
+            f"WorkerProcess(shard={self.shard_index}, url={self.url!r}, "
+            f"restarts={self._restarts})"
+        )

@@ -43,9 +43,12 @@ class TestScenarioDeterminism:
         )
         for position, request in enumerate(scenario.schedule):
             assert request.index == position
-            assert request.kind in ("cq", "ucq")
+            assert request.kind in ("cq", "ucq", "contain")
             if request.kind == "cq":
                 assert request.query is not None
+            elif request.kind == "contain":
+                assert request.query is not None
+                assert request.against is not None
             else:
                 assert request.disjuncts
 
